@@ -1,0 +1,13 @@
+"""Shared helper for single-shot experiment benchmarks."""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a heavy experiment exactly once under the benchmark timer.
+
+    The experiment drivers are whole simulations; timing them for one
+    round is the honest measurement (pytest-benchmark would otherwise
+    re-run them many times).
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

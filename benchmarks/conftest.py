@@ -1,0 +1,35 @@
+"""Benchmark-suite plumbing.
+
+Each benchmark wraps one experiment driver (``repro.experiments.*``),
+runs it exactly once under pytest-benchmark (these are simulations, not
+microseconds-level kernels), asserts the paper's qualitative shape, and
+writes the driver's textual report to ``benchmarks/results/`` so
+EXPERIMENTS.md can quote it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def save_report(results_dir):
+    """Write (and echo) an experiment's report under results/."""
+
+    def _save(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save
+

@@ -1,0 +1,18 @@
+"""Ablation bench: Eq. 6 score components and alpha/beta sensitivity."""
+
+from bench_utils import run_once
+
+from repro.experiments import ablation_cache_score
+
+
+def test_ablation_cache_score(benchmark, save_report):
+    results = run_once(benchmark, ablation_cache_score.run)
+    save_report("ablation_cache_score", ablation_cache_score.report(results))
+    full = results["full (a=1.5, b=1)"]
+    no_reuse = results["no reuse (F off)"]
+    # The reuse term carries the policy: dropping it collapses hits.
+    assert no_reuse.hit_ratio < full.hit_ratio - 0.15
+    assert no_reuse.total_time_s > full.total_time_s
+    # alpha/beta are not hypersensitive near the production choice.
+    for label in ("alpha=0.5", "alpha=3.0", "beta=0.5", "beta=2.0"):
+        assert abs(results[label].total_time_s - full.total_time_s) < 0.1 * full.total_time_s

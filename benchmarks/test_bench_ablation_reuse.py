@@ -1,0 +1,21 @@
+"""Ablation bench: cached-step skipping (reuse of intermediate results)."""
+
+from bench_utils import run_once
+
+from repro.experiments import ablation_reuse
+
+
+def test_ablation_reuse(benchmark, save_report):
+    rows = run_once(benchmark, ablation_reuse.run)
+    save_report("ablation_reuse", ablation_reuse.report(rows))
+    assert all(r["ok"] for r in rows)
+    by_key = {(r["scenario"], r["skip"]): r for r in rows}
+    scenarios = {r["scenario"] for r in rows}
+    for scenario in scenarios:
+        off = by_key[(scenario, False)]
+        on = by_key[(scenario, True)]
+        # Skipping never slows the rerun and must skip at least the
+        # data-producing steps.
+        assert on["second_round_s"] < off["second_round_s"], scenario
+        assert on["steps_skipped"] > 0, scenario
+        assert off["steps_skipped"] == 0, scenario

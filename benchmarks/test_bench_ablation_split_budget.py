@@ -1,0 +1,21 @@
+"""Ablation bench: Algorithm 3 budget sweep on a 400+-node workflow."""
+
+from bench_utils import run_once
+
+from repro.experiments import ablation_split_budget
+
+
+def test_ablation_split_budget(benchmark, save_report):
+    results = run_once(benchmark, ablation_split_budget.run)
+    save_report("ablation_split_budget", ablation_split_budget.report(results))
+    # The motivating failure: unsplit, the CRD is rejected outright.
+    assert results["unsplit_rejected"]
+    rows = results["rows"]
+    assert all(r["succeeded"] for r in rows)
+    # Every part clears the CRD limit.
+    assert all(r["max_part_yaml"] <= 120_000 for r in rows)
+    # Smaller budgets -> more parts and no faster makespan.
+    parts = [r["parts"] for r in rows]
+    makespans = [r["makespan_s"] for r in rows]
+    assert parts == sorted(parts, reverse=True)
+    assert makespans == sorted(makespans, reverse=True)

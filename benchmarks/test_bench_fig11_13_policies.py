@@ -1,0 +1,18 @@
+"""Figs. 11-13 bench: Couler vs FIFO vs LRU per scenario (App. D.A)."""
+
+from bench_utils import run_once
+
+from repro.experiments import fig11_13_policies
+
+
+def test_fig11_13_policies(benchmark, save_report):
+    grid = run_once(benchmark, fig11_13_policies.run)
+    save_report("fig11_13_policies", fig11_13_policies.report(grid))
+    for scenario, results in grid.items():
+        by_policy = {r.policy: r for r in results}
+        couler = by_policy["couler"]
+        assert all(r.all_succeeded for r in results), scenario
+        # Shape: under a constrained cache the importance-factor policy
+        # beats both recency policies on execution time (paper App. D.A).
+        assert couler.total_time_s <= by_policy["fifo"].total_time_s, scenario
+        assert couler.total_time_s <= by_policy["lru"].total_time_s, scenario

@@ -1,0 +1,21 @@
+"""Figs. 14-16 bench: Couler caching at 10G / 20G / 30G (App. D.B)."""
+
+from bench_utils import run_once
+
+from repro.experiments import fig14_16_cache_sizes
+
+
+def test_fig14_16_cache_sizes(benchmark, save_report):
+    grid = run_once(benchmark, fig14_16_cache_sizes.run)
+    save_report("fig14_16_cache_sizes", fig14_16_cache_sizes.report(grid))
+    for scenario, results in grid.items():
+        no_cache = results[0]
+        sized = results[1:]
+        assert no_cache.policy == "no"
+        # Shape: every cache size improves on no-cache, and
+        # effectiveness increases with the cache size (paper App. D.B).
+        for run in sized:
+            assert run.total_time_s < no_cache.total_time_s, scenario
+        hit_ratios = [run.hit_ratio for run in sized]
+        assert hit_ratios == sorted(hit_ratios), (scenario, hit_ratios)
+        assert sized[-1].total_time_s <= sized[0].total_time_s, scenario

@@ -1,0 +1,22 @@
+"""Fig. 17 bench: data caching for table and file reads (App. D.C)."""
+
+from bench_utils import run_once
+
+from repro.experiments import fig17_datacache
+
+
+def test_fig17_datacache(benchmark, save_report):
+    results = run_once(benchmark, fig17_datacache.run)
+    save_report("fig17_datacache", fig17_datacache.report(results))
+    # Shape (a): caching roughly doubles table read throughput.
+    for row in results["tables"]:
+        assert 1.5 <= row["speedup"] <= 3.5, row
+    # Shape (b): with enough sharing jobs the cache wins by >4x, and the
+    # advantage grows with the number of jobs.
+    by_workload = {}
+    for row in results["files"]:
+        by_workload.setdefault(row["workload"], []).append(row)
+    for workload, rows in by_workload.items():
+        speedups = [r["speedup"] for r in sorted(rows, key=lambda r: r["jobs"])]
+        assert speedups == sorted(speedups), (workload, speedups)
+        assert speedups[-1] > 4.0, (workload, speedups)

@@ -1,0 +1,14 @@
+"""Fig. 5 bench: workflow activity distributions."""
+
+from bench_utils import run_once
+
+from repro.experiments import fig5_activity
+
+
+def test_fig5_activity(benchmark, save_report):
+    results = run_once(benchmark, fig5_activity.run)
+    save_report("fig5_activity", fig5_activity.report(results))
+    # Shape: means near the paper's reported production summaries.
+    assert 20_000 <= results["daily_mean"] <= 24_000
+    assert 0.8 <= results["lifespan_mean_hours"] <= 1.2
+    assert 30 <= results["cores_mean"] <= 42

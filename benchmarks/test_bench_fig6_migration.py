@@ -1,0 +1,16 @@
+"""Fig. 6 bench: 12-month migration onto Couler (CUR / MUR / WCR)."""
+
+from bench_utils import run_once
+
+from repro.experiments import fig6_migration
+
+
+def test_fig6_migration(benchmark, save_report):
+    results = run_once(benchmark, fig6_migration.run)
+    save_report("fig6_migration", fig6_migration.report(results))
+    # Shape: double-digit utilization gains (paper: CUR +18%, MUR +17%)
+    # and completion-rate gains for both size classes, larger for 50+.
+    assert results["cur_improvement_pct"] > 10.0
+    assert results["mur_improvement_pct"] > 10.0
+    assert results["wcr_small_improvement_pct"] > 0.0
+    assert results["wcr_big_improvement_pct"] > results["wcr_small_improvement_pct"]

@@ -1,0 +1,22 @@
+"""Fig. 7 bench: automatic caching vs No / ALL across three scenarios."""
+
+from bench_utils import run_once
+
+from repro.experiments import fig7_caching
+
+
+def test_fig7_caching(benchmark, save_report):
+    grid = run_once(benchmark, fig7_caching.run)
+    save_report("fig7_caching", fig7_caching.report(grid))
+    for scenario, results in grid.items():
+        by_policy = {r.policy: r for r in results}
+        no, all_, couler = by_policy["no"], by_policy["all"], by_policy["couler"]
+        assert all(r.all_succeeded for r in results), scenario
+        # Who wins: caching beats no-caching on execution time.
+        assert couler.total_time_s < no.total_time_s, scenario
+        assert all_.total_time_s <= no.total_time_s, scenario
+        # Couler pays a fraction of ALL's storage (the scatter story).
+        assert couler.peak_cache_gb < 0.5 * all_.peak_cache_gb, scenario
+        # And lands within ~15% of ALL's execution time.
+        assert couler.total_time_s <= 1.15 * all_.total_time_s, scenario
+        assert couler.hit_ratio > 0.5, scenario

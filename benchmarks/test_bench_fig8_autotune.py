@@ -1,0 +1,18 @@
+"""Fig. 8 bench: automatic hyperparameter configuration (CV + NLP)."""
+
+from bench_utils import run_once
+
+from repro.experiments import fig8_autotune
+
+
+def test_fig8_autotune(benchmark, save_report):
+    results = run_once(benchmark, fig8_autotune.run)
+    save_report("fig8_autotune", fig8_autotune.report(results))
+    for domain, payload in results.items():
+        final = payload["final"]
+        ours = final["HP:Ours"]
+        # Shape: HP:Ours achieves the lowest loss and the best accuracy
+        # among the three configurations (paper Fig. 8).
+        for baseline in ("HP-baseline1", "HP-baseline2"):
+            assert ours["loss"] <= final[baseline]["loss"], (domain, baseline)
+            assert ours["accuracy"] >= final[baseline]["accuracy"], (domain, baseline)

@@ -1,0 +1,91 @@
+"""Micro-benchmarks of the hot paths the optimizers depend on.
+
+Unlike the experiment benches (single-shot simulations), these measure
+throughput of the core operations with pytest-benchmark's normal
+multi-round timing: IR topological sort, Argo compilation, cache
+admission under pressure, DFS splitting, and simulation-clock event
+dispatch.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.backends.argo import ArgoBackend
+from repro.caching.artifact_store import ArtifactStore
+from repro.caching.manager import CacheManager
+from repro.engine.simclock import SimClock
+from repro.engine.spec import ArtifactSpec
+from repro.ir.graph import WorkflowIR
+from repro.ir.nodes import IRNode, OpKind, SimHint
+from repro.parallelism.budget import BudgetModel
+from repro.parallelism.splitter import WorkflowSplitter
+
+GB = 2**30
+
+
+def _layered_ir(num_layers: int = 10, width: int = 20, seed: int = 1) -> WorkflowIR:
+    rng = random.Random(seed)
+    ir = WorkflowIR(name="micro")
+    previous = []
+    for layer in range(num_layers):
+        current = []
+        for index in range(width):
+            name = f"l{layer}n{index}"
+            ir.add_node(IRNode(name=name, op=OpKind.CONTAINER, image="w:v1",
+                               sim=SimHint(duration_s=10)))
+            for parent in rng.sample(previous, min(2, len(previous))):
+                ir.add_edge(parent, name)
+            current.append(name)
+        previous = current
+    return ir
+
+
+def test_bench_topological_sort(benchmark):
+    ir = _layered_ir()
+    order = benchmark(ir.topological_order)
+    assert len(order) == len(ir.nodes)
+
+
+def test_bench_argo_compile(benchmark):
+    ir = _layered_ir()
+    backend = ArgoBackend()
+    manifest = benchmark(backend.compile, ir)
+    assert manifest["kind"] == "Workflow"
+
+
+def test_bench_cache_admission(benchmark):
+    def admit_churn():
+        manager = CacheManager(policy="lru", capacity_bytes=8 * GB)
+        for index in range(200):
+            manager.on_artifact_produced(
+                ArtifactSpec(uid=f"a{index}", size_bytes=256 * 2**20), now=float(index)
+            )
+        return manager.store.stats.evictions
+
+    evictions = benchmark(admit_churn)
+    assert evictions > 0
+
+
+def test_bench_splitter(benchmark):
+    ir = _layered_ir(num_layers=10, width=20)
+    budget = BudgetModel(max_yaml_bytes=30_000, max_steps=60)
+    plan = benchmark(WorkflowSplitter(budget).split, ir)
+    assert plan.num_parts > 1
+
+
+def test_bench_simclock_dispatch(benchmark):
+    def pump():
+        clock = SimClock()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 5_000:
+                clock.schedule(1.0, tick)
+
+        clock.schedule(0.0, tick)
+        clock.run()
+        return count[0]
+
+    assert benchmark(pump) == 5_000

@@ -1,0 +1,24 @@
+"""Table II bench: pass@k for NL -> unified programming code."""
+
+from bench_utils import run_once
+
+from repro.experiments import table2_passk
+
+
+def test_table2_passk(benchmark, save_report):
+    results = run_once(benchmark, table2_passk.run)
+    save_report("table2_passk", table2_passk.report(results))
+    # Shape: GPT-4 beats GPT-3.5, "+Ours" lifts both raw models by a
+    # wide margin, and every row's pass@k is nondecreasing in k.
+    for label, scores in results.items():
+        assert scores[1] <= scores[3] <= scores[5], (label, scores)
+    for k in (1, 3, 5):
+        assert results["GPT-4"][k] > results["GPT-3.5"][k]
+        assert results["GPT-3.5 + Ours"][k] > results["GPT-3.5"][k] + 10
+        assert results["GPT-4 + Ours"][k] > results["GPT-4"][k] + 10
+        assert results["GPT-4 + Ours"][k] > results["GPT-3.5 + Ours"][k]
+    # Bands: pass@1 within a few points of the paper's Table II.
+    assert abs(results["GPT-3.5"][1] - 35.2) < 8
+    assert abs(results["GPT-4"][1] - 45.8) < 8
+    assert abs(results["GPT-3.5 + Ours"][1] - 61.3) < 8
+    assert abs(results["GPT-4 + Ours"][1] - 73.1) < 8

@@ -1,0 +1,19 @@
+"""Table III bench: tokens and dollars per generated workflow."""
+
+from bench_utils import run_once
+
+from repro.experiments import table3_cost
+
+
+def test_table3_cost(benchmark, save_report):
+    results = run_once(benchmark, table3_cost.run)
+    save_report("table3_cost", table3_cost.report(results))
+    gpt35 = results["gpt-3.5-turbo"]
+    gpt4 = results["gpt-4"]
+    # Shape: both models land in the paper's few-thousand-token band;
+    # GPT-4 costs an order of magnitude more per workflow.
+    assert 2_500 <= gpt35["tokens"] <= 5_500
+    assert 2_500 <= gpt4["tokens"] <= 5_500
+    assert gpt35["usd"] < 0.02
+    assert 0.08 <= gpt4["usd"] <= 0.25
+    assert gpt4["usd"] > 10 * gpt35["usd"]

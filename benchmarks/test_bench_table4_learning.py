@@ -1,0 +1,20 @@
+"""Table IV bench: learning-time comparison Couler / Argo / Airflow."""
+
+from bench_utils import run_once
+
+from repro.experiments import table4_learning
+
+
+def test_table4_learning(benchmark, save_report):
+    results = run_once(benchmark, table4_learning.run)
+    save_report("table4_learning", table4_learning.report(results))
+    couler = results["couler"]["minutes"]
+    argo = results["argo"]["minutes"]
+    airflow = results["airflow"]["minutes"]
+    # Shape: Couler is by far the quickest to learn; Argo the slowest.
+    assert couler < airflow < argo
+    assert argo > 2.5 * couler
+    assert airflow > 2.0 * couler
+    # Bands: within ~25% of the paper's 18 / 61 / 50 minutes.
+    assert abs(argo - 61) / 61 < 0.25
+    assert abs(airflow - 50) / 50 < 0.25

@@ -1,0 +1,49 @@
+"""Automatic hyperparameter tuning (paper Sec. IV.C, Algorithm 4)."""
+
+from .cards import (
+    DataCard,
+    HyperparameterSet,
+    ModelCard,
+    NANOGPT_DATA,
+    NANOGPT_MODEL,
+    VIT_CIFAR_DATA,
+    VIT_MODEL,
+)
+from .loggen import ParsedLog, parse_training_log, render_training_log
+from .surrogate import (
+    EpochMetrics,
+    NoisyLogPredictor,
+    TrainingCurve,
+    TrainingSurrogate,
+)
+from .tuner import (
+    AutoTuner,
+    TuningResult,
+    default_candidate_grid,
+    expert_baseline,
+    literature_baseline,
+    make_llm_log_predictor,
+)
+
+__all__ = [
+    "AutoTuner",
+    "DataCard",
+    "EpochMetrics",
+    "HyperparameterSet",
+    "ModelCard",
+    "NANOGPT_DATA",
+    "NANOGPT_MODEL",
+    "NoisyLogPredictor",
+    "ParsedLog",
+    "TrainingCurve",
+    "TrainingSurrogate",
+    "TuningResult",
+    "VIT_CIFAR_DATA",
+    "VIT_MODEL",
+    "default_candidate_grid",
+    "expert_baseline",
+    "literature_baseline",
+    "make_llm_log_predictor",
+    "parse_training_log",
+    "render_training_log",
+]

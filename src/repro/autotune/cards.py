@@ -1,0 +1,135 @@
+"""Data Cards and Model Cards (paper Sec. IV.C).
+
+The automatic hyperparameter tuner grounds its LLM prompts in a *Data
+Card* (dataset name, input type, label space, default evaluation
+metrics — after Gebru et al.'s datasheets) and a *Model Card* (model
+name, structure, description, architecture hyperparameters — after
+Mitchell et al.).  These are plain declarative records; the prompt
+builder renders them to text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class DataCard:
+    """Structured description of a training dataset."""
+
+    name: str
+    modality: str  # "image" | "text" | "tabular" | "audio" | "multimodal"
+    num_samples: int
+    num_classes: int
+    input_shape: str = ""
+    label_space: str = ""
+    eval_metric: str = "accuracy"
+
+    def __post_init__(self) -> None:
+        if self.num_samples <= 0:
+            raise ValueError(f"data card {self.name}: num_samples must be > 0")
+        if self.num_classes <= 0:
+            raise ValueError(f"data card {self.name}: num_classes must be > 0")
+
+    def render(self) -> str:
+        """Render for inclusion in an LLM prompt."""
+        return (
+            f"Dataset: {self.name}\n"
+            f"Modality: {self.modality}\n"
+            f"Samples: {self.num_samples}\n"
+            f"Classes: {self.num_classes}\n"
+            f"Input shape: {self.input_shape or 'unspecified'}\n"
+            f"Label space: {self.label_space or 'unspecified'}\n"
+            f"Evaluation metric: {self.eval_metric}"
+        )
+
+
+@dataclass(frozen=True)
+class ModelCard:
+    """Structured description of a model architecture."""
+
+    name: str
+    family: str  # "vit" | "resnet" | "densenet" | "gpt" | "lstm" | ...
+    num_params: int
+    description: str = ""
+    architecture: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_params <= 0:
+            raise ValueError(f"model card {self.name}: num_params must be > 0")
+
+    def render(self) -> str:
+        arch = ", ".join(f"{k}={v}" for k, v in sorted(self.architecture.items()))
+        return (
+            f"Model: {self.name}\n"
+            f"Family: {self.family}\n"
+            f"Parameters: {self.num_params}\n"
+            f"Architecture: {arch or 'unspecified'}\n"
+            f"Description: {self.description or 'unspecified'}"
+        )
+
+
+@dataclass(frozen=True)
+class HyperparameterSet:
+    """One candidate configuration from the search set H."""
+
+    learning_rate: float
+    batch_size: int
+    epochs: int = 10
+    weight_decay: float = 0.0
+    warmup_fraction: float = 0.0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be > 0")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be > 0")
+        if self.epochs <= 0:
+            raise ValueError("epochs must be > 0")
+
+    def render(self) -> str:
+        return (
+            f"lr={self.learning_rate:g}, batch_size={self.batch_size}, "
+            f"epochs={self.epochs}, weight_decay={self.weight_decay:g}, "
+            f"warmup={self.warmup_fraction:g}"
+        )
+
+
+#: Reference cards used by the Fig. 8 experiments and the examples.
+VIT_CIFAR_DATA = DataCard(
+    name="image-classification-1.4m",
+    modality="image",
+    num_samples=1_400_000,
+    num_classes=1000,
+    input_shape="3x224x224",
+    label_space="object categories",
+    eval_metric="accuracy",
+)
+
+VIT_MODEL = ModelCard(
+    name="vit-base",
+    family="vit",
+    num_params=86_000_000,
+    description="Vision Transformer base, patch 16",
+    architecture={"layers": 12, "hidden": 768, "heads": 12, "patch": 16},
+)
+
+NANOGPT_DATA = DataCard(
+    name="text-corpus-20gb",
+    modality="text",
+    num_samples=5_000_000,
+    num_classes=50_257,
+    input_shape="sequence of 1024 tokens",
+    label_space="vocabulary",
+    eval_metric="loss",
+)
+
+NANOGPT_MODEL = ModelCard(
+    name="nanogpt",
+    family="gpt",
+    num_params=124_000_000,
+    description="GPT-2-small-scale decoder-only LM",
+    architecture={"layers": 12, "hidden": 768, "heads": 12, "context": 1024},
+)

@@ -1,0 +1,94 @@
+"""Predicted training logs: render and parse (Algorithm 4 lines 4–6).
+
+The tuner never sees curves directly — faithful to the paper, each
+candidate hyperparameter set yields a *textual training log* ("the LLM
+returns a training log for each h_i"), and the tuner examines the log
+text to extract performance.  Render and parse are exact inverses for
+the fields the tuner reads.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .cards import DataCard, HyperparameterSet, ModelCard
+from .surrogate import EpochMetrics, TrainingCurve
+
+_EPOCH_RE = re.compile(
+    r"^epoch\s+(\d+)/(\d+)\s+\|\s+loss=([0-9.infa]+)\s+\|\s+accuracy=([0-9.]+)",
+    re.IGNORECASE,
+)
+_DIVERGED_RE = re.compile(r"training diverged", re.IGNORECASE)
+
+
+def render_training_log(
+    data: DataCard,
+    model: ModelCard,
+    curve: TrainingCurve,
+) -> str:
+    """Render a curve as the textual log Algorithm 4's LLM would emit."""
+    hp = curve.hyperparameters
+    lines = [
+        f"# predicted training log: {model.name} on {data.name}",
+        f"# hyperparameters: {hp.render()}",
+    ]
+    total = len(curve.epochs)
+    for metrics in curve.epochs:
+        lines.append(
+            f"epoch {metrics.epoch}/{total} | loss={metrics.loss:.4f} "
+            f"| accuracy={metrics.accuracy:.4f}"
+        )
+    if curve.diverged:
+        lines.append("WARNING: training diverged (loss exploded)")
+    else:
+        lines.append(
+            f"final: loss={curve.final_loss:.4f} accuracy={curve.final_accuracy:.4f}"
+        )
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ParsedLog:
+    """What the tuner extracts from a predicted training log."""
+
+    epochs: List[EpochMetrics]
+    diverged: bool
+
+    @property
+    def final_loss(self) -> float:
+        return self.epochs[-1].loss if self.epochs else float("inf")
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.epochs[-1].accuracy if self.epochs else 0.0
+
+    def score(self, metric: str) -> float:
+        """Higher-is-better score under the data card's eval metric."""
+        if self.diverged or not self.epochs:
+            return float("-inf")
+        if metric == "loss":
+            return -self.final_loss
+        return self.final_accuracy
+
+
+def parse_training_log(text: str) -> ParsedLog:
+    """Parse a rendered (or hand-written) training log."""
+    epochs: List[EpochMetrics] = []
+    diverged = False
+    for line in text.splitlines():
+        match = _EPOCH_RE.match(line.strip())
+        if match:
+            epoch, _total, loss, acc = match.groups()
+            try:
+                epochs.append(
+                    EpochMetrics(
+                        epoch=int(epoch), loss=float(loss), accuracy=float(acc)
+                    )
+                )
+            except ValueError:
+                diverged = True
+        elif _DIVERGED_RE.search(line):
+            diverged = True
+    return ParsedLog(epochs=epochs, diverged=diverged)

@@ -1,0 +1,17 @@
+"""Workflow generators (paper Sec. II.F): IR -> engine-native formats."""
+
+from .airflow import AirflowBackend
+from .argo import ArgoBackend
+from .base import Backend, BackendInfo, available_backends, make_backend, register_backend
+from .tekton import TektonBackend
+
+__all__ = [
+    "AirflowBackend",
+    "ArgoBackend",
+    "Backend",
+    "BackendInfo",
+    "TektonBackend",
+    "available_backends",
+    "make_backend",
+    "register_backend",
+]

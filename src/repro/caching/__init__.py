@@ -1,0 +1,58 @@
+"""Automatic artifact caching (paper Section IV.A + Appendix B.C/D).
+
+Public surface:
+
+- :class:`ArtifactStore` — the Alluxio-style capacity-bounded store.
+- :class:`ArtifactScorer` / :class:`ScoreWeights` — Eqs. 3–6.
+- :class:`CoulerCachePolicy` and the No/ALL/FIFO/LRU baselines.
+- :class:`CacheManager` — the runtime hook wired into the engine.
+- :class:`Dataset` / :class:`CachingServer` — the Dataset CRD data-read
+  cache from Appendix B.C (Fig. 17 experiments).
+"""
+
+from .artifact_store import (
+    ArtifactStore,
+    ArtifactTooLargeError,
+    CacheEntry,
+    CacheError,
+    CacheStats,
+    InsufficientSpaceError,
+)
+from .dataset_crd import CachingServer, Dataset, DatasetKind, SyncState
+from .manager import CacheManager
+from .policy import (
+    CacheAllPolicy,
+    CachePolicy,
+    CoulerCachePolicy,
+    FIFOCachePolicy,
+    LRUCachePolicy,
+    NoCachePolicy,
+    POLICY_REGISTRY,
+    make_policy,
+)
+from .score import ArtifactScorer, ScoreWeights, WorkflowGraphIndex
+
+__all__ = [
+    "ArtifactScorer",
+    "ArtifactStore",
+    "ArtifactTooLargeError",
+    "CacheAllPolicy",
+    "CacheEntry",
+    "CacheError",
+    "CacheManager",
+    "CachePolicy",
+    "CacheStats",
+    "CachingServer",
+    "CoulerCachePolicy",
+    "Dataset",
+    "DatasetKind",
+    "FIFOCachePolicy",
+    "InsufficientSpaceError",
+    "LRUCachePolicy",
+    "NoCachePolicy",
+    "POLICY_REGISTRY",
+    "ScoreWeights",
+    "SyncState",
+    "WorkflowGraphIndex",
+    "make_policy",
+]

@@ -1,0 +1,204 @@
+"""Capacity-bounded in-memory artifact store (the Alluxio stand-in).
+
+The paper delegates intermediate artifact storage to a distributed
+in-memory system (Apache Alluxio) with finite capacity; cache policies
+decide what stays.  :class:`ArtifactStore` tracks entries, enforces the
+byte capacity, and keeps the accounting (hits / misses / evictions /
+bytes) that the evaluation figures summarize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class CacheError(RuntimeError):
+    """Base class for artifact-store failures."""
+
+
+class InsufficientSpaceError(CacheError):
+    """Put attempted without enough free capacity."""
+
+
+class ArtifactTooLargeError(CacheError):
+    """Artifact is bigger than the whole store; it can never be cached."""
+
+
+@dataclass
+class CacheEntry:
+    uid: str
+    size_bytes: int
+    kind: str = "data"
+    cached_at: float = 0.0
+    last_access: float = 0.0
+    insert_seq: int = 0
+    access_count: int = 0
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    insertions: int = 0
+    rejected: int = 0
+    bytes_evicted: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ArtifactStore:
+    """A byte-capacity-bounded artifact cache.
+
+    ``capacity_bytes=None`` models unbounded storage — used by the
+    Cache-ALL baseline, whose point in the paper's scatter plots is
+    "fast but resource-hungry".
+    """
+
+    def __init__(self, capacity_bytes: Optional[int]) -> None:
+        if capacity_bytes is not None and capacity_bytes < 0:
+            raise CacheError(f"capacity must be >= 0: {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self._entries: Dict[str, CacheEntry] = {}
+        self._used = 0
+        self._seq = 0
+        self.stats = CacheStats()
+        #: Peak bytes ever held — the "caching storage consumption"
+        #: axis in Fig. 7's scatter plot.
+        self.peak_bytes = 0
+
+    # --------------------------------------------------------------- queries
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def free_bytes(self) -> float:
+        if self.capacity_bytes is None:
+            return float("inf")
+        return self.capacity_bytes - self._used
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def contains(self, uid: str) -> bool:
+        return uid in self._entries
+
+    def entry(self, uid: str) -> Optional[CacheEntry]:
+        return self._entries.get(uid)
+
+    def entries(self) -> List[CacheEntry]:
+        return list(self._entries.values())
+
+    def uids(self) -> List[str]:
+        return list(self._entries)
+
+    # ------------------------------------------------------------- mutations
+
+    def fits(self, size_bytes: int) -> bool:
+        return size_bytes <= self.free_bytes
+
+    def can_ever_fit(self, size_bytes: int) -> bool:
+        return self.capacity_bytes is None or size_bytes <= self.capacity_bytes
+
+    def put(self, uid: str, size_bytes: int, kind: str = "data", now: float = 0.0) -> CacheEntry:
+        """Insert an artifact; the caller must have made room first."""
+        if uid in self._entries:
+            entry = self._entries[uid]
+            entry.last_access = now
+            return entry
+        if not self.can_ever_fit(size_bytes):
+            raise ArtifactTooLargeError(
+                f"{uid}: {size_bytes} bytes exceeds store capacity "
+                f"{self.capacity_bytes}"
+            )
+        if not self.fits(size_bytes):
+            raise InsufficientSpaceError(
+                f"{uid}: needs {size_bytes} bytes, only {self.free_bytes} free"
+            )
+        self._seq += 1
+        entry = CacheEntry(
+            uid=uid,
+            size_bytes=size_bytes,
+            kind=kind,
+            cached_at=now,
+            last_access=now,
+            insert_seq=self._seq,
+        )
+        self._entries[uid] = entry
+        self._used += size_bytes
+        self.peak_bytes = max(self.peak_bytes, self._used)
+        self.stats.insertions += 1
+        return entry
+
+    def evict(self, uid: str) -> CacheEntry:
+        entry = self._entries.pop(uid, None)
+        if entry is None:
+            raise CacheError(f"evict of uncached artifact: {uid}")
+        self._used -= entry.size_bytes
+        self.stats.evictions += 1
+        self.stats.bytes_evicted += entry.size_bytes
+        return entry
+
+    def record_hit(self, uid: str, now: float) -> None:
+        entry = self._entries.get(uid)
+        if entry is None:
+            raise CacheError(f"hit recorded for uncached artifact: {uid}")
+        entry.last_access = now
+        entry.access_count += 1
+        self.stats.hits += 1
+
+    def record_miss(self) -> None:
+        self.stats.misses += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._used = 0
+
+    # ------------------------------------------------------------ snapshots
+
+    def to_snapshot(self) -> dict:
+        """Serialize resident entries (not stats) for warm restarts.
+
+        The production cache (Alluxio) outlives the Couler server; a
+        restarted service re-attaches to the still-warm store.  This
+        snapshot carries exactly the state that survives: what is
+        resident and how recently it was used.
+        """
+        return {
+            "capacity_bytes": self.capacity_bytes,
+            "entries": [
+                {
+                    "uid": e.uid,
+                    "size_bytes": e.size_bytes,
+                    "kind": e.kind,
+                    "cached_at": e.cached_at,
+                    "last_access": e.last_access,
+                    "access_count": e.access_count,
+                }
+                for e in sorted(self._entries.values(), key=lambda e: e.insert_seq)
+            ],
+        }
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict) -> "ArtifactStore":
+        """Rebuild a store from :meth:`to_snapshot` output."""
+        store = cls(capacity_bytes=snapshot.get("capacity_bytes"))
+        for entry in snapshot.get("entries", []):
+            restored = store.put(
+                entry["uid"],
+                entry["size_bytes"],
+                kind=entry.get("kind", "data"),
+                now=entry.get("cached_at", 0.0),
+            )
+            restored.last_access = entry.get("last_access", 0.0)
+            restored.access_count = entry.get("access_count", 0)
+        # Insertions during restore are bookkeeping, not new cache events.
+        store.stats = CacheStats()
+        store.peak_bytes = store.used_bytes
+        return store

@@ -1,0 +1,174 @@
+"""``Dataset`` CRD and the caching server (paper Appendix B.C).
+
+Production ML jobs read training data from a remote storage cluster
+(ODPS tables, OSS/NAS files); the workflow engine cannot see those reads
+because they happen inside pods.  The paper introduces a ``Dataset``
+custom resource describing a job's input data so that (1) the engine can
+skip re-reads of already-synced data and (2) a *caching server* syncs
+the data once from the storage cluster to the computation cluster,
+after which all jobs read locally.
+
+This module models both: :class:`Dataset` (the CRD), and
+:class:`CachingServer` (the sync daemon + read-time model used by the
+Fig. 17 experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+from ..engine.cachehooks import BandwidthModel
+from ..k8s.objects import APIObject, ObjectMeta
+
+
+class DatasetKind(str, Enum):
+    ODPS_TABLE = "odps"
+    OSS_FILES = "oss"
+    NAS_FILES = "nas"
+
+
+class SyncState(str, Enum):
+    PENDING = "Pending"
+    SYNCING = "Syncing"
+    READY = "Ready"
+
+
+@dataclass
+class Dataset:
+    """A declared input dataset (mirrors the paper's Code 8 schema)."""
+
+    name: str
+    kind: DatasetKind
+    total_bytes: int
+    num_files: int = 1
+    project: str = "default_project"
+    table: Optional[str] = None
+    owner: str = "user"
+
+    def __post_init__(self) -> None:
+        if self.total_bytes < 0:
+            raise ValueError(f"dataset {self.name}: negative size")
+        if self.num_files < 1:
+            raise ValueError(f"dataset {self.name}: must contain >= 1 file")
+
+    def to_crd(self) -> APIObject:
+        """Render as a Kubernetes custom resource manifest."""
+        spec = {
+            self.kind.value: {
+                "project": self.project,
+                "table": self.table,
+                "totalBytes": self.total_bytes,
+                "numFiles": self.num_files,
+            }
+        }
+        return APIObject(
+            api_version="io.kubemaker.alipay.com/v1alpha1",
+            kind="Dataset",
+            metadata=ObjectMeta(name=self.name, labels={"owner": self.owner}),
+            spec=spec,
+        )
+
+
+@dataclass
+class _SyncRecord:
+    dataset: Dataset
+    state: SyncState = SyncState.PENDING
+    ready_at: float = 0.0
+
+
+@dataclass
+class CachingServer:
+    """Syncs datasets to local storage and models job read times.
+
+    Read model: a remote read pays the remote bandwidth plus a per-file
+    metadata round-trip (the dominant cost for the 10k-small-files
+    workload); a local read pays local bandwidth plus a much smaller
+    per-file cost.  ``jobs_sharing`` reads of a synced dataset pay the
+    sync once — exactly the redundancy the paper measured (70–85% of
+    inputs read repeatedly).
+    """
+
+    bandwidth: BandwidthModel = field(default_factory=BandwidthModel)
+    #: Per-file metadata overhead (open + stat) in seconds.
+    remote_per_file_s: float = 0.05
+    local_per_file_s: float = 0.002
+    storage_distance: float = 1.0
+    _synced: Dict[str, _SyncRecord] = field(default_factory=dict)
+    sync_count: int = 0
+
+    def register(self, dataset: Dataset) -> None:
+        if dataset.name not in self._synced:
+            self._synced[dataset.name] = _SyncRecord(dataset=dataset)
+
+    def is_ready(self, name: str) -> bool:
+        record = self._synced.get(name)
+        return record is not None and record.state == SyncState.READY
+
+    def remote_read_seconds(self, dataset: Dataset) -> float:
+        """Time for one job to read the dataset from the storage cluster."""
+        transfer = self.bandwidth.remote_seconds(
+            dataset.total_bytes, self.storage_distance
+        )
+        return transfer + self.remote_per_file_s * dataset.num_files
+
+    def local_read_seconds(self, dataset: Dataset) -> float:
+        """Time for one job to read the dataset from the local cache."""
+        transfer = self.bandwidth.local_seconds(dataset.total_bytes)
+        return transfer + self.local_per_file_s * dataset.num_files
+
+    def sync(self, name: str, now: float = 0.0) -> float:
+        """Sync a registered dataset; returns the sync duration.
+
+        Idempotent: re-syncing a READY dataset is free, which is the
+        whole point — different jobs no longer each pull the data.
+        """
+        record = self._synced.get(name)
+        if record is None:
+            raise KeyError(f"dataset {name!r} is not registered")
+        if record.state == SyncState.READY:
+            return 0.0
+        duration = self.remote_read_seconds(record.dataset)
+        record.state = SyncState.READY
+        record.ready_at = now + duration
+        self.sync_count += 1
+        return duration
+
+    def read_seconds(self, name: str, use_cache: bool, now: float = 0.0) -> float:
+        """Total time for one job read, syncing first when caching is on."""
+        record = self._synced.get(name)
+        if record is None:
+            raise KeyError(f"dataset {name!r} is not registered")
+        if not use_cache:
+            return self.remote_read_seconds(record.dataset)
+        sync_time = self.sync(name, now)
+        return sync_time + self.local_read_seconds(record.dataset)
+
+    def throughput_bps(self, name: str, use_cache: bool) -> float:
+        """Steady-state read throughput for a job, bytes/second."""
+        record = self._synced.get(name)
+        if record is None:
+            raise KeyError(f"dataset {name!r} is not registered")
+        dataset = record.dataset
+        seconds = (
+            self.local_read_seconds(dataset)
+            if use_cache and self.is_ready(name)
+            else self.remote_read_seconds(dataset)
+        )
+        return dataset.total_bytes / seconds if seconds else 0.0
+
+    def multi_job_read_seconds(
+        self, name: str, num_jobs: int, use_cache: bool
+    ) -> List[float]:
+        """Per-job read times when ``num_jobs`` jobs read the same data.
+
+        Without cache every job pays the remote read.  With cache the
+        first job pays sync + local read, the rest only local reads.
+        """
+        if num_jobs < 1:
+            raise ValueError("num_jobs must be >= 1")
+        times = []
+        for job in range(num_jobs):
+            times.append(self.read_seconds(name, use_cache))
+        return times

@@ -1,0 +1,106 @@
+"""Runtime cache manager — wires policy, store and scorer into the engine.
+
+Implements :class:`repro.engine.cachehooks.CacheManagerProtocol`: the
+operator calls :meth:`fetch` for every input artifact read (the manager
+answers with the simulated read time and whether it was a cache hit)
+and :meth:`on_artifact_produced` for every output (the policy decides
+admission/eviction).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..engine.cachehooks import BandwidthModel
+from ..engine.spec import ArtifactSpec, ExecutableWorkflow
+from .artifact_store import ArtifactStore
+from .policy import CachePolicy, make_policy
+from .score import ArtifactScorer, ScoreWeights, WorkflowGraphIndex
+
+
+class CacheManager:
+    """The automatic caching optimizer attached to a running operator.
+
+    Parameters
+    ----------
+    policy:
+        A :class:`CachePolicy` instance or a registered policy name
+        (``"no"``, ``"all"``, ``"couler"``, ``"fifo"``, ``"lru"``).
+    capacity_bytes:
+        Store capacity; ``None`` means unbounded (for the ALL baseline).
+    weights:
+        Eq. 6 weights for the Couler policy (production default
+        alpha=1.5, beta=1).
+    bandwidth / distance:
+        Storage-tier read model; ``distance`` scales remote reads by the
+        cluster's distance to the storage cluster (Appendix B.A).
+    """
+
+    def __init__(
+        self,
+        policy: "CachePolicy | str" = "couler",
+        capacity_bytes: Optional[int] = 30 * 2**30,
+        weights: Optional[ScoreWeights] = None,
+        bandwidth: Optional[BandwidthModel] = None,
+        distance: float = 1.0,
+    ) -> None:
+        self.policy = make_policy(policy) if isinstance(policy, str) else policy
+        self.store = ArtifactStore(capacity_bytes)
+        self.index = WorkflowGraphIndex()
+        self.scorer = ArtifactScorer(index=self.index, weights=weights or ScoreWeights())
+        self.bandwidth = bandwidth or BandwidthModel()
+        self.distance = distance
+
+    # ------------------------------------------------- CacheManagerProtocol
+
+    def register_workflow(self, workflow: ExecutableWorkflow) -> None:
+        self.index.register(workflow)
+
+    def fetch(self, artifact: ArtifactSpec, now: float = 0.0) -> Tuple[float, bool]:
+        if self.store.contains(artifact.uid):
+            self.store.record_hit(artifact.uid, now=now)
+            return self.bandwidth.local_seconds(artifact.size_bytes), True
+        self.store.record_miss()
+        # Read-through admission (Alluxio semantics): a remote read
+        # leaves the artifact locally, subject to the policy's verdict,
+        # so later readers of the same data hit.
+        self.policy.admit(artifact, self.store, self.scorer, now)
+        return (
+            self.bandwidth.remote_seconds(artifact.size_bytes, self.distance),
+            False,
+        )
+
+    def on_artifact_produced(self, artifact: ArtifactSpec, now: float) -> None:
+        self.policy.admit(artifact, self.store, self.scorer, now)
+
+    def contains(self, uid: str) -> bool:
+        """Is this artifact currently resident?  Used by the operator's
+        cached-step-skip optimization (reuse of intermediate results)."""
+        return self.store.contains(uid)
+
+    def on_step_finished(self, node_key: str) -> None:
+        """Engine callback: a step completed, so its reads are now
+        *past* usage and no longer contribute to F(u)."""
+        self.index.mark_done(node_key)
+
+    # ----------------------------------------------------------- reporting
+
+    def hit_ratio(self) -> float:
+        return self.store.stats.hit_ratio
+
+    def report(self) -> dict:
+        """Summary used by the experiment drivers."""
+        stats = self.store.stats
+        return {
+            "policy": self.policy.name,
+            "capacity_bytes": self.store.capacity_bytes,
+            "used_bytes": self.store.used_bytes,
+            "peak_bytes": self.store.peak_bytes,
+            "entries": len(self.store),
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "hit_ratio": stats.hit_ratio,
+            "evictions": stats.evictions,
+            "insertions": stats.insertions,
+            "rejected": stats.rejected,
+        }

@@ -1,0 +1,202 @@
+"""Cache admission/eviction policies, including Algorithm 2.
+
+A :class:`CachePolicy` decides, when a new artifact is produced, whether
+it enters the store and what (if anything) is evicted to make room.
+:class:`CoulerCachePolicy` implements the paper's Algorithm 2: admit
+while space remains; under pressure, compare caching importance factors
+(Eq. 6) and evict the minimum-scored artifacts while the newcomer still
+beats them; give up on the newcomer the moment it is itself the minimum.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+from ..engine.spec import ArtifactSpec
+from .artifact_store import ArtifactStore
+from .score import ArtifactScorer
+
+
+class CachePolicy(ABC):
+    """Strategy object consulted on every artifact production."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def admit(
+        self,
+        artifact: ArtifactSpec,
+        store: ArtifactStore,
+        scorer: Optional[ArtifactScorer],
+        now: float,
+    ) -> bool:
+        """Try to cache ``artifact``; returns True if it was stored."""
+
+
+class CoulerCachePolicy(CachePolicy):
+    """Algorithm 2: importance-factor-driven dynamic caching.
+
+    Lines 10–11 of the algorithm: while the store has room, every new
+    artifact is cached.  Lines 16–31 (``NodeSelection``): under
+    pressure, recompute I for the newcomer and all cached artifacts,
+    then repeatedly evict the global minimum — unless the minimum *is*
+    the newcomer, in which case it is rejected and the cache is left
+    intact.  Scores of remaining items are recomputed after each
+    removal, as the paper specifies.
+    """
+
+    name = "couler"
+
+    def admit(
+        self,
+        artifact: ArtifactSpec,
+        store: ArtifactStore,
+        scorer: Optional[ArtifactScorer],
+        now: float,
+    ) -> bool:
+        if scorer is None:
+            raise ValueError("CoulerCachePolicy requires an ArtifactScorer")
+        if store.contains(artifact.uid):
+            return True
+        if not store.can_ever_fit(artifact.size_bytes):
+            store.stats.rejected += 1
+            return False
+        if store.fits(artifact.size_bytes):
+            store.put(artifact.uid, artifact.size_bytes, artifact.kind, now)
+            return True
+
+        is_cached = store.contains
+        new_score = scorer.importance(artifact.uid, is_cached)
+        while not store.fits(artifact.size_bytes):
+            cached_scores = {
+                entry.uid: scorer.importance(entry.uid, is_cached)
+                for entry in store.entries()
+            }
+            if not cached_scores:
+                break
+            min_uid = min(cached_scores, key=lambda uid: (cached_scores[uid], uid))
+            if cached_scores[min_uid] >= new_score:
+                # The newcomer is the weakest item; reject it (line 29).
+                store.stats.rejected += 1
+                return False
+            store.evict(min_uid)
+            # Eviction changes G_p truncation for the survivors, so
+            # scores are recomputed on the next loop iteration.
+        if store.fits(artifact.size_bytes):
+            store.put(artifact.uid, artifact.size_bytes, artifact.kind, now)
+            return True
+        store.stats.rejected += 1
+        return False
+
+
+class NoCachePolicy(CachePolicy):
+    """The "No" baseline: never cache anything."""
+
+    name = "no"
+
+    def admit(
+        self,
+        artifact: ArtifactSpec,
+        store: ArtifactStore,
+        scorer: Optional[ArtifactScorer],
+        now: float,
+    ) -> bool:
+        return False
+
+
+class CacheAllPolicy(CachePolicy):
+    """The "ALL" baseline: cache every artifact, evicting nothing.
+
+    Meant to run against an unbounded store; with a bounded store it
+    simply stops admitting once full (no eviction), which models a
+    naive operator filling Alluxio to the brim.
+    """
+
+    name = "all"
+
+    def admit(
+        self,
+        artifact: ArtifactSpec,
+        store: ArtifactStore,
+        scorer: Optional[ArtifactScorer],
+        now: float,
+    ) -> bool:
+        if store.contains(artifact.uid):
+            return True
+        if not store.can_ever_fit(artifact.size_bytes) or not store.fits(
+            artifact.size_bytes
+        ):
+            store.stats.rejected += 1
+            return False
+        store.put(artifact.uid, artifact.size_bytes, artifact.kind, now)
+        return True
+
+
+class FIFOCachePolicy(CachePolicy):
+    """First-in-first-out eviction under pressure."""
+
+    name = "fifo"
+
+    def admit(
+        self,
+        artifact: ArtifactSpec,
+        store: ArtifactStore,
+        scorer: Optional[ArtifactScorer],
+        now: float,
+    ) -> bool:
+        if store.contains(artifact.uid):
+            return True
+        if not store.can_ever_fit(artifact.size_bytes):
+            store.stats.rejected += 1
+            return False
+        while not store.fits(artifact.size_bytes) and len(store):
+            oldest = min(store.entries(), key=lambda e: e.insert_seq)
+            store.evict(oldest.uid)
+        store.put(artifact.uid, artifact.size_bytes, artifact.kind, now)
+        return True
+
+
+class LRUCachePolicy(CachePolicy):
+    """Least-recently-used eviction under pressure."""
+
+    name = "lru"
+
+    def admit(
+        self,
+        artifact: ArtifactSpec,
+        store: ArtifactStore,
+        scorer: Optional[ArtifactScorer],
+        now: float,
+    ) -> bool:
+        if store.contains(artifact.uid):
+            return True
+        if not store.can_ever_fit(artifact.size_bytes):
+            store.stats.rejected += 1
+            return False
+        while not store.fits(artifact.size_bytes) and len(store):
+            stalest = min(
+                store.entries(), key=lambda e: (e.last_access, e.insert_seq)
+            )
+            store.evict(stalest.uid)
+        store.put(artifact.uid, artifact.size_bytes, artifact.kind, now)
+        return True
+
+
+POLICY_REGISTRY = {
+    "no": NoCachePolicy,
+    "all": CacheAllPolicy,
+    "couler": CoulerCachePolicy,
+    "fifo": FIFOCachePolicy,
+    "lru": LRUCachePolicy,
+}
+
+
+def make_policy(name: str) -> CachePolicy:
+    """Instantiate a registered policy by its short name."""
+    try:
+        return POLICY_REGISTRY[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown cache policy {name!r}; choose from {sorted(POLICY_REGISTRY)}"
+        ) from None

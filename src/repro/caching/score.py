@@ -1,0 +1,281 @@
+"""Caching importance factor — Eqs. (3)–(6) of the paper.
+
+For an artifact ``u`` produced by a workflow step, the *caching
+importance factor* is
+
+    I(u) = alpha * log(1 + L(u)) + beta * F(u)**2 - exp(-V(u))
+
+with three determinants:
+
+``L(u)`` (Eq. 3) — reconstruction cost over the predecessor subgraph
+``G_p`` (the preceding ``n`` layers of jobs from u's producer, truncated
+at any job whose artifact is already cached):
+``L = sum_ij A_ij * (w_i + d_i * d_j)`` where ``A`` is the subgraph
+adjacency matrix, ``w_i`` the resource consumption of job i, and ``d``
+node degrees.
+
+``F(u)`` (Eqs. 4–5) — reuse value over the successor subgraph ``G_s``:
+``F = sum_i (r / kappa_ui) * (zeta_ui + 1)`` with ``kappa_ui`` the
+distance from u's producer to job i, ``r`` a boolean marking whether a
+reuse event occurs for u, and ``zeta = diag(d) - A`` (the graph
+Laplacian).  The paper leaves ``zeta_ui``'s sign convention implicit;
+``zeta`` entries off the diagonal are ``-A_ui``, which would zero out
+direct successors, so we take the magnitude ``|zeta_ui|`` — direct
+dependents weigh ``2/kappa`` and transitive ones ``1/kappa``.  This is
+the one place the implementation interprets rather than transcribes.
+
+``V(u)`` (cache cost) — u's memory consumption, normalized by a
+configurable scale so ``exp(-V)`` spans a useful range.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from ..engine.spec import ArtifactSpec, ExecutableWorkflow
+
+
+@dataclass(frozen=True)
+class ScoreWeights:
+    """Weights of Eq. 6.  The paper's production choice is alpha=1.5, beta=1."""
+
+    alpha: float = 1.5
+    beta: float = 1.0
+    #: Byte scale for V(u); V is expressed in units of this many bytes.
+    cache_cost_scale: float = float(2**30)
+    #: Subgraph horizon n: how many layers of predecessors/successors
+    #: are considered representative (paper property (a) of G_p).
+    horizon: int = 3
+    #: Ablation switches (DESIGN.md Section 5): drop individual terms.
+    use_reconstruction: bool = True
+    use_reuse: bool = True
+    use_cache_cost: bool = True
+
+
+class WorkflowGraphIndex:
+    """A merged, queryable view of every registered workflow DAG.
+
+    Nodes are ``"<workflow>/<step>"`` keys.  Edges come from explicit
+    step dependencies and from artifact consumption (a step consuming an
+    artifact produced elsewhere — including in another workflow — gets
+    an edge from the producer).  The scorer walks this graph for the
+    predecessor/successor subgraphs of Eqs. 3–4.
+    """
+
+    def __init__(self) -> None:
+        self.graph = nx.DiGraph()
+        #: artifact uid -> producing node key
+        self.producer: Dict[str, str] = {}
+        #: artifact uid -> consuming node keys
+        self.consumers: Dict[str, List[str]] = {}
+        #: artifact uid -> ArtifactSpec
+        self.artifacts: Dict[str, ArtifactSpec] = {}
+        #: node key -> resource consumption w_i (cpu-cores x seconds)
+        self.work: Dict[str, float] = {}
+        #: node key -> output artifact uids
+        self.node_outputs: Dict[str, List[str]] = {}
+        #: node keys whose step already finished — the "past usage"
+        #: side of the paper's past/future analysis: a consumer that has
+        #: already run contributes no future reuse value.
+        self.done: Set[str] = set()
+
+    def mark_done(self, node_key: str) -> None:
+        self.done.add(node_key)
+
+    def register(self, workflow: ExecutableWorkflow) -> None:
+        prefix = workflow.name
+        for step in workflow.steps.values():
+            node = f"{prefix}/{step.name}"
+            self.graph.add_node(node)
+            self.work[node] = max(step.requests.cpu, 1.0) * step.duration_s
+            self.node_outputs.setdefault(node, [])
+            for artifact in step.outputs:
+                self.producer[artifact.uid] = node
+                self.artifacts[artifact.uid] = artifact
+                self.node_outputs[node].append(artifact.uid)
+        for step in workflow.steps.values():
+            node = f"{prefix}/{step.name}"
+            for dep in step.dependencies:
+                self.graph.add_edge(f"{prefix}/{dep}", node)
+            for artifact in step.inputs:
+                self.artifacts.setdefault(artifact.uid, artifact)
+                self.consumers.setdefault(artifact.uid, []).append(node)
+                producer = self.producer.get(artifact.uid)
+                if producer is not None and producer != node:
+                    self.graph.add_edge(producer, node)
+
+    def has_artifact(self, uid: str) -> bool:
+        return uid in self.artifacts
+
+
+@dataclass
+class ArtifactScorer:
+    """Computes L, F, V and I for artifacts over a graph index."""
+
+    index: WorkflowGraphIndex
+    weights: ScoreWeights = field(default_factory=ScoreWeights)
+
+    # ------------------------------------------------------------- subgraphs
+
+    def _bounded_bfs(
+        self,
+        start: str,
+        horizon: int,
+        forward: bool,
+        truncate: Optional[Callable[[str], bool]] = None,
+    ) -> Dict[str, int]:
+        """Nodes within ``horizon`` hops of ``start`` with their distance.
+
+        ``truncate(node)`` cuts the walk at that node: a predecessor
+        whose artifact is already cached is *excluded* (and nothing
+        beyond it explored), because rebuilding u never needs to re-run
+        it — the paper's property (b): G_p is cut at jobs whose artifact
+        is cached.
+        """
+        graph = self.index.graph
+        if start not in graph:
+            return {}
+        neighbors = graph.successors if forward else graph.predecessors
+        distances = {start: 0}
+        frontier = [start]
+        depth = 0
+        while frontier and depth < horizon:
+            depth += 1
+            next_frontier = []
+            for node in frontier:
+                for nbr in neighbors(node):
+                    if nbr in distances:
+                        continue
+                    if truncate is not None and truncate(nbr):
+                        continue
+                    distances[nbr] = depth
+                    next_frontier.append(nbr)
+            frontier = next_frontier
+        return distances
+
+    def predecessor_subgraph(
+        self, uid: str, is_cached: Callable[[str], bool]
+    ) -> List[str]:
+        """G_p for artifact ``uid``: bounded, truncated at cached outputs."""
+        producer = self.index.producer.get(uid)
+        if producer is None:
+            return []
+
+        def truncate(node: str) -> bool:
+            return any(
+                is_cached(out)
+                for out in self.index.node_outputs.get(node, [])
+                if out != uid
+            )
+
+        distances = self._bounded_bfs(
+            producer, self.weights.horizon, forward=False, truncate=truncate
+        )
+        return sorted(distances)
+
+    def successor_subgraph(self, uid: str) -> Dict[str, int]:
+        """G_s for ``uid``: bounded forward BFS with distances kappa."""
+        producer = self.index.producer.get(uid)
+        if producer is None:
+            # External artifact: successors are its direct consumers.
+            return {node: 1 for node in self.index.consumers.get(uid, [])}
+        return self._bounded_bfs(producer, self.weights.horizon, forward=True)
+
+    # ----------------------------------------------------------- determinants
+
+    def reconstruction_cost(self, uid: str, is_cached: Callable[[str], bool]) -> float:
+        """L(u) per Eq. 3 over the truncated predecessor subgraph."""
+        nodes = self.predecessor_subgraph(uid, is_cached)
+        if len(nodes) < 2:
+            # A source artifact (raw data / single producer) still costs
+            # its producer's own work to rebuild.
+            producer = self.index.producer.get(uid)
+            return self.index.work.get(producer, 0.0) if producer else 0.0
+        sub = self.index.graph.subgraph(nodes)
+        degree = dict(sub.degree())
+        total = 0.0
+        for i, j in sub.edges():
+            total += self.index.work.get(i, 0.0) + degree[i] * degree[j]
+        # Include the producer's own work so L never underestimates the
+        # cost of the final re-computation itself.
+        producer = self.index.producer.get(uid)
+        if producer is not None:
+            total += self.index.work.get(producer, 0.0)
+        return total
+
+    def reuse_value(self, uid: str) -> float:
+        """F(u) per Eqs. 4–5 over the *future* successor subgraph.
+
+        Consumers whose step has already executed are excluded: the
+        paper's cache value analysis spans "past usage, future usage,
+        and the cost-effectiveness of caching", and an artifact whose
+        readers have all run has no remaining reuse value.
+        """
+        distances = self.successor_subgraph(uid)
+        consumers = {
+            c for c in self.index.consumers.get(uid, []) if c not in self.index.done
+        }
+        r = 1.0 if consumers else 0.0
+        if r == 0.0:
+            return 0.0
+        producer = self.index.producer.get(uid)
+        nodes = sorted(distances)
+        sub = self.index.graph.subgraph(nodes)
+        total = 0.0
+        for node, kappa in distances.items():
+            if node == producer or kappa == 0 or node in self.index.done:
+                continue
+            # zeta = diag(d) - A; off-diagonal magnitude is the edge
+            # weight between the producer and node (1 if adjacent).
+            if producer is not None and sub.has_edge(producer, node):
+                zeta = 1.0
+            elif producer is None and node in consumers:
+                zeta = 1.0
+            else:
+                zeta = 0.0
+            total += (r / kappa) * (zeta + 1.0)
+        return total
+
+    def cache_cost(self, uid: str) -> float:
+        """V(u): memory consumption in units of ``cache_cost_scale``."""
+        artifact = self.index.artifacts.get(uid)
+        size = artifact.size_bytes if artifact else 0
+        return size / self.weights.cache_cost_scale
+
+    # -------------------------------------------------------------- Eq. (6)
+
+    def importance(
+        self, uid: str, is_cached: Optional[Callable[[str], bool]] = None
+    ) -> float:
+        """I(u) = alpha*log(1+L) + beta*F^2 - exp(-V)."""
+        if is_cached is None:
+            is_cached = lambda _uid: False  # noqa: E731
+        w = self.weights
+        score = 0.0
+        if w.use_reconstruction:
+            score += w.alpha * math.log1p(self.reconstruction_cost(uid, is_cached))
+        if w.use_reuse:
+            score += w.beta * self.reuse_value(uid) ** 2
+        if w.use_cache_cost:
+            score -= math.exp(-self.cache_cost(uid))
+        return score
+
+    def breakdown(
+        self, uid: str, is_cached: Optional[Callable[[str], bool]] = None
+    ) -> Dict[str, float]:
+        """All four quantities at once (useful for the score table UI)."""
+        if is_cached is None:
+            is_cached = lambda _uid: False  # noqa: E731
+        reconstruction = self.reconstruction_cost(uid, is_cached)
+        reuse = self.reuse_value(uid)
+        cost = self.cache_cost(uid)
+        return {
+            "L": reconstruction,
+            "F": reuse,
+            "V": cost,
+            "I": self.importance(uid, is_cached),
+        }

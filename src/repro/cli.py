@@ -1,0 +1,106 @@
+"""Command-line interface: run any paper experiment from the shell.
+
+Usage::
+
+    python -m repro list                # enumerate experiments
+    python -m repro run fig7           # run one and print its report
+    python -m repro run table2 fig8    # run several
+    python -m repro version
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from . import __paper__, __version__
+
+#: Short experiment names -> (module path, one-line description).
+EXPERIMENTS: Dict[str, tuple] = {
+    "fig5": ("repro.experiments.fig5_activity", "workflow activity distributions"),
+    "fig6": ("repro.experiments.fig6_migration", "12-month migration: CUR/MUR/WCR"),
+    "fig7": ("repro.experiments.fig7_caching", "caching vs No/ALL, 3 scenarios"),
+    "fig8": ("repro.experiments.fig8_autotune", "automatic HP configuration"),
+    "fig11-13": ("repro.experiments.fig11_13_policies", "Couler vs FIFO vs LRU"),
+    "fig14-16": ("repro.experiments.fig14_16_cache_sizes", "cache sizes 10/20/30G"),
+    "fig17": ("repro.experiments.fig17_datacache", "table/file data caching"),
+    "table2": ("repro.experiments.table2_passk", "pass@k for NL -> code"),
+    "table3": ("repro.experiments.table3_cost", "generation cost analysis"),
+    "table4": ("repro.experiments.table4_learning", "engine learning comparison"),
+    "ablation-cache": (
+        "repro.experiments.ablation_cache_score",
+        "Eq. 6 component ablation",
+    ),
+    "ablation-split": (
+        "repro.experiments.ablation_split_budget",
+        "Algorithm 3 budget sweep",
+    ),
+    "ablation-reuse": (
+        "repro.experiments.ablation_reuse",
+        "cached-step skipping (reuse of intermediate results)",
+    ),
+}
+
+
+def _load_driver(name: str):
+    import importlib
+
+    module_path, _ = EXPERIMENTS[name]
+    return importlib.import_module(module_path)
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    width = max(len(name) for name in EXPERIMENTS)
+    for name, (_module, description) in EXPERIMENTS.items():
+        print(f"{name.ljust(width)}  {description}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    unknown = [name for name in args.experiments if name not in EXPERIMENTS]
+    if unknown:
+        print(
+            f"unknown experiment(s): {', '.join(unknown)}; "
+            f"try `python -m repro list`",
+            file=sys.stderr,
+        )
+        return 2
+    for name in args.experiments:
+        driver = _load_driver(name)
+        print(f"== {name} ==")
+        results = driver.run()
+        print(driver.report(results))
+        print()
+    return 0
+
+
+def cmd_version(_args: argparse.Namespace) -> int:
+    print(f"repro {__version__} — reproduction of: {__paper__}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run experiments from the Couler (ICDE 2024) reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments").set_defaults(
+        func=cmd_list
+    )
+    run_parser = sub.add_parser("run", help="run one or more experiments")
+    run_parser.add_argument("experiments", nargs="+", metavar="EXPERIMENT")
+    run_parser.set_defaults(func=cmd_run)
+    sub.add_parser("version", help="print version").set_defaults(func=cmd_version)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,97 @@
+"""The Couler unified programming interface (paper Sec. II.B, Appendix A).
+
+Use this package the way the paper's listings use the ``couler``
+module::
+
+    from repro import core as couler
+
+    def job(name):
+        couler.run_container(image="whalesay:latest", command=["cowsay"],
+                             args=[name], step_name=name)
+
+    couler.dag([
+        [lambda: job("A")],
+        [lambda: job("A"), lambda: job("B")],   # A -> B
+    ])
+    record = couler.run(submitter=couler.ArgoSubmitter())
+"""
+
+from .api import (
+    PENDING,
+    StepOutput,
+    bigger,
+    bigger_equal,
+    concurrent,
+    dag,
+    equal,
+    exec_while,
+    map,  # noqa: A004 - matches the paper's couler.map
+    not_equal,
+    run,
+    run_container,
+    run_job,
+    run_script,
+    set_dependencies,
+    smaller,
+    smaller_equal,
+    when,
+    workflow_ir,
+)
+from .artifacts import (
+    create_gcs_artifact,
+    create_git_artifact,
+    create_hdfs_artifact,
+    create_oss_artifact,
+    create_parameter_artifact,
+    create_s3_artifact,
+)
+from .conditions import Condition, OutputRef
+from .context import WorkflowContext, get_context, reset_context, workflow
+from .submitter import (
+    AirflowSubmitter,
+    ArgoSubmitter,
+    LocalSubmitter,
+    SubmissionResult,
+    TektonSubmitter,
+    default_environment,
+)
+
+__all__ = [
+    "AirflowSubmitter",
+    "ArgoSubmitter",
+    "Condition",
+    "LocalSubmitter",
+    "OutputRef",
+    "PENDING",
+    "StepOutput",
+    "SubmissionResult",
+    "TektonSubmitter",
+    "WorkflowContext",
+    "bigger",
+    "bigger_equal",
+    "concurrent",
+    "create_gcs_artifact",
+    "create_git_artifact",
+    "create_hdfs_artifact",
+    "create_oss_artifact",
+    "create_parameter_artifact",
+    "create_s3_artifact",
+    "dag",
+    "default_environment",
+    "equal",
+    "exec_while",
+    "get_context",
+    "map",
+    "not_equal",
+    "reset_context",
+    "run",
+    "run_container",
+    "run_job",
+    "run_script",
+    "set_dependencies",
+    "smaller",
+    "smaller_equal",
+    "when",
+    "workflow",
+    "workflow_ir",
+]

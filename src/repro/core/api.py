@@ -1,0 +1,466 @@
+"""The unified programming interface (paper Table V).
+
+This module is the public Couler DSL.  It mirrors the paper's API
+surface and listing semantics:
+
+====================  =====================================================
+``run_script()``      Run a script in a pod
+``run_container()``   Start a container
+``run_job()``         Start a distributed (e.g. TensorFlow) job
+``when()``            Conditional execution
+``map()``             Start multiple instances of one job
+``concurrent()``      Run multiple jobs at the same time
+``exec_while()``      Run a function until a condition is met
+``dag()``             Explicit DAG definition (paper Code 1 / Code 4)
+``set_dependencies``  Explicit dependencies by step name
+``run()``             Optimize + submit via a Submitter
+====================  =====================================================
+
+Steps defined without explicit structure chain sequentially (implicit
+mode, preferred by data scientists per Appendix A); ``dag()`` and
+``set_dependencies()`` switch the definition to explicit mode.
+"""
+
+from __future__ import annotations
+
+import inspect
+import re
+import textwrap
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Union
+
+from ..ir.graph import WorkflowIR
+from ..ir.nodes import ArtifactDecl, ArtifactStorage, IRNode, OpKind, SimHint
+from ..ir.passes import PassManager
+from ..k8s.resources import ResourceQuantity
+from . import conditions as _cond
+from .conditions import Condition, OutputRef
+from .context import WorkflowContext, get_context, reset_context, workflow  # noqa: F401
+
+#: Placeholder operand used by one-argument ``equal`` inside exec_while.
+PENDING = OutputRef("__pending__", "result")
+
+
+@dataclass(frozen=True)
+class StepOutput:
+    """Handle to a defined step, returned by every ``run_*`` call.
+
+    Passing a :class:`StepOutput` as another step's ``input`` (or inside
+    its ``args``) creates a dependency edge, mirroring the
+    producer/consumer listing in paper Code 2.
+    """
+
+    step_name: str
+    artifact: Optional[ArtifactDecl] = None
+
+    @property
+    def path(self) -> Optional[str]:
+        return self.artifact.path if self.artifact else None
+
+    def ref(self, output_name: str = "result") -> OutputRef:
+        return OutputRef(self.step_name, output_name)
+
+
+InputLike = Union[StepOutput, ArtifactDecl]
+ArgLike = Union[str, int, float, StepOutput, OutputRef, ArtifactDecl]
+
+
+def _sanitize(base: str) -> str:
+    base = base.split("/")[-1].split(":")[0]
+    base = re.sub(r"[^a-zA-Z0-9.-]+", "-", base).strip("-.")
+    return base or "step"
+
+
+def _as_operand(value):
+    if isinstance(value, StepOutput):
+        return value.ref()
+    return value
+
+
+# ---------------------------------------------------------------- conditions
+
+
+def equal(left, right=None) -> Condition:
+    """Equality condition.  One-argument form (paper Code 5) leaves the
+    subject pending for :func:`exec_while` to bind."""
+    if right is None:
+        return Condition(PENDING, "==", _as_operand(left))
+    return _cond.equal(_as_operand(left), _as_operand(right))
+
+
+def not_equal(left, right=None) -> Condition:
+    if right is None:
+        return Condition(PENDING, "!=", _as_operand(left))
+    return _cond.not_equal(_as_operand(left), _as_operand(right))
+
+
+def bigger(left, right) -> Condition:
+    return _cond.bigger(_as_operand(left), _as_operand(right))
+
+
+def smaller(left, right) -> Condition:
+    return _cond.smaller(_as_operand(left), _as_operand(right))
+
+
+def bigger_equal(left, right) -> Condition:
+    return _cond.bigger_equal(_as_operand(left), _as_operand(right))
+
+
+def smaller_equal(left, right) -> Condition:
+    return _cond.smaller_equal(_as_operand(left), _as_operand(right))
+
+
+# ------------------------------------------------------------- step creation
+
+
+def _normalize_inputs(input_: "InputLike | Sequence[InputLike] | None"):
+    if input_ is None:
+        return []
+    if isinstance(input_, (StepOutput, ArtifactDecl)):
+        return [input_]
+    return list(input_)
+
+
+def _normalize_outputs(output, ctx: WorkflowContext, step_name: str):
+    if output is None:
+        decls: List[ArtifactDecl] = []
+    elif isinstance(output, ArtifactDecl):
+        decls = [output]
+    else:
+        decls = list(output)
+    finalized = []
+    for decl in decls:
+        uid = decl.uid or f"{ctx.ir.name}/{step_name}/{decl.name}"
+        finalized.append(decl.with_uid(uid))
+    return finalized
+
+
+def _add_step(
+    ctx: WorkflowContext,
+    op: OpKind,
+    image: str,
+    command: Optional[Sequence[str]],
+    args: Optional[Sequence[ArgLike]],
+    step_name: Optional[str],
+    resources: Optional[ResourceQuantity],
+    output,
+    input_,
+    sim: Optional[SimHint],
+    source: Optional[str] = None,
+    job_params: Optional[dict] = None,
+) -> StepOutput:
+    base = _sanitize(step_name or image)
+    if ctx.reuse_existing and base in ctx.ir.nodes:
+        ctx.last_touched = base  # type: ignore[attr-defined]
+        node = ctx.ir.nodes[base]
+        artifact = node.outputs[0] if node.outputs else None
+        return StepOutput(step_name=base, artifact=artifact)
+    name = ctx.unique_name(base)
+
+    dependencies: List[str] = []
+    inputs: List[ArtifactDecl] = []
+    for item in _normalize_inputs(input_):
+        if isinstance(item, StepOutput):
+            if item.artifact is not None:
+                inputs.append(item.artifact)
+            dependencies.append(item.step_name)
+        else:
+            inputs.append(item)
+            producer = _find_producer(ctx.ir, item)
+            if producer is not None:
+                dependencies.append(producer)
+
+    rendered_args: List[str] = []
+    for arg in args or []:
+        if isinstance(arg, StepOutput):
+            rendered_args.append(arg.ref().render())
+            dependencies.append(arg.step_name)
+        elif isinstance(arg, OutputRef):
+            rendered_args.append(arg.render())
+            dependencies.append(arg.step_name)
+        elif isinstance(arg, ArtifactDecl):
+            rendered_args.append(arg.path or arg.name)
+        else:
+            rendered_args.append(str(arg))
+
+    when = None
+    if ctx.condition_stack:
+        when = " && ".join(ctx.condition_stack)
+        for sources in ctx.condition_sources:
+            dependencies.extend(sources)
+
+    node = IRNode(
+        name=name,
+        op=op,
+        image=image,
+        command=list(command or []),
+        args=rendered_args,
+        source=source,
+        job_params=dict(job_params or {}),
+        resources=resources or ResourceQuantity(cpu=1.0),
+        inputs=inputs,
+        outputs=_normalize_outputs(output, ctx, name),
+        when=when,
+        sim=sim or SimHint(),
+    )
+    ctx.ir.add_node(node)
+
+    explicit_deps = sorted(set(dependencies) - {name})
+    for dep in explicit_deps:
+        if dep in ctx.ir.nodes:
+            ctx.ir.add_edge(dep, name)
+    if not ctx.explicit_mode and not explicit_deps:
+        for dep in ctx.last_steps:
+            ctx.ir.add_edge(dep, name)
+        explicit_deps = list(ctx.last_steps)
+    ctx.last_steps = [s for s in ctx.last_steps if s not in explicit_deps] + [name]
+    ctx.last_touched = name  # type: ignore[attr-defined]
+
+    artifact = node.outputs[0] if node.outputs else None
+    return StepOutput(step_name=name, artifact=artifact)
+
+
+def _find_producer(ir: WorkflowIR, artifact: ArtifactDecl) -> Optional[str]:
+    if artifact.uid is None:
+        return None
+    for node in ir.nodes.values():
+        for out in node.outputs:
+            if out.uid == artifact.uid:
+                return node.name
+    return None
+
+
+def run_container(
+    image: str,
+    command: Optional[Sequence[str]] = None,
+    args: Optional[Sequence[ArgLike]] = None,
+    step_name: Optional[str] = None,
+    resources: Optional[ResourceQuantity] = None,
+    output=None,
+    input=None,  # noqa: A002 - matches the paper's API
+    sim: Optional[SimHint] = None,
+) -> StepOutput:
+    """Start a container as one workflow step (paper Table V)."""
+    ctx = get_context()
+    return _add_step(
+        ctx, OpKind.CONTAINER, image, command, args, step_name, resources,
+        output, input, sim,
+    )
+
+
+def run_script(
+    image: str,
+    source: "Callable | str",
+    step_name: Optional[str] = None,
+    args: Optional[Sequence[ArgLike]] = None,
+    resources: Optional[ResourceQuantity] = None,
+    output=None,
+    input=None,  # noqa: A002
+    sim: Optional[SimHint] = None,
+) -> StepOutput:
+    """Run a Python function (or script text) inside a pod.
+
+    Script steps implicitly expose a small ``result`` parameter output
+    so conditions can branch on what the script printed (paper Code 3).
+    """
+    ctx = get_context()
+    if callable(source):
+        try:
+            text = textwrap.dedent(inspect.getsource(source))
+        except (OSError, TypeError):
+            text = f"# <source of {getattr(source, '__name__', 'callable')} unavailable>"
+    else:
+        text = str(source)
+    result = ArtifactDecl(name="result", storage=ArtifactStorage.PARAMETER, size_bytes=64)
+    out = _normalize_or_default(output, result)
+    return _add_step(
+        ctx, OpKind.SCRIPT, image, None, args, step_name, resources,
+        out, input, sim, source=text,
+    )
+
+
+def _normalize_or_default(output, default: ArtifactDecl):
+    if output is None:
+        return [default]
+    if isinstance(output, ArtifactDecl):
+        return [output, default]
+    return list(output) + [default]
+
+
+def run_job(
+    image: str,
+    command: "Sequence[str] | str",
+    kind: str = "TFJob",
+    num_ps: int = 0,
+    num_workers: int = 1,
+    step_name: Optional[str] = None,
+    resources: Optional[ResourceQuantity] = None,
+    output=None,
+    input=None,  # noqa: A002
+    sim: Optional[SimHint] = None,
+) -> StepOutput:
+    """Start a distributed training job (parameter servers + workers)."""
+    ctx = get_context()
+    if isinstance(command, str):
+        command = command.split()
+    if num_workers < 1:
+        raise ValueError("num_workers must be >= 1")
+    job_params = {"kind": kind, "num_ps": num_ps, "num_workers": num_workers}
+    per_worker = resources or ResourceQuantity(cpu=2.0)
+    total = ResourceQuantity(
+        cpu=per_worker.cpu * (num_ps + num_workers),
+        memory=per_worker.memory * (num_ps + num_workers),
+        gpu=per_worker.gpu * num_workers,
+    )
+    return _add_step(
+        ctx, OpKind.JOB, image, command, None, step_name, total,
+        output, input, sim, job_params=job_params,
+    )
+
+
+# ------------------------------------------------------------- control flow
+
+
+def when(condition: Condition, thunk: Callable[[], object]) -> object:
+    """Run ``thunk``'s steps only when ``condition`` holds (Code 3)."""
+    ctx = get_context()
+    ctx.condition_stack.append(condition.render())
+    ctx.condition_sources.append(condition.source_steps())
+    try:
+        return thunk()
+    finally:
+        ctx.condition_stack.pop()
+        ctx.condition_sources.pop()
+
+
+def map(fn: Callable[[object], object], items: Iterable[object]) -> List[object]:  # noqa: A001
+    """Start one instance of ``fn`` per item, all in parallel (Code 6)."""
+    ctx = get_context()
+    pre_tail = list(ctx.last_steps)
+    tails: List[str] = []
+    results: List[object] = []
+    for item in items:
+        ctx.last_steps = list(pre_tail)
+        results.append(fn(item))
+        tails.extend(s for s in ctx.last_steps if s not in pre_tail)
+    seen = set()
+    ctx.last_steps = [t for t in tails if not (t in seen or seen.add(t))]
+    return results
+
+
+def concurrent(thunks: Sequence[Callable[[], object]]) -> List[object]:
+    """Run several job-definitions in parallel (paper Code 7)."""
+    return map(lambda thunk: thunk(), list(thunks))
+
+
+def exec_while(
+    condition: Condition,
+    thunk: Callable[[], StepOutput],
+    max_iterations: int = 3,
+) -> StepOutput:
+    """Repeat ``thunk`` while its output matches ``condition`` (Code 5).
+
+    Real engines execute recursion natively; a static DAG cannot, so
+    the loop is unrolled to ``max_iterations`` conditional steps — each
+    iteration guarded on the previous iteration's result.  This is the
+    documented simulation-side bound on recursion depth.
+    """
+    if max_iterations < 1:
+        raise ValueError("max_iterations must be >= 1")
+    ctx = get_context()
+    prev = thunk()
+    if not isinstance(prev, StepOutput):
+        raise TypeError("exec_while thunk must return the StepOutput of a step")
+    for _ in range(max_iterations - 1):
+        bound = Condition(prev.ref(), condition.operator, condition.right)
+        ctx.condition_stack.append(bound.render())
+        ctx.condition_sources.append(bound.source_steps())
+        try:
+            prev = thunk()
+        finally:
+            ctx.condition_stack.pop()
+            ctx.condition_sources.pop()
+    return prev
+
+
+# ------------------------------------------------------------- explicit DAG
+
+
+def dag(dependency_lists: Sequence[Sequence[Callable[[], object]]]) -> None:
+    """Explicitly define the DAG (paper Code 1 / Code 4).
+
+    Each element is a list of thunks: ``[a]`` declares step *a*;
+    ``[a, b]`` declares the edge *a → b*.  Re-mentioning a step by name
+    reuses it instead of redefining.
+    """
+    ctx = get_context()
+    ctx.explicit_mode = True
+    ctx.reuse_existing = True
+    try:
+        for element in dependency_lists:
+            thunks = list(element)
+            if not thunks:
+                continue
+            touched: List[str] = []
+            for thunk in thunks:
+                thunk()
+                touched.append(getattr(ctx, "last_touched", None))
+            for parent, child in zip(touched, touched[1:]):
+                if parent and child and parent != child:
+                    ctx.ir.add_edge(parent, child)
+    finally:
+        ctx.reuse_existing = False
+
+
+def set_dependencies(
+    fn: Callable[[], object],
+    dependencies: Sequence[Sequence[str]],
+) -> None:
+    """Define steps via ``fn`` then wire edges by step name.
+
+    ``dependencies`` is a list of ``[upstream, downstream]`` name pairs
+    (single-element lists declare an isolated step and are ignored for
+    edges).
+    """
+    ctx = get_context()
+    ctx.explicit_mode = True
+    fn()
+    for pair in dependencies:
+        names = list(pair)
+        if len(names) == 2:
+            ctx.ir.add_edge(names[0], names[1])
+        elif len(names) > 2:
+            raise ValueError(f"dependency element must have <= 2 names: {names}")
+
+
+# --------------------------------------------------------------- finalizing
+
+
+def workflow_ir(optimize: bool = True) -> WorkflowIR:
+    """Snapshot the current definition as IR (optionally optimized)."""
+    ctx = get_context()
+    ir = ctx.ir
+    if optimize:
+        ir = PassManager.default().run(ir)
+    else:
+        ir.finalize_artifacts()
+        ir.validate()
+    return ir
+
+
+def run(submitter=None, optimize: bool = True):
+    """Optimize the current workflow and submit it (paper Code 1 line 22).
+
+    Returns whatever the submitter returns (for the simulated Argo
+    submitter: the workflow's :class:`~repro.engine.status.WorkflowRecord`).
+    The definition context is reset afterwards, so the next ``run_*``
+    call starts a fresh workflow.
+    """
+    from .submitter import LocalSubmitter
+
+    ir = workflow_ir(optimize=optimize)
+    submitter = submitter or LocalSubmitter()
+    try:
+        return submitter.submit(ir)
+    finally:
+        reset_context()

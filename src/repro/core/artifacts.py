@@ -1,0 +1,75 @@
+"""User-facing artifact constructors (paper Table VI).
+
+Couler registers artifacts against different physical storage classes
+(parameter, HDFS, S3, OSS, GCS, Git).  Each constructor returns an
+:class:`~repro.ir.nodes.ArtifactDecl` that steps can declare as output
+(``output=...``) or input, and that :func:`create_parameter_artifact`
+style code can interpolate into container args via ``.path``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir.nodes import ArtifactDecl, ArtifactStorage
+
+
+def _make(
+    name: str,
+    storage: ArtifactStorage,
+    path: Optional[str],
+    size_bytes: int,
+    is_global: bool,
+) -> ArtifactDecl:
+    return ArtifactDecl(
+        name=name,
+        storage=storage,
+        path=path,
+        size_bytes=size_bytes,
+        is_global=is_global,
+    )
+
+
+def create_parameter_artifact(
+    path: str,
+    name: str = "output",
+    is_global: bool = False,
+    size_bytes: int = 1024,
+) -> ArtifactDecl:
+    """A small parameter passed between steps (paper Code 2)."""
+    return _make(name, ArtifactStorage.PARAMETER, path, size_bytes, is_global)
+
+
+def create_hdfs_artifact(
+    path: str, name: str = "hdfs-artifact", size_bytes: int = 2**20, is_global: bool = False
+) -> ArtifactDecl:
+    """An artifact stored on HDFS."""
+    return _make(name, ArtifactStorage.HDFS, path, size_bytes, is_global)
+
+
+def create_s3_artifact(
+    path: str, name: str = "s3-artifact", size_bytes: int = 2**20, is_global: bool = False
+) -> ArtifactDecl:
+    """An artifact stored on Amazon S3."""
+    return _make(name, ArtifactStorage.S3, path, size_bytes, is_global)
+
+
+def create_oss_artifact(
+    path: str, name: str = "oss-artifact", size_bytes: int = 2**20, is_global: bool = False
+) -> ArtifactDecl:
+    """An artifact stored on Alibaba OSS."""
+    return _make(name, ArtifactStorage.OSS, path, size_bytes, is_global)
+
+
+def create_gcs_artifact(
+    path: str, name: str = "gcs-artifact", size_bytes: int = 2**20, is_global: bool = False
+) -> ArtifactDecl:
+    """An artifact stored on Google GCS."""
+    return _make(name, ArtifactStorage.GCS, path, size_bytes, is_global)
+
+
+def create_git_artifact(
+    repo: str, revision: str = "main", name: str = "git-artifact", size_bytes: int = 2**20
+) -> ArtifactDecl:
+    """A Git checkout artifact; ``path`` holds ``repo@revision``."""
+    return _make(name, ArtifactStorage.GIT, f"{repo}@{revision}", size_bytes, False)

@@ -1,0 +1,79 @@
+"""Condition expressions for workflow control flow (``couler.when``).
+
+A condition compares a step's output against a value (or another
+output) and renders to the Argo-style expression string the backends
+emit, e.g. ``"{{flip-coin.result}} == heads"`` (Code 3 in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Union
+
+
+@dataclass(frozen=True)
+class OutputRef:
+    """A reference to a step's result/output used inside conditions."""
+
+    step_name: str
+    output_name: str = "result"
+
+    def render(self) -> str:
+        return f"{{{{{self.step_name}.{self.output_name}}}}}"
+
+
+Operand = Union[OutputRef, str, int, float]
+
+
+def _render_operand(value: Operand) -> str:
+    if isinstance(value, OutputRef):
+        return value.render()
+    return str(value)
+
+
+def _source_steps(*operands: Operand) -> List[str]:
+    return [op.step_name for op in operands if isinstance(op, OutputRef)]
+
+
+@dataclass(frozen=True)
+class Condition:
+    """A binary comparison between two operands."""
+
+    left: Operand
+    operator: str
+    right: Operand
+
+    def render(self) -> str:
+        return f"{_render_operand(self.left)} {self.operator} {_render_operand(self.right)}"
+
+    def source_steps(self) -> List[str]:
+        """Steps whose outputs this condition reads (become dependencies)."""
+        return _source_steps(self.left, self.right)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def equal(left: Operand, right: Operand) -> Condition:
+    """``couler.equal(result, "heads")``."""
+    return Condition(left, "==", right)
+
+
+def not_equal(left: Operand, right: Operand) -> Condition:
+    return Condition(left, "!=", right)
+
+
+def bigger(left: Operand, right: Operand) -> Condition:
+    return Condition(left, ">", right)
+
+
+def smaller(left: Operand, right: Operand) -> Condition:
+    return Condition(left, "<", right)
+
+
+def bigger_equal(left: Operand, right: Operand) -> Condition:
+    return Condition(left, ">=", right)
+
+
+def smaller_equal(left: Operand, right: Operand) -> Condition:
+    return Condition(left, "<=", right)

@@ -1,0 +1,95 @@
+"""Workflow-building context for the unified programming interface.
+
+Couler's DSL is imperative: module-level calls like
+``couler.run_container(...)`` accumulate into an implicit "current
+workflow", exactly as in the paper's code listings.  This module holds
+that mutable builder state — the IR under construction, the implicit
+sequential chain, parallel-group and condition scopes — and the
+accessors the API functions use.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..ir.graph import WorkflowIR
+
+
+@dataclass
+class WorkflowContext:
+    """Mutable state while a workflow definition is being executed."""
+
+    ir: WorkflowIR = field(default_factory=lambda: WorkflowIR(name="couler-workflow"))
+    #: Tail of the implicit sequential chain: the steps a newly defined
+    #: step depends on when no explicit dependency is given.
+    last_steps: List[str] = field(default_factory=list)
+    #: True once dag()/set_dependencies() is used: implicit chaining off.
+    explicit_mode: bool = False
+    #: Inside dag(), run_* calls with an existing step_name return the
+    #: existing node instead of erroring (Code 1 re-mentions job "A").
+    reuse_existing: bool = False
+    #: Condition scopes opened by when(); innermost last.
+    condition_stack: List[str] = field(default_factory=list)
+    #: Steps the active condition's predicate references (dependencies).
+    condition_sources: List[List[str]] = field(default_factory=list)
+    #: Per-basename counters for automatic step-name uniquification.
+    name_counters: Dict[str, int] = field(default_factory=dict)
+    #: Name of the step most recently created or reused (dag() wiring).
+    last_touched: Optional[str] = None
+
+    def unique_name(self, base: str) -> str:
+        """Return ``base`` or ``base-<n>`` so node names stay unique."""
+        if base not in self.ir.nodes and base not in self.name_counters:
+            self.name_counters[base] = 1
+            return base
+        count = self.name_counters.get(base, 1) + 1
+        self.name_counters[base] = count
+        candidate = f"{base}-{count}"
+        while candidate in self.ir.nodes:
+            count += 1
+            self.name_counters[base] = count
+            candidate = f"{base}-{count}"
+        return candidate
+
+
+_LOCAL = threading.local()
+
+
+def get_context() -> WorkflowContext:
+    """The current thread's workflow context (created on first use)."""
+    ctx = getattr(_LOCAL, "ctx", None)
+    if ctx is None:
+        ctx = WorkflowContext()
+        _LOCAL.ctx = ctx
+    return ctx
+
+
+def reset_context(name: Optional[str] = None) -> WorkflowContext:
+    """Start a fresh workflow definition; returns the new context."""
+    ctx = WorkflowContext()
+    if name is not None:
+        ctx.ir.name = name
+    _LOCAL.ctx = ctx
+    return ctx
+
+
+class workflow:
+    """Context manager scoping one workflow definition.
+
+    >>> with workflow("my-flow"):
+    ...     couler.run_container(image="alpine", step_name="hello")
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._ctx: Optional[WorkflowContext] = None
+
+    def __enter__(self) -> WorkflowContext:
+        self._ctx = reset_context(self.name)
+        return self._ctx
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Leave the context in place: couler.run() consumes it.
+        return None

@@ -1,0 +1,12 @@
+"""The step zoo: reusable training/evaluation steps (paper Appendix A/E).
+
+Pre-packaged steps wrapping the unified interface, mirroring the
+``couler.steps.tensorflow`` idiom of Code 6 and the estimator style of
+Code 7 (XGBoost / LightGBM).  The GUI's "model zoo" (Appendix B.D) maps
+onto these same steps.
+"""
+
+from . import lightgbm, pytorch, tensorflow, xgboost
+from .dataset import Dataset
+
+__all__ = ["Dataset", "lightgbm", "pytorch", "tensorflow", "xgboost"]

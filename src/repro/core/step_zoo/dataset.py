@@ -1,0 +1,36 @@
+"""Training dataset descriptor used by step-zoo estimators (paper Code 7)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ...ir.nodes import ArtifactDecl, ArtifactStorage
+
+
+@dataclass
+class Dataset:
+    """A table-backed training dataset.
+
+    Mirrors the paper's ``Dataset(table_name=..., feature_cols=...,
+    label_col=...)`` constructor from the AutoML listing.
+    """
+
+    table_name: str
+    feature_cols: str = "*"
+    label_col: Optional[str] = None
+    #: Approximate on-storage size; drives simulated read times.
+    size_bytes: int = 256 * 2**20
+
+    def feature_list(self) -> List[str]:
+        return [c.strip() for c in self.feature_cols.split(",") if c.strip()]
+
+    def as_input_artifact(self) -> ArtifactDecl:
+        """Declare the table as an external input artifact."""
+        return ArtifactDecl(
+            name=f"table-{self.table_name}",
+            storage=ArtifactStorage.OSS,
+            path=f"odps://{self.table_name}",
+            size_bytes=self.size_bytes,
+            uid=f"external/table/{self.table_name}",
+        )

@@ -1,0 +1,54 @@
+"""LightGBM estimator step (paper Code 7)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ...ir.nodes import ArtifactDecl, ArtifactStorage, SimHint
+from ...k8s.resources import ResourceQuantity
+from .. import api
+from .dataset import Dataset
+
+
+@dataclass
+class LightGBMEstimator:
+    """Estimator-style wrapper: configure, then ``fit(dataset)``.
+
+    Mirrors the paper's ``LightGBMEstimator`` usage:
+    ``lgb.set_hyperparameters(num_leaves=63); lgb.fit(train_data)``.
+    """
+
+    image: str = "lightgbm-image"
+    model_path: str = "lightgbm_model"
+    hyperparameters: dict = field(default_factory=dict)
+    step_name: str = "lightgbm-train"
+    sim: Optional[SimHint] = None
+
+    def set_hyperparameters(self, **params) -> "LightGBMEstimator":
+        self.hyperparameters.update(params)
+        return self
+
+    def fit(self, datasource: Dataset) -> api.StepOutput:
+        model = ArtifactDecl(
+            name="model",
+            storage=ArtifactStorage.OSS,
+            path=self.model_path,
+            size_bytes=32 * 2**20,
+        )
+        args = [
+            f"--table={datasource.table_name}",
+            f"--features={datasource.feature_cols}",
+            f"--label={datasource.label_col}",
+        ]
+        args += [f"--{k}={v}" for k, v in sorted(self.hyperparameters.items())]
+        return api.run_container(
+            image=self.image,
+            command=["python", "train_lightgbm.py"],
+            args=args,
+            step_name=self.step_name,
+            resources=ResourceQuantity(cpu=4.0, memory=8 * 2**30),
+            input=datasource.as_input_artifact(),
+            output=model,
+            sim=self.sim or SimHint(duration_s=240.0),
+        )

@@ -1,0 +1,47 @@
+"""PyTorch distributed-training step.
+
+Not shown in the paper's listings but part of the production step zoo
+(ViT / nanoGPT scenarios in the evaluation train PyTorch models).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...ir.nodes import ArtifactDecl, ArtifactStorage, SimHint
+from ...k8s.resources import ResourceQuantity
+from .. import api
+
+
+def train(
+    command: str,
+    image: str,
+    num_workers: int = 1,
+    step_name: Optional[str] = None,
+    resources: Optional[ResourceQuantity] = None,
+    model_size_bytes: int = 512 * 2**20,
+    uses_gpu: bool = True,
+    sim: Optional[SimHint] = None,
+) -> api.StepOutput:
+    """Start a distributed PyTorch (DDP-style) training job."""
+    name = step_name or "pytorch-train"
+    model = ArtifactDecl(
+        name="model",
+        storage=ArtifactStorage.OSS,
+        path=f"/models/{name}",
+        size_bytes=model_size_bytes,
+    )
+    per_worker = resources or ResourceQuantity(
+        cpu=4.0, memory=16 * 2**30, gpu=1 if uses_gpu else 0
+    )
+    return api.run_job(
+        image=image,
+        command=command,
+        kind="PyTorchJob",
+        num_ps=0,
+        num_workers=num_workers,
+        step_name=name,
+        resources=per_worker,
+        output=model,
+        sim=sim or SimHint(duration_s=900.0, uses_gpu=uses_gpu),
+    )

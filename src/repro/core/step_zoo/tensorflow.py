@@ -1,0 +1,67 @@
+"""TensorFlow distributed-training steps (paper Code 6).
+
+``tf.train(num_ps=1, num_workers=1, command=..., image=...,
+input_batch_size=...)`` starts a parameter-server training job as one
+workflow step.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...ir.nodes import ArtifactDecl, ArtifactStorage, SimHint
+from ...k8s.resources import ResourceQuantity
+from .. import api
+
+
+def train(
+    command: str,
+    image: str,
+    num_ps: int = 1,
+    num_workers: int = 1,
+    input_batch_size: int = 128,
+    step_name: Optional[str] = None,
+    resources: Optional[ResourceQuantity] = None,
+    model_size_bytes: int = 256 * 2**20,
+    sim: Optional[SimHint] = None,
+) -> api.StepOutput:
+    """Start a distributed TensorFlow training job.
+
+    Returns a :class:`~repro.core.api.StepOutput` whose artifact is the
+    trained model checkpoint; downstream evaluation steps consume it.
+    """
+    name = step_name or f"tf-train-bs{input_batch_size}"
+    model = ArtifactDecl(
+        name="model",
+        storage=ArtifactStorage.OSS,
+        path=f"/models/{name}",
+        size_bytes=model_size_bytes,
+    )
+    return api.run_job(
+        image=image,
+        command=command,
+        kind="TFJob",
+        num_ps=num_ps,
+        num_workers=num_workers,
+        step_name=name,
+        resources=resources or ResourceQuantity(cpu=4.0, memory=8 * 2**30),
+        output=model,
+        sim=sim or SimHint(duration_s=600.0, uses_gpu=False),
+    )
+
+
+def evaluate(
+    model: api.StepOutput,
+    image: str = "model-evaluation:v1",
+    step_name: Optional[str] = None,
+    sim: Optional[SimHint] = None,
+) -> api.StepOutput:
+    """Evaluate a trained model produced by :func:`train`."""
+    return api.run_container(
+        image=image,
+        command=["python", "model_eval.py"],
+        args=[model],
+        step_name=step_name or f"eval-{model.step_name}",
+        input=model,
+        sim=sim or SimHint(duration_s=120.0),
+    )

@@ -1,0 +1,50 @@
+"""XGBoost training step (paper Code 7)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...ir.nodes import ArtifactDecl, ArtifactStorage, SimHint
+from ...k8s.resources import ResourceQuantity
+from .. import api
+from .dataset import Dataset
+
+
+def train(
+    datasource: Dataset,
+    model_params: Optional[dict] = None,
+    train_params: Optional[dict] = None,
+    image: str = "xgboost-image",
+    step_name: str = "xgboost-train",
+    sim: Optional[SimHint] = None,
+) -> api.StepOutput:
+    """Train an XGBoost model over a table-backed dataset.
+
+    Mirrors ``xgboost.train(datasource=..., model_params=...,
+    train_params=..., image=...)`` from the AutoML listing.
+    """
+    model_params = dict(model_params or {"objective": "binary:logistic"})
+    train_params = dict(train_params or {"num_boost_round": 10, "max_depth": 5})
+    model = ArtifactDecl(
+        name="model",
+        storage=ArtifactStorage.OSS,
+        path=f"/models/{step_name}",
+        size_bytes=64 * 2**20,
+    )
+    args = [
+        f"--table={datasource.table_name}",
+        f"--features={datasource.feature_cols}",
+        f"--label={datasource.label_col}",
+    ]
+    args += [f"--{k}={v}" for k, v in sorted(model_params.items())]
+    args += [f"--{k}={v}" for k, v in sorted(train_params.items())]
+    return api.run_container(
+        image=image,
+        command=["python", "train_xgboost.py"],
+        args=args,
+        step_name=step_name,
+        resources=ResourceQuantity(cpu=4.0, memory=8 * 2**30),
+        input=datasource.as_input_artifact(),
+        output=model,
+        sim=sim or SimHint(duration_s=300.0),
+    )

@@ -1,0 +1,64 @@
+"""Discrete-event workflow engine: the simulated Argo-style operator.
+
+Executes :class:`~repro.engine.spec.ExecutableWorkflow` DAGs on a
+simulated cluster with resource contention, input-fetch modelling via
+the caching layer, failure injection, retries, and restart-from-failure.
+"""
+
+from .cachehooks import BandwidthModel, CacheManagerProtocol, NullCacheManager
+from .dispatcher import DispatchResult, MultiClusterDispatcher
+from .metrics import UtilizationRecorder, UtilizationSample
+from .operator import WorkflowOperator
+from .queue import MultiClusterQueue, QueuedWorkflow, QuotaError, UserQuota
+from .retry import (
+    FATAL_PATTERNS,
+    FailureInjector,
+    RETRYABLE_PATTERNS,
+    RetryPolicy,
+    is_retryable,
+)
+from .simclock import EventHandle, SimClock, SimulationError
+from .spec import (
+    ArtifactSpec,
+    ExecutableStep,
+    ExecutableWorkflow,
+    FailureProfile,
+    SpecError,
+    parse_argo_manifest,
+    step_profile_annotation,
+)
+from .status import StepRecord, StepStatus, WorkflowPhase, WorkflowRecord
+
+__all__ = [
+    "ArtifactSpec",
+    "BandwidthModel",
+    "CacheManagerProtocol",
+    "DispatchResult",
+    "EventHandle",
+    "MultiClusterDispatcher",
+    "ExecutableStep",
+    "ExecutableWorkflow",
+    "FATAL_PATTERNS",
+    "FailureInjector",
+    "FailureProfile",
+    "MultiClusterQueue",
+    "NullCacheManager",
+    "QueuedWorkflow",
+    "QuotaError",
+    "RETRYABLE_PATTERNS",
+    "RetryPolicy",
+    "SimClock",
+    "SimulationError",
+    "SpecError",
+    "StepRecord",
+    "StepStatus",
+    "UserQuota",
+    "UtilizationRecorder",
+    "UtilizationSample",
+    "WorkflowOperator",
+    "WorkflowPhase",
+    "WorkflowRecord",
+    "is_retryable",
+    "parse_argo_manifest",
+    "step_profile_annotation",
+]

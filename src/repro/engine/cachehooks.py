@@ -1,0 +1,76 @@
+"""Interface between the workflow engine and the caching layer.
+
+The engine is deliberately ignorant of caching policy: on every input
+artifact it asks a :class:`CacheManagerProtocol` how long the fetch takes
+(and whether it was a hit), and on every produced artifact it offers the
+artifact to the manager.  ``repro.caching.manager`` provides the real
+implementation wired to Algorithm 2; :class:`NullCacheManager` here is
+the "No caching" baseline where every read goes to remote storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Tuple
+
+from .spec import ArtifactSpec, ExecutableWorkflow
+
+
+@dataclass(frozen=True)
+class BandwidthModel:
+    """Read bandwidths for the simulated storage tiers (bytes/second).
+
+    ``remote_bw`` models reads from the storage cluster (ODPS/OSS/NAS in
+    the paper); ``local_bw`` models reads from the in-memory cache
+    (Alluxio).  Appendix D.C reports local caching speeds reads up by
+    2–4×+, which these defaults reproduce.
+    """
+
+    remote_bw: float = 100e6
+    local_bw: float = 1e9
+    #: Fixed per-read latency (connection setup, metadata lookups).
+    remote_latency_s: float = 2.0
+    local_latency_s: float = 0.05
+
+    def remote_seconds(self, size_bytes: int, distance: float = 1.0) -> float:
+        return self.remote_latency_s * distance + size_bytes / (self.remote_bw / distance)
+
+    def local_seconds(self, size_bytes: int) -> float:
+        return self.local_latency_s + size_bytes / self.local_bw
+
+
+class CacheManagerProtocol(Protocol):
+    """What the operator needs from a caching layer."""
+
+    def register_workflow(self, workflow: ExecutableWorkflow) -> None:
+        """Give the manager the DAG so it can score artifacts (Eqs. 3–4)."""
+        ...
+
+    def fetch(self, artifact: ArtifactSpec, now: float = 0.0) -> Tuple[float, bool]:
+        """Return ``(seconds, hit)`` for reading one input artifact.
+
+        ``now`` is the virtual time of the read; recency-based policies
+        (LRU) use it to maintain access order.
+        """
+        ...
+
+    def on_artifact_produced(self, artifact: ArtifactSpec, now: float) -> None:
+        """Offer a freshly produced artifact for caching."""
+        ...
+
+
+class NullCacheManager:
+    """The "No" strategy: nothing is ever cached."""
+
+    def __init__(self, bandwidth: BandwidthModel | None = None, distance: float = 1.0):
+        self.bandwidth = bandwidth or BandwidthModel()
+        self.distance = distance
+
+    def register_workflow(self, workflow: ExecutableWorkflow) -> None:
+        return None
+
+    def fetch(self, artifact: ArtifactSpec, now: float = 0.0) -> Tuple[float, bool]:
+        return self.bandwidth.remote_seconds(artifact.size_bytes, self.distance), False
+
+    def on_artifact_produced(self, artifact: ArtifactSpec, now: float) -> None:
+        return None

@@ -1,0 +1,410 @@
+"""The simulated workflow operator (Argo-style controller).
+
+Reconciles submitted workflows into pod executions on the simulated
+cluster, honouring the DAG: a step starts only after every dependency
+reached a done status.  The operator consults the caching layer for
+input-fetch times, samples failures per attempt, applies the retry
+policy with exponential backoff, and supports the paper's
+restart-from-failure path (skipping Succeeded / Skipped / Cached steps).
+
+Multiple workflows may run concurrently; they compete for the same
+cluster resources, which is how the utilization figures are produced.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..k8s.apiserver import APIServer
+from ..k8s.cluster import Cluster, Scheduler
+from ..k8s.objects import Pod, PodPhase
+from .cachehooks import CacheManagerProtocol, NullCacheManager
+from .retry import FailureInjector, RetryPolicy
+from .simclock import SimClock
+from .spec import ExecutableStep, ExecutableWorkflow, parse_argo_manifest
+from .status import StepStatus, WorkflowPhase, WorkflowRecord
+
+CompletionCallback = Callable[[WorkflowRecord], None]
+
+#: ``{{step.output}} OP value`` — the condition grammar backends emit.
+_CONDITION_RE = re.compile(
+    r"\{\{([^.}]+)\.([^}]+)\}\}\s*(==|!=|>=|<=|>|<)\s*(.+?)\s*$"
+)
+
+
+def _compare(left: str, operator: str, right: str) -> bool:
+    """Compare result strings; numeric when both sides parse as numbers."""
+    try:
+        left_value: object = float(left)
+        right_value: object = float(right)
+    except ValueError:
+        left_value, right_value = left, right
+    if operator == "==":
+        return left_value == right_value
+    if operator == "!=":
+        return left_value != right_value
+    if not isinstance(left_value, float) or not isinstance(right_value, float):
+        return False
+    return {
+        ">": left_value > right_value,
+        "<": left_value < right_value,
+        ">=": left_value >= right_value,
+        "<=": left_value <= right_value,
+    }[operator]
+
+
+@dataclass
+class _RunState:
+    """Mutable per-workflow bookkeeping inside the operator."""
+
+    workflow: ExecutableWorkflow
+    record: WorkflowRecord
+    remaining_deps: Dict[str, int] = field(default_factory=dict)
+    children: Dict[str, List[str]] = field(default_factory=dict)
+    on_complete: List[CompletionCallback] = field(default_factory=list)
+    failed: bool = False
+    in_flight: int = 0
+    #: Recorded ``result`` values of completed steps (None = no declared
+    #: result).  Conditions evaluate against these.
+    results: Dict[str, Optional[str]] = field(default_factory=dict)
+
+    def all_terminal(self) -> bool:
+        return all(
+            self.record.step(name).status.is_terminal()
+            for name in self.workflow.steps
+        )
+
+
+class WorkflowOperator:
+    """Drives workflows to completion on a simulated cluster."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        cluster: Cluster,
+        cache_manager: Optional[CacheManagerProtocol] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        failure_injector: Optional[FailureInjector] = None,
+        api_server: Optional[APIServer] = None,
+        seed: int = 0,
+        skip_cached_steps: bool = False,
+        track_pods: bool = False,
+    ) -> None:
+        self.clock = clock
+        self.cluster = cluster
+        self.scheduler = Scheduler(cluster)
+        self.cache_manager = cache_manager or NullCacheManager()
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.failure_injector = failure_injector or FailureInjector(seed=seed)
+        self.api_server = api_server
+        #: The paper's "reuse of intermediate results" optimization: a
+        #: step whose outputs are all already cached is marked Cached
+        #: and never scheduled (the engine "skip[s] steps to read cached
+        #: data", Appendix B.C).
+        self.skip_cached_steps = skip_cached_steps
+        #: Mirror pod objects into the API server (observability: a real
+        #: operator's pods are watchable cluster objects).  Off by
+        #: default — large simulations don't need the write volume.
+        self.track_pods = track_pods and api_server is not None
+        self._states: Dict[str, _RunState] = {}
+        self._resource_waitq: List[Tuple[str, str]] = []
+        self._rng = random.Random(seed ^ 0x5EED)
+        self.completed: List[WorkflowRecord] = []
+
+    # ------------------------------------------------------------- submission
+
+    def submit_manifest(
+        self,
+        manifest: dict,
+        on_complete: Optional[CompletionCallback] = None,
+    ) -> WorkflowRecord:
+        """Submit an Argo-style Workflow manifest.
+
+        When an API server is attached, the CRD is created first so the
+        2 MB size limit is enforced exactly where production hits it.
+        """
+        if self.api_server is not None:
+            from ..k8s.objects import APIObject
+
+            self.api_server.create(APIObject.from_dict(manifest))
+        workflow = parse_argo_manifest(manifest)
+        return self.submit(workflow, on_complete=on_complete)
+
+    def submit(
+        self,
+        workflow: ExecutableWorkflow,
+        record: Optional[WorkflowRecord] = None,
+        on_complete: Optional[CompletionCallback] = None,
+    ) -> WorkflowRecord:
+        """Submit an executable workflow; returns its (live) record.
+
+        Passing an existing ``record`` resubmits after failure: steps
+        whose status counts as done (Succeeded / Skipped / Cached) are
+        not re-executed, matching the paper's manual-retry flow.
+        """
+        workflow.validate()
+        if workflow.name in self._states:
+            raise ValueError(f"workflow {workflow.name} is already running")
+        record = record or WorkflowRecord(name=workflow.name)
+        record.phase = WorkflowPhase.RUNNING
+        record.submit_time = self.clock.now
+        record.finish_time = None
+        state = _RunState(workflow=workflow, record=record)
+        if on_complete is not None:
+            state.on_complete.append(on_complete)
+        self.cache_manager.register_workflow(workflow)
+
+        state.children = {name: [] for name in workflow.steps}
+        for step in workflow.steps.values():
+            state.remaining_deps[step.name] = 0
+        for step in workflow.steps.values():
+            for dep in step.dependencies:
+                if not record.step(dep).status.counts_as_done():
+                    state.remaining_deps[step.name] += 1
+                    state.children[dep].append(step.name)
+
+        self._states[workflow.name] = state
+
+        launched_any = False
+        for step in workflow.steps.values():
+            step_record = record.step(step.name)
+            if step_record.status.counts_as_done():
+                continue
+            step_record.status = StepStatus.PENDING
+            step_record.last_error = None
+            if state.remaining_deps[step.name] == 0:
+                self._enqueue_step(state, step)
+                launched_any = True
+        if not launched_any and state.all_terminal():
+            # Nothing to do (empty workflow or everything already done).
+            self.clock.schedule(0.0, lambda: self._finish_workflow(state))
+        return record
+
+    # ------------------------------------------------------------- execution
+
+    def _outputs_all_cached(self, step: ExecutableStep) -> bool:
+        if not self.skip_cached_steps or not step.outputs:
+            return False
+        contains = getattr(self.cache_manager, "contains", None)
+        if contains is None:
+            return False
+        return all(contains(artifact.uid) for artifact in step.outputs)
+
+    def _condition_met(self, state: _RunState, expr: str) -> bool:
+        """Evaluate a ``when`` expression against recorded results.
+
+        A reference to a Skipped step (or one that never ran) is false —
+        which makes skip cascade through unrolled exec_while chains.  A
+        reference to a completed step with no declared result evaluates
+        true (the all-branches upper bound for unsimulated results).
+        """
+        for clause in expr.split("&&"):
+            match = _CONDITION_RE.match(clause.strip())
+            if match is None:
+                continue  # unparseable clause: don't block the step
+            step_name, _output, operator, value = match.groups()
+            if step_name not in state.results:
+                return False
+            result = state.results[step_name]
+            if result is None:
+                continue
+            if not _compare(result, operator, value):
+                return False
+        return True
+
+    def _enqueue_step(self, state: _RunState, step: ExecutableStep) -> None:
+        if state.failed:
+            # The workflow already failed (a sibling step hit a fatal
+            # error): a pending retry is aborted, not dropped, so the
+            # step reaches a terminal status and the workflow settles.
+            record = state.record.step(step.name)
+            if not record.status.is_terminal():
+                record.status = StepStatus.FAILED
+                record.finish_time = self.clock.now
+            self.clock.schedule(0.0, lambda: self._maybe_finish(state))
+            return
+        if step.when_expr and not self._condition_met(state, step.when_expr):
+            record = state.record.step(step.name)
+            record.status = StepStatus.SKIPPED
+            record.start_time = self.clock.now
+            record.finish_time = self.clock.now
+            self.clock.schedule(0.0, lambda: self._after_skip(state, step))
+            return
+        if self._outputs_all_cached(step):
+            record = state.record.step(step.name)
+            record.status = StepStatus.CACHED
+            record.start_time = self.clock.now
+            record.finish_time = self.clock.now
+            self.clock.schedule(0.0, lambda: self._after_skip(state, step))
+            return
+        self._resource_waitq.append((state.workflow.name, step.name))
+        self.clock.schedule(0.0, self._drain_waitq)
+
+    def _after_skip(self, state: _RunState, step: ExecutableStep) -> None:
+        self._advance_children(state, step)
+        self._maybe_finish(state)
+
+    def _drain_waitq(self) -> None:
+        """Try to start every waiting step that now fits on the cluster."""
+        still_waiting: List[Tuple[str, str]] = []
+        for wf_name, step_name in self._resource_waitq:
+            state = self._states.get(wf_name)
+            if state is None:
+                continue
+            if state.failed:
+                # Abort queued work of a failed workflow explicitly.
+                record = state.record.step(step_name)
+                if not record.status.is_terminal():
+                    record.status = StepStatus.FAILED
+                    record.finish_time = self.clock.now
+                self._maybe_finish(state)
+                continue
+            step = state.workflow.steps[step_name]
+            pod = Pod(
+                name=f"{wf_name}--{step_name}--{state.record.step(step_name).attempts}",
+                requests=step.requests,
+                labels={"workflow": wf_name, "step": step_name},
+            )
+            node = self.scheduler.try_schedule(pod)
+            if node is None:
+                still_waiting.append((wf_name, step_name))
+            else:
+                self._run_attempt(state, step, pod)
+        self._resource_waitq = still_waiting
+
+    def _run_attempt(self, state: _RunState, step: ExecutableStep, pod: Pod) -> None:
+        record = state.record.step(step.name)
+        record.attempts += 1
+        record.status = StepStatus.RUNNING
+        if record.start_time is None:
+            record.start_time = self.clock.now
+        state.in_flight += 1
+        pod.phase = PodPhase.RUNNING
+        if self.track_pods:
+            self.api_server.create(pod)
+
+        fetch_seconds = 0.0
+        for artifact in step.inputs:
+            seconds, hit = self.cache_manager.fetch(artifact, now=self.clock.now)
+            fetch_seconds += seconds
+            if hit:
+                record.cache_hits += 1
+            else:
+                record.cache_misses += 1
+
+        pattern = self.failure_injector.sample(
+            step.name, step.failure.rate, step.failure.pattern
+        )
+        if pattern is None:
+            elapsed = fetch_seconds + step.duration_s
+            record.fetch_seconds += fetch_seconds
+            record.compute_seconds += step.duration_s
+            self.clock.schedule(
+                elapsed, lambda: self._on_attempt_success(state, step, pod)
+            )
+        else:
+            # The attempt dies partway through; charge a random fraction.
+            fraction = 0.25 + 0.5 * self._rng.random()
+            elapsed = (fetch_seconds + step.duration_s) * fraction
+            record.fetch_seconds += fetch_seconds * fraction
+            record.compute_seconds += step.duration_s * fraction
+            self.clock.schedule(
+                elapsed,
+                lambda: self._on_attempt_failure(state, step, pod, pattern),
+            )
+
+    def _on_attempt_success(
+        self, state: _RunState, step: ExecutableStep, pod: Pod
+    ) -> None:
+        pod.phase = PodPhase.SUCCEEDED
+        if self.track_pods:
+            self.api_server.update_status(pod)
+        self.scheduler.release(pod)
+        state.in_flight -= 1
+        record = state.record.step(step.name)
+        record.status = StepStatus.SUCCEEDED
+        record.finish_time = self.clock.now
+        state.results[step.name] = (
+            self._rng.choice(list(step.result_options))
+            if step.result_options
+            else None
+        )
+        for artifact in step.outputs:
+            self.cache_manager.on_artifact_produced(artifact, self.clock.now)
+        on_step_finished = getattr(self.cache_manager, "on_step_finished", None)
+        if on_step_finished is not None:
+            on_step_finished(f"{state.workflow.name}/{step.name}")
+        self._advance_children(state, step)
+        self._maybe_finish(state)
+        self._drain_waitq()
+
+    def _on_attempt_failure(
+        self, state: _RunState, step: ExecutableStep, pod: Pod, pattern: str
+    ) -> None:
+        pod.phase = PodPhase.FAILED
+        if self.track_pods:
+            self.api_server.update_status(pod)
+        self.scheduler.release(pod)
+        state.in_flight -= 1
+        record = state.record.step(step.name)
+        record.last_error = pattern
+        if self.retry_policy.should_retry(
+            pattern, record.attempts, limit_override=step.retry_limit
+        ):
+            delay = self.retry_policy.backoff(record.attempts)
+            self.clock.schedule(delay, lambda: self._enqueue_step(state, step))
+        else:
+            record.status = StepStatus.FAILED
+            record.finish_time = self.clock.now
+            state.failed = True
+            self._maybe_finish(state)
+        self._drain_waitq()
+
+    def _advance_children(self, state: _RunState, step: ExecutableStep) -> None:
+        for child_name in state.children.get(step.name, []):
+            state.remaining_deps[child_name] -= 1
+            if state.remaining_deps[child_name] == 0 and not state.failed:
+                self._enqueue_step(state, state.workflow.steps[child_name])
+
+    def _maybe_finish(self, state: _RunState) -> None:
+        if state.in_flight > 0:
+            return
+        if state.failed:
+            # Mark never-started steps as terminal-pending (they stay
+            # Pending in the record but the workflow is over).
+            self._finish_workflow(state)
+            return
+        if state.all_terminal():
+            self._finish_workflow(state)
+
+    def _finish_workflow(self, state: _RunState) -> None:
+        record = state.record
+        if record.phase.is_terminal():
+            return
+        record.phase = (
+            WorkflowPhase.FAILED if state.failed else WorkflowPhase.SUCCEEDED
+        )
+        if state.failed:
+            # Terminate any step left mid-retry: the controller tears the
+            # workflow down, so nothing stays "Running" in the record.
+            for step_record in record.steps.values():
+                if step_record.status == StepStatus.RUNNING:
+                    step_record.status = StepStatus.FAILED
+                    step_record.finish_time = self.clock.now
+        record.finish_time = self.clock.now
+        self._states.pop(state.workflow.name, None)
+        self.completed.append(record)
+        for callback in state.on_complete:
+            callback(record)
+
+    # ------------------------------------------------------------ inspection
+
+    def active_workflows(self) -> List[str]:
+        return sorted(self._states)
+
+    def run_to_completion(self, until: Optional[float] = None) -> None:
+        """Advance the clock until all submitted workflows settle."""
+        self.clock.run(until=until)

@@ -1,0 +1,121 @@
+"""Failure patterns and retry policy (paper Appendix B.B).
+
+Ant Group's production deployment catalogued "more than 20 abnormal
+patterns" whose failures the workflow controller retries in place
+(restarting the failed step, not the whole workflow).  This module
+carries that catalogue, a backoff-limited :class:`RetryPolicy`, and a
+seeded :class:`FailureInjector` that the operator consults on each step
+attempt.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+#: Retryable system-level error patterns.  The first two are named in the
+#: paper; the remainder model the catalogue of transient cloud errors the
+#: production controller absorbs.
+RETRYABLE_PATTERNS = frozenset(
+    {
+        "ExceededQuotaErr",
+        "TooManyRequestsErr",
+        "PodEvictedErr",
+        "ImagePullBackOffErr",
+        "NodeNotReadyErr",
+        "NetworkTimeoutErr",
+        "VolumeMountErr",
+        "OOMKilledTransientErr",
+        "DNSResolutionErr",
+        "RegistryThrottleErr",
+        "APIServerTimeoutErr",
+        "EtcdLeaderChangeErr",
+        "SidecarInjectionErr",
+        "ConfigMapSyncErr",
+        "SecretSyncErr",
+        "PVCPendingErr",
+        "IPAllocationErr",
+        "KubeletRestartErr",
+        "ContainerCreateErr",
+        "WebhookTimeoutErr",
+        "QuotaSyncLagErr",
+        "SchedulerPreemptedErr",
+    }
+)
+
+#: Non-retryable (application-level) patterns: retrying cannot help.
+FATAL_PATTERNS = frozenset(
+    {
+        "PodCrashErr",
+        "InvalidImageErr",
+        "PermissionDeniedErr",
+        "DataCorruptionErr",
+    }
+)
+
+
+def is_retryable(pattern: str) -> bool:
+    return pattern in RETRYABLE_PATTERNS
+
+
+@dataclass
+class RetryPolicy:
+    """Backoff-limited retry decisions for failed step attempts.
+
+    ``backoff_base`` and ``backoff_factor`` produce the delay before the
+    next attempt: ``base * factor ** (attempt - 1)``, capped by
+    ``backoff_cap``.
+    """
+
+    limit: int = 3
+    backoff_base: float = 10.0
+    backoff_factor: float = 2.0
+    backoff_cap: float = 300.0
+
+    def should_retry(
+        self, pattern: str, attempts: int, limit_override: Optional[int] = None
+    ) -> bool:
+        """Decide whether a failed attempt should be retried in place.
+
+        ``limit_override`` is a per-step retry budget (Argo's
+        ``retryStrategy.limit``); None uses the policy's global limit.
+        """
+        effective_limit = self.limit if limit_override is None else limit_override
+        return is_retryable(pattern) and attempts <= effective_limit
+
+    def backoff(self, attempts: int) -> float:
+        delay = self.backoff_base * (self.backoff_factor ** max(0, attempts - 1))
+        return min(delay, self.backoff_cap)
+
+
+@dataclass
+class FailureInjector:
+    """Seeded per-attempt failure sampling.
+
+    Each step attempt fails with the step's configured ``failure.rate``;
+    on failure a pattern is drawn: with probability
+    ``retryable_fraction`` a retryable system pattern, otherwise the
+    step's own (usually fatal) pattern.
+    """
+
+    seed: int = 0
+    retryable_fraction: float = 0.8
+    _rng: random.Random = field(init=False, repr=False)
+    injected: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def sample(self, step_name: str, rate: float, own_pattern: str) -> Optional[str]:
+        """Return a failure pattern for this attempt, or None for success."""
+        if rate <= 0.0:
+            return None
+        if self._rng.random() >= rate:
+            return None
+        if self._rng.random() < self.retryable_fraction:
+            pattern = self._rng.choice(sorted(RETRYABLE_PATTERNS))
+        else:
+            pattern = own_pattern
+        self.injected[pattern] = self.injected.get(pattern, 0) + 1
+        return pattern

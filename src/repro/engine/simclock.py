@@ -1,0 +1,105 @@
+"""Discrete-event simulation clock.
+
+All engine-side time (pod start/finish, data fetches, utilization
+sampling) advances through one :class:`SimClock`.  Events are callbacks
+ordered by ``(time, sequence)`` so simultaneous events fire in
+scheduling order, which keeps every simulation run deterministic for a
+fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised on clock misuse (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`SimClock.schedule`; allows cancellation."""
+
+    def __init__(self, event: _Event) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+
+class SimClock:
+    """A heap-ordered event loop with virtual time in seconds."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List[_Event] = []
+        self._seq = itertools.count()
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        event = _Event(time=self._now + delay, seq=next(self._seq), callback=callback)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at absolute virtual time ``when``."""
+        return self.schedule(when - self._now, callback)
+
+    def step(self) -> bool:
+        """Fire the next pending event; returns False when none remain."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
+        """Run events until the heap drains or virtual time passes ``until``.
+
+        ``max_events`` is a runaway-loop backstop; exceeding it raises
+        :class:`SimulationError` rather than hanging the caller.
+        """
+        fired = 0
+        while self._heap:
+            if until is not None and self._peek_time() > until:
+                self._now = until
+                break
+            if not self.step():
+                break
+            fired += 1
+            if fired > max_events:
+                raise SimulationError(f"exceeded {max_events} events; likely a loop")
+        if until is not None and self._now < until and not self._heap:
+            self._now = until
+        return self._now
+
+    def _peek_time(self) -> float:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else float("inf")
+
+    def pending(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)

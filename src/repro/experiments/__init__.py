@@ -1,0 +1,41 @@
+"""Experiment drivers: one module per paper table/figure + ablations.
+
+Each module exposes ``run(...) -> results`` and ``report(results) ->
+str`` (the rows/series the paper shows); ``main()`` prints the report.
+The benchmark suite under ``benchmarks/`` wraps these drivers.
+"""
+
+from . import (
+    ablation_cache_score,
+    ablation_reuse,
+    ablation_split_budget,
+    fig5_activity,
+    fig6_migration,
+    fig7_caching,
+    fig8_autotune,
+    fig11_13_policies,
+    fig14_16_cache_sizes,
+    fig17_datacache,
+    table2_passk,
+    table3_cost,
+    table4_learning,
+)
+from .caching_runner import ScenarioRunResult, run_scenario
+
+__all__ = [
+    "ScenarioRunResult",
+    "ablation_cache_score",
+    "ablation_reuse",
+    "ablation_split_budget",
+    "fig5_activity",
+    "fig6_migration",
+    "fig7_caching",
+    "fig8_autotune",
+    "fig11_13_policies",
+    "fig14_16_cache_sizes",
+    "fig17_datacache",
+    "run_scenario",
+    "table2_passk",
+    "table3_cost",
+    "table4_learning",
+]

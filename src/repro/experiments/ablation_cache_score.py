@@ -1,0 +1,74 @@
+"""Ablation — components and weights of the caching importance factor.
+
+DESIGN.md Section 5: drop each Eq. 6 term (reconstruction cost L, reuse
+value F, cache cost V) individually, and sweep alpha/beta around the
+production choice (alpha=1.5, beta=1), measuring execution time and hit
+ratio on the multimodal scenario.  Expected: the reuse term carries
+most of the benefit; the full score is at least as good as any ablated
+variant; results are not hypersensitive to alpha/beta near the default.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..caching.score import ScoreWeights
+from .caching_runner import ScenarioRunResult, run_scenario
+from .reporting import format_table
+
+DEFAULT_CONFIGS = {
+    "full (a=1.5, b=1)": ScoreWeights(alpha=1.5, beta=1.0),
+    "no reconstruction (L off)": ScoreWeights(alpha=1.5, beta=1.0, use_reconstruction=False),
+    "no reuse (F off)": ScoreWeights(alpha=1.5, beta=1.0, use_reuse=False),
+    "no cache cost (V off)": ScoreWeights(alpha=1.5, beta=1.0, use_cache_cost=False),
+    "alpha=0.5": ScoreWeights(alpha=0.5, beta=1.0),
+    "alpha=3.0": ScoreWeights(alpha=3.0, beta=1.0),
+    "beta=0.5": ScoreWeights(alpha=1.5, beta=0.5),
+    "beta=2.0": ScoreWeights(alpha=1.5, beta=2.0),
+}
+
+
+def run(
+    scenario: str = "multimodal",
+    cache_gb: float = 20.0,
+    iterations: int = 3,
+    seed: int = 0,
+    configs: Dict[str, ScoreWeights] = None,
+) -> Dict[str, ScenarioRunResult]:
+    configs = configs or DEFAULT_CONFIGS
+    return {
+        label: run_scenario(
+            scenario,
+            "couler",
+            cache_gb=cache_gb,
+            iterations=iterations,
+            seed=seed,
+            weights=weights,
+        )
+        for label, weights in configs.items()
+    }
+
+
+def report(results: Dict[str, ScenarioRunResult]) -> str:
+    rows = [
+        (
+            label,
+            f"{r.total_time_s:.0f}",
+            f"{r.hit_ratio:.2%}",
+            f"{r.peak_cache_gb:.1f}",
+        )
+        for label, r in results.items()
+    ]
+    return format_table(
+        ["configuration", "exec time (s)", "hit ratio", "peak cache (GB)"],
+        rows,
+        title="Ablation: caching importance factor components (Eq. 6)",
+    )
+
+
+def main() -> None:
+    print(report(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Figs. 11–13 (Appendix D.A) — Couler vs FIFO vs LRU per scenario.
+
+Same setup as Fig. 7 but comparing the three bounded eviction policies.
+The paper's finding: Couler's importance-factor policy adapts better to
+the production workload than pure recency policies, because it weighs
+reconstruction cost and *future* reuse rather than access order.  The
+gap widens as the cache shrinks (see Figs. 14–16).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .caching_runner import ScenarioRunResult, run_scenario
+from .fig7_caching import SCENARIO_NAMES
+from .reporting import format_table
+
+POLICY_SET = ("couler", "fifo", "lru")
+
+
+def run(
+    scenarios: Sequence[str] = SCENARIO_NAMES,
+    cache_gb: float = 15.0,
+    iterations: int = 3,
+    seed: int = 0,
+) -> Dict[str, List[ScenarioRunResult]]:
+    grid: Dict[str, List[ScenarioRunResult]] = {}
+    for scenario in scenarios:
+        grid[scenario] = [
+            run_scenario(
+                scenario, policy, cache_gb=cache_gb, iterations=iterations, seed=seed
+            )
+            for policy in POLICY_SET
+        ]
+    return grid
+
+
+def report(grid: Dict[str, List[ScenarioRunResult]]) -> str:
+    sections = []
+    for scenario, results in grid.items():
+        rows = [
+            (
+                r.policy,
+                f"{r.total_time_s:.0f}",
+                f"{r.effective_cpu_util:.3f}",
+                f"{r.hit_ratio:.2%}",
+                f"{r.peak_cache_gb:.1f}",
+            )
+            for r in results
+        ]
+        sections.append(
+            format_table(
+                ["policy", "exec time (s)", "CPU util", "hit ratio", "peak cache (GB)"],
+                rows,
+                title=f"Figs 11-13 [{scenario}]: couler vs fifo vs lru "
+                f"(cache {results[0].cache_gb:.0f}G)",
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def main() -> None:
+    print(report(run()))
+
+
+if __name__ == "__main__":
+    main()

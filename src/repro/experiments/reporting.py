@@ -1,0 +1,44 @@
+"""Shared plain-text reporting helpers for the experiment drivers.
+
+Every experiment prints the same rows/series the paper's table or
+figure shows; these helpers keep that output aligned and diff-friendly
+(EXPERIMENTS.md embeds them verbatim).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width text table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def format_series(name: str, points: Sequence[tuple], max_points: int = 12) -> str:
+    """Render a (time, value) series, downsampled for readability."""
+    if len(points) > max_points:
+        step = max(1, len(points) // max_points)
+        points = list(points)[::step]
+    body = ", ".join(f"({t:.0f}s, {v:.2f})" for t, v in points)
+    return f"{name}: {body}"

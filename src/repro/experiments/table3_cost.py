@@ -1,0 +1,65 @@
+"""Table III — cost analysis of workflow generation.
+
+Average LLM tokens and dollar cost per workflow for the full
+Algorithm 1 pipeline, under GPT-3.5-turbo and GPT-4 pricing.  The token
+counts come from the real prompts/completions the pipeline exchanges
+with the (simulated) model — only the quality sampling is synthetic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..llm.simulated import GPT35_PROFILE, GPT4_PROFILE, SimulatedLLM
+from ..nl2wf.corpus import build_corpus
+from ..nl2wf.pipeline import NLToWorkflow
+from .reporting import format_table
+
+PAPER_ROWS = {
+    "gpt-3.5-turbo": {"tokens": 3212.1, "usd": 0.005},
+    "gpt-4": {"tokens": 3813.7, "usd": 0.140},
+}
+
+
+def run(num_tasks: int = 26, seed: int = 100) -> Dict[str, Dict[str, float]]:
+    tasks = build_corpus()[:num_tasks]
+    results: Dict[str, Dict[str, float]] = {}
+    for profile in (GPT35_PROFILE, GPT4_PROFILE):
+        total_tokens = 0
+        total_cost = 0.0
+        for index, task in enumerate(tasks):
+            llm = SimulatedLLM(profile, seed=seed + index)
+            NLToWorkflow(llm).convert(task)
+            total_tokens += llm.meter.total_tokens
+            total_cost += llm.meter.cost_usd
+        results[profile.name] = {
+            "tokens": total_tokens / len(tasks),
+            "usd": total_cost / len(tasks),
+        }
+    return results
+
+
+def report(results: Dict[str, Dict[str, float]]) -> str:
+    rows = [
+        (
+            model,
+            f"{values['tokens']:.1f}",
+            f"{values['usd']:.3f}",
+            f"{PAPER_ROWS[model]['tokens']:.1f}",
+            f"{PAPER_ROWS[model]['usd']:.3f}",
+        )
+        for model, values in results.items()
+    ]
+    return format_table(
+        ["model", "tokens/workflow", "$/workflow", "paper tokens", "paper $"],
+        rows,
+        title="Table III: cost analysis of workflow generation",
+    )
+
+
+def main() -> None:
+    print(report(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""The GUI frontend (paper Appendix B.D): declarative canvas + model zoo."""
+
+from .canvas import (
+    Canvas,
+    CanvasError,
+    CanvasNode,
+    NodeKind,
+    churn_prediction_canvas,
+)
+from .model_zoo import ModelZoo, ModelZooEntry, ModelZooError
+
+__all__ = [
+    "Canvas",
+    "CanvasError",
+    "CanvasNode",
+    "ModelZoo",
+    "ModelZooEntry",
+    "ModelZooError",
+    "NodeKind",
+    "churn_prediction_canvas",
+]

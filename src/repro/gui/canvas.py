@@ -1,0 +1,298 @@
+"""The GUI canvas: declarative workflow construction (paper Appendix B.D).
+
+"Users aim to identify the best model for predicting user churn.  Data
+scientists initially define data splitting methods for training, select
+various well-known models (e.g., logistic regression, random forest,
+and XGBoost) for training the same data, and ultimately choose the best
+model based on evaluation results.  End-users only need to configure
+model-related parameters or data splitting methods.  The backend then
+translates these actions into the workflow's IR."
+
+A :class:`Canvas` is the serialized state a web GUI would hold: typed
+nodes with configuration dicts and explicit wires.  ``to_ir()`` performs
+the backend translation into the same IR every other frontend produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..ir.graph import WorkflowIR
+from ..ir.nodes import ArtifactDecl, ArtifactStorage, IRNode, OpKind, SimHint
+from ..k8s.resources import ResourceQuantity
+from .model_zoo import ModelZoo
+
+GB = 2**30
+
+
+class CanvasError(ValueError):
+    """Malformed canvas (bad wiring, unknown node kinds, etc.)."""
+
+
+class NodeKind(str, Enum):
+    DATA_SOURCE = "data_source"
+    DATA_SPLIT = "data_split"
+    MODEL = "model"
+    EVALUATION = "evaluation"
+    SELECTION = "selection"
+
+
+@dataclass
+class CanvasNode:
+    """One block the user dropped on the canvas."""
+
+    id: str
+    kind: NodeKind
+    config: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class Canvas:
+    """The GUI document: nodes + wires, translatable to IR."""
+
+    name: str
+    nodes: List[CanvasNode] = field(default_factory=list)
+    wires: List[Tuple[str, str]] = field(default_factory=list)
+    model_zoo: ModelZoo = field(default_factory=ModelZoo)
+
+    # ------------------------------------------------------------- editing
+
+    def add(self, node: CanvasNode) -> CanvasNode:
+        if any(existing.id == node.id for existing in self.nodes):
+            raise CanvasError(f"duplicate canvas node id {node.id!r}")
+        self.nodes.append(node)
+        return node
+
+    def wire(self, source: str, target: str) -> None:
+        ids = {node.id for node in self.nodes}
+        if source not in ids or target not in ids:
+            raise CanvasError(f"wire references unknown node: {source}->{target}")
+        self.wires.append((source, target))
+
+    def _node(self, node_id: str) -> CanvasNode:
+        for node in self.nodes:
+            if node.id == node_id:
+                return node
+        raise CanvasError(f"unknown node {node_id!r}")
+
+    def _upstream(self, node_id: str) -> List[str]:
+        return [s for s, t in self.wires if t == node_id]
+
+    # ----------------------------------------------------------- validation
+
+    def validate(self) -> None:
+        if not self.nodes:
+            raise CanvasError("canvas is empty")
+        kinds = {node.id: node.kind for node in self.nodes}
+        for node in self.nodes:
+            upstream_kinds = {kinds[u] for u in self._upstream(node.id)}
+            if node.kind == NodeKind.DATA_SOURCE and upstream_kinds:
+                raise CanvasError(f"data source {node.id} cannot have inputs")
+            if node.kind == NodeKind.DATA_SPLIT and upstream_kinds != {
+                NodeKind.DATA_SOURCE
+            }:
+                raise CanvasError(f"data split {node.id} must consume a data source")
+            if node.kind == NodeKind.MODEL and not (
+                upstream_kinds <= {NodeKind.DATA_SPLIT, NodeKind.DATA_SOURCE}
+                and upstream_kinds
+            ):
+                raise CanvasError(f"model {node.id} must consume data")
+            if node.kind == NodeKind.EVALUATION and NodeKind.MODEL not in upstream_kinds:
+                raise CanvasError(f"evaluation {node.id} must consume models")
+            if node.kind == NodeKind.SELECTION and NodeKind.EVALUATION not in upstream_kinds:
+                raise CanvasError(f"selection {node.id} must consume an evaluation")
+
+    # ----------------------------------------------------------- translation
+
+    def to_ir(self) -> WorkflowIR:
+        """The backend translation: canvas actions -> workflow IR."""
+        self.validate()
+        ir = WorkflowIR(name=self.name)
+        artifacts: Dict[str, ArtifactDecl] = {}
+
+        for node in self.nodes:
+            if node.kind == NodeKind.DATA_SOURCE:
+                artifacts[node.id] = self._emit_data_source(ir, node)
+        for node in self.nodes:
+            if node.kind == NodeKind.DATA_SPLIT:
+                artifacts[node.id] = self._emit_data_split(ir, node, artifacts)
+        for node in self.nodes:
+            if node.kind == NodeKind.MODEL:
+                artifacts[node.id] = self._emit_model(ir, node, artifacts)
+        for node in self.nodes:
+            if node.kind == NodeKind.EVALUATION:
+                artifacts[node.id] = self._emit_evaluation(ir, node, artifacts)
+        for node in self.nodes:
+            if node.kind == NodeKind.SELECTION:
+                self._emit_selection(ir, node, artifacts)
+        ir.finalize_artifacts()
+        ir.validate()
+        return ir
+
+    # ------------------------------------------------------------ emitters
+
+    def _emit_data_source(self, ir: WorkflowIR, node: CanvasNode) -> ArtifactDecl:
+        table = str(node.config.get("table", node.id))
+        size = int(node.config.get("size_bytes", GB))
+        out = ArtifactDecl(
+            name="rows",
+            storage=ArtifactStorage.OSS,
+            path=f"odps://{table}",
+            size_bytes=size,
+            uid=f"{self.name}/{node.id}/rows",
+        )
+        ir.add_node(
+            IRNode(
+                name=node.id,
+                op=OpKind.CONTAINER,
+                image="data-loader:v1",
+                command=["python", "load.py"],
+                args=[f"--table={table}"],
+                outputs=[out],
+                sim=SimHint(duration_s=120.0),
+            )
+        )
+        return out
+
+    def _emit_data_split(
+        self, ir: WorkflowIR, node: CanvasNode, artifacts: Dict[str, ArtifactDecl]
+    ) -> ArtifactDecl:
+        fraction = float(node.config.get("train_fraction", 0.8))
+        if not 0.0 < fraction < 1.0:
+            raise CanvasError(f"data split {node.id}: train_fraction must be in (0,1)")
+        upstream = self._upstream(node.id)[0]
+        source_artifact = artifacts[upstream]
+        out = ArtifactDecl(
+            name="train-split",
+            storage=ArtifactStorage.OSS,
+            path=f"/data/{node.id}",
+            size_bytes=int(source_artifact.size_bytes * fraction),
+            uid=f"{self.name}/{node.id}/train-split",
+        )
+        ir.add_node(
+            IRNode(
+                name=node.id,
+                op=OpKind.CONTAINER,
+                image="data-splitter:v1",
+                command=["python", "split.py"],
+                args=[f"--train-fraction={fraction}"],
+                inputs=[source_artifact],
+                outputs=[out],
+                sim=SimHint(duration_s=60.0),
+            )
+        )
+        ir.add_edge(upstream, node.id)
+        return out
+
+    def _emit_model(
+        self, ir: WorkflowIR, node: CanvasNode, artifacts: Dict[str, ArtifactDecl]
+    ) -> ArtifactDecl:
+        entry = self.model_zoo.get(str(node.config.get("model", node.id)))
+        params = dict(entry.default_params)
+        params.update(node.config.get("params", {}))
+        upstream = self._upstream(node.id)[0]
+        data = artifacts[upstream]
+        out = ArtifactDecl(
+            name="model",
+            storage=ArtifactStorage.OSS,
+            path=f"/models/{node.id}",
+            size_bytes=entry.model_size_bytes,
+            uid=f"{self.name}/{node.id}/model",
+        )
+        ir.add_node(
+            IRNode(
+                name=node.id,
+                op=OpKind.CONTAINER,
+                image=entry.image,
+                command=["python", "train.py"],
+                args=[f"--{k}={v}" for k, v in sorted(params.items())],
+                resources=ResourceQuantity(
+                    cpu=entry.cpu, memory=entry.memory_bytes, gpu=entry.gpu
+                ),
+                inputs=[data],
+                outputs=[out],
+                sim=SimHint(duration_s=entry.train_duration_s, uses_gpu=entry.gpu > 0),
+            )
+        )
+        ir.add_edge(upstream, node.id)
+        return out
+
+    def _emit_evaluation(
+        self, ir: WorkflowIR, node: CanvasNode, artifacts: Dict[str, ArtifactDecl]
+    ) -> ArtifactDecl:
+        upstream = self._upstream(node.id)
+        models = [artifacts[u] for u in upstream]
+        out = ArtifactDecl(
+            name="metrics",
+            storage=ArtifactStorage.PARAMETER,
+            path=f"/metrics/{node.id}",
+            size_bytes=4096,
+            uid=f"{self.name}/{node.id}/metrics",
+        )
+        ir.add_node(
+            IRNode(
+                name=node.id,
+                op=OpKind.CONTAINER,
+                image="model-evaluation:v1",
+                command=["python", "evaluate.py"],
+                args=[f"--metric={node.config.get('metric', 'auc')}"],
+                inputs=models,
+                outputs=[out],
+                sim=SimHint(duration_s=150.0),
+            )
+        )
+        for u in upstream:
+            ir.add_edge(u, node.id)
+        return out
+
+    def _emit_selection(
+        self, ir: WorkflowIR, node: CanvasNode, artifacts: Dict[str, ArtifactDecl]
+    ) -> None:
+        upstream = self._upstream(node.id)
+        ir.add_node(
+            IRNode(
+                name=node.id,
+                op=OpKind.CONTAINER,
+                image="model-selector:v1",
+                command=["python", "select.py"],
+                inputs=[artifacts[u] for u in upstream],
+                sim=SimHint(duration_s=30.0),
+            )
+        )
+        for u in upstream:
+            ir.add_edge(u, node.id)
+
+
+def churn_prediction_canvas(model_names: Optional[List[str]] = None) -> Canvas:
+    """The paper's Fig. 9 example: churn prediction over three models."""
+    models = model_names or ["logistic-regression", "random-forest", "xgboost"]
+    canvas = Canvas(name="churn-prediction")
+    canvas.add(
+        CanvasNode(
+            id="churn-table",
+            kind=NodeKind.DATA_SOURCE,
+            config={"table": "pai_telco_demo_data", "size_bytes": 2 * GB},
+        )
+    )
+    canvas.add(
+        CanvasNode(
+            id="split",
+            kind=NodeKind.DATA_SPLIT,
+            config={"train_fraction": 0.8},
+        )
+    )
+    canvas.wire("churn-table", "split")
+    for name in models:
+        node_id = f"train-{name}"
+        canvas.add(CanvasNode(id=node_id, kind=NodeKind.MODEL, config={"model": name}))
+        canvas.wire("split", node_id)
+    canvas.add(
+        CanvasNode(id="evaluate", kind=NodeKind.EVALUATION, config={"metric": "auc"})
+    )
+    for name in models:
+        canvas.wire(f"train-{name}", "evaluate")
+    canvas.add(CanvasNode(id="pick-best", kind=NodeKind.SELECTION))
+    canvas.wire("evaluate", "pick-best")
+    return canvas

@@ -1,0 +1,129 @@
+"""The model zoo behind the GUI (paper Appendix B.D).
+
+"Machine learning algorithm developers can construct their own models
+and share them with others on the same platform.  This collection of
+well-known machine learning algorithms is referred to as the 'model
+zoo'. ... the backend of the model zoo corresponds to the 'step zoo' of
+Couler, as each model runs as one step in a workflow."
+
+Entries declare how a model trains as a workflow step (image, default
+hyperparameters, simulated duration/footprint); the canvas translator
+instantiates them into IR nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class ModelZooError(KeyError):
+    """Unknown or duplicate model zoo entry."""
+
+
+@dataclass(frozen=True)
+class ModelZooEntry:
+    """One shareable model definition."""
+
+    name: str
+    family: str
+    image: str
+    default_params: Dict[str, object] = field(default_factory=dict)
+    #: Simulation quantities for the training step.
+    train_duration_s: float = 300.0
+    model_size_bytes: int = 64 * 2**20
+    cpu: float = 4.0
+    memory_bytes: int = 8 * 2**30
+    gpu: int = 0
+    description: str = ""
+
+
+_BUILTIN_ENTRIES = [
+    ModelZooEntry(
+        name="logistic-regression",
+        family="linear",
+        image="sklearn-trainer:v1",
+        default_params={"penalty": "l2", "C": 1.0},
+        train_duration_s=120.0,
+        model_size_bytes=4 * 2**20,
+        cpu=2.0,
+        description="Linear baseline classifier.",
+    ),
+    ModelZooEntry(
+        name="random-forest",
+        family="tree",
+        image="sklearn-trainer:v1",
+        default_params={"n_estimators": 200, "max_depth": 12},
+        train_duration_s=240.0,
+        model_size_bytes=96 * 2**20,
+        description="Bagged decision trees.",
+    ),
+    ModelZooEntry(
+        name="xgboost",
+        family="boosted-tree",
+        image="xgboost-image",
+        default_params={"objective": "binary:logistic", "num_boost_round": 10},
+        train_duration_s=300.0,
+        model_size_bytes=64 * 2**20,
+        description="Gradient-boosted trees (paper Code 7).",
+    ),
+    ModelZooEntry(
+        name="lightgbm",
+        family="boosted-tree",
+        image="lightgbm-image",
+        default_params={"num_leaves": 63, "num_iterations": 200},
+        train_duration_s=240.0,
+        model_size_bytes=32 * 2**20,
+        description="Histogram gradient boosting (paper Code 7).",
+    ),
+    ModelZooEntry(
+        name="wide-deep",
+        family="dnn",
+        image="wide-deep-model:v1.0",
+        default_params={"batch_size": 256, "epochs": 10},
+        train_duration_s=600.0,
+        model_size_bytes=256 * 2**20,
+        gpu=1,
+        description="Wide & Deep recommender (paper Appendix A.E).",
+    ),
+    ModelZooEntry(
+        name="lstm",
+        family="rnn",
+        image="lstm-trainer:v1",
+        default_params={"hidden": 128, "layers": 2},
+        train_duration_s=500.0,
+        model_size_bytes=128 * 2**20,
+        gpu=1,
+        description="Sequence model for time-series prediction.",
+    ),
+]
+
+
+class ModelZoo:
+    """Registry of shareable model definitions."""
+
+    def __init__(self, include_builtins: bool = True) -> None:
+        self._entries: Dict[str, ModelZooEntry] = {}
+        if include_builtins:
+            for entry in _BUILTIN_ENTRIES:
+                self._entries[entry.name] = entry
+
+    def register(self, entry: ModelZooEntry) -> None:
+        """Share a new model on the platform."""
+        if entry.name in self._entries:
+            raise ModelZooError(f"model {entry.name!r} already registered")
+        self._entries[entry.name] = entry
+
+    def get(self, name: str) -> ModelZooEntry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ModelZooError(
+                f"unknown model {name!r}; available: {sorted(self._entries)}"
+            ) from None
+
+    def names(self) -> List[str]:
+        return sorted(self._entries)
+
+    def by_family(self, family: str) -> List[ModelZooEntry]:
+        return [e for e in self._entries.values() if e.family == family]

@@ -1,0 +1,51 @@
+"""Workflow Intermediate Representation (paper Sec. II.C).
+
+The engine-agnostic DAG every frontend lowers to and every backend
+compiles from, plus the optimization pass framework.
+"""
+
+from .graph import WorkflowIR
+from .nodes import (
+    ArtifactDecl,
+    ArtifactStorage,
+    IRError,
+    IRNode,
+    OpKind,
+    SimHint,
+    validate_name,
+)
+from .passes import (
+    DeadNodeEliminationPass,
+    FinalizeArtifactsPass,
+    IRPass,
+    PassManager,
+    ResourceDefaultsPass,
+    ValidatePass,
+)
+from .rightsizing import HistoricalProfiles, ResourceRightSizingPass
+from .serialize import ir_from_dict, ir_from_json, ir_to_dict, ir_to_json
+from .visualize import to_dot
+
+__all__ = [
+    "ArtifactDecl",
+    "ArtifactStorage",
+    "DeadNodeEliminationPass",
+    "FinalizeArtifactsPass",
+    "HistoricalProfiles",
+    "IRError",
+    "IRNode",
+    "IRPass",
+    "OpKind",
+    "PassManager",
+    "ResourceDefaultsPass",
+    "ResourceRightSizingPass",
+    "SimHint",
+    "ValidatePass",
+    "WorkflowIR",
+    "ir_from_dict",
+    "ir_from_json",
+    "ir_to_dict",
+    "ir_to_json",
+    "to_dot",
+    "validate_name",
+]

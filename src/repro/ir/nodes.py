@@ -1,0 +1,138 @@
+"""IR node types.
+
+Every frontend (Python DSL, NL pipeline, SQLFlow, GUI) lowers to these
+nodes; every backend (Argo, Airflow, Tekton) compiles from them.  A node
+is one schedulable unit of work — a container, a script-in-container, or
+a distributed job — plus the declarations optimizers need: resource
+requests, artifact I/O, an optional run condition, and simulation hints.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+from ..k8s.resources import ResourceQuantity
+
+
+class IRError(ValueError):
+    """Raised for malformed IR constructs."""
+
+
+_NAME_RE = re.compile(r"^[a-zA-Z0-9]([a-zA-Z0-9._-]*[a-zA-Z0-9])?$")
+
+
+def validate_name(name: str) -> str:
+    """Step/workflow names must be DNS-label-ish (Kubernetes rules)."""
+    if not _NAME_RE.match(name):
+        raise IRError(f"invalid name {name!r}: must match {_NAME_RE.pattern}")
+    return name
+
+
+class OpKind(str, Enum):
+    """What a node runs."""
+
+    CONTAINER = "container"
+    SCRIPT = "script"
+    JOB = "job"
+
+
+class ArtifactStorage(str, Enum):
+    """Physical storage classes an artifact can be registered to
+    (paper Table VI)."""
+
+    PARAMETER = "parameter"
+    HDFS = "hdfs"
+    S3 = "s3"
+    OSS = "oss"
+    GCS = "gcs"
+    GIT = "git"
+    LOCAL = "local"
+
+
+@dataclass(frozen=True)
+class ArtifactDecl:
+    """An artifact produced or consumed by a node.
+
+    ``uid`` is filled when the IR is finalized
+    (``<workflow>/<node>/<name>`` for outputs); inputs referencing
+    another node's output share its uid.
+    """
+
+    name: str
+    storage: ArtifactStorage = ArtifactStorage.PARAMETER
+    path: Optional[str] = None
+    size_bytes: int = 1024
+    is_global: bool = False
+    uid: Optional[str] = None
+
+    def with_uid(self, uid: str) -> "ArtifactDecl":
+        return ArtifactDecl(
+            name=self.name,
+            storage=self.storage,
+            path=self.path,
+            size_bytes=self.size_bytes,
+            is_global=self.is_global,
+            uid=uid,
+        )
+
+
+@dataclass(frozen=True)
+class SimHint:
+    """Simulation quantities attached to a node.
+
+    The production system observes real durations; the simulator needs
+    them declared.  These hints flow through backends as annotations and
+    end up in :class:`repro.engine.spec.ExecutableStep`.
+
+    ``result_options`` declares the possible values of the step's
+    ``result`` output (e.g. ``("heads", "tails")`` for the coin flip);
+    the engine draws one at completion, and downstream ``when``
+    conditions evaluate against it — so conditional branches genuinely
+    run or are Skipped in the simulation.
+    """
+
+    duration_s: float = 60.0
+    failure_rate: float = 0.0
+    failure_pattern: str = "PodCrashErr"
+    uses_gpu: bool = False
+    result_options: tuple = ()
+
+
+@dataclass
+class IRNode:
+    """One unit of work in the workflow DAG."""
+
+    name: str
+    op: OpKind
+    image: str = "alpine:3.6"
+    command: List[str] = field(default_factory=list)
+    args: List[str] = field(default_factory=list)
+    #: Script source (OpKind.SCRIPT only).
+    source: Optional[str] = None
+    #: Distributed-job parameters (OpKind.JOB only), e.g. num_ps/num_workers.
+    job_params: Dict[str, object] = field(default_factory=dict)
+    resources: ResourceQuantity = field(default_factory=lambda: ResourceQuantity(cpu=1.0))
+    inputs: List[ArtifactDecl] = field(default_factory=list)
+    outputs: List[ArtifactDecl] = field(default_factory=list)
+    #: Argo-style run condition, e.g. ``"{{flip.result}} == heads"``.
+    when: Optional[str] = None
+    #: Per-step retry limit (renders as Argo ``retryStrategy.limit``);
+    #: None defers to the operator's global retry policy.
+    retries: Optional[int] = None
+    sim: SimHint = field(default_factory=SimHint)
+
+    def __post_init__(self) -> None:
+        validate_name(self.name)
+        if self.op == OpKind.SCRIPT and self.source is None:
+            raise IRError(f"script node {self.name} requires source")
+        if self.op != OpKind.SCRIPT and self.source is not None:
+            raise IRError(f"non-script node {self.name} cannot carry source")
+
+    def output(self, name: str) -> ArtifactDecl:
+        for artifact in self.outputs:
+            if artifact.name == name:
+                return artifact
+        raise IRError(f"node {self.name} has no output named {name!r}")

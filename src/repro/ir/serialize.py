@@ -1,0 +1,121 @@
+"""IR <-> plain-dict serialization.
+
+The Couler server persists workflow metadata into a database for
+automated management (paper Appendix B.B: failed workflows are fetched
+back and restarted); this module provides the stable wire format for
+that, plus JSON helpers.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from ..k8s.resources import ResourceQuantity
+from .graph import WorkflowIR
+from .nodes import ArtifactDecl, ArtifactStorage, IRNode, OpKind, SimHint
+
+FORMAT_VERSION = 1
+
+
+def artifact_to_dict(artifact: ArtifactDecl) -> dict:
+    return {
+        "name": artifact.name,
+        "storage": artifact.storage.value,
+        "path": artifact.path,
+        "size_bytes": artifact.size_bytes,
+        "is_global": artifact.is_global,
+        "uid": artifact.uid,
+    }
+
+
+def artifact_from_dict(data: dict) -> ArtifactDecl:
+    return ArtifactDecl(
+        name=data["name"],
+        storage=ArtifactStorage(data.get("storage", "parameter")),
+        path=data.get("path"),
+        size_bytes=int(data.get("size_bytes", 1024)),
+        is_global=bool(data.get("is_global", False)),
+        uid=data.get("uid"),
+    )
+
+
+def node_to_dict(node: IRNode) -> dict:
+    return {
+        "name": node.name,
+        "op": node.op.value,
+        "image": node.image,
+        "command": list(node.command),
+        "args": list(node.args),
+        "source": node.source,
+        "job_params": dict(node.job_params),
+        "resources": node.resources.to_dict(),
+        "inputs": [artifact_to_dict(a) for a in node.inputs],
+        "outputs": [artifact_to_dict(a) for a in node.outputs],
+        "when": node.when,
+        "retries": node.retries,
+        "sim": {
+            "duration_s": node.sim.duration_s,
+            "failure_rate": node.sim.failure_rate,
+            "failure_pattern": node.sim.failure_pattern,
+            "uses_gpu": node.sim.uses_gpu,
+            "result_options": list(node.sim.result_options),
+        },
+    }
+
+
+def node_from_dict(data: dict) -> IRNode:
+    sim = data.get("sim", {})
+    return IRNode(
+        name=data["name"],
+        op=OpKind(data["op"]),
+        image=data.get("image", "alpine:3.6"),
+        command=list(data.get("command", [])),
+        args=list(data.get("args", [])),
+        source=data.get("source"),
+        job_params=dict(data.get("job_params", {})),
+        resources=ResourceQuantity.parse(data.get("resources", {})),
+        inputs=[artifact_from_dict(a) for a in data.get("inputs", [])],
+        outputs=[artifact_from_dict(a) for a in data.get("outputs", [])],
+        when=data.get("when"),
+        retries=data.get("retries"),
+        sim=SimHint(
+            duration_s=float(sim.get("duration_s", 60.0)),
+            failure_rate=float(sim.get("failure_rate", 0.0)),
+            failure_pattern=sim.get("failure_pattern", "PodCrashErr"),
+            uses_gpu=bool(sim.get("uses_gpu", False)),
+            result_options=tuple(sim.get("result_options", ())),
+        ),
+    )
+
+
+def ir_to_dict(ir: WorkflowIR) -> dict:
+    """Serialize a workflow IR to a stable plain-dict form."""
+    return {
+        "version": FORMAT_VERSION,
+        "name": ir.name,
+        "config": dict(ir.config),
+        "nodes": [node_to_dict(ir.nodes[n]) for n in sorted(ir.nodes)],
+        "edges": sorted([list(edge) for edge in ir.edges]),
+    }
+
+
+def ir_from_dict(data: dict) -> WorkflowIR:
+    """Inverse of :func:`ir_to_dict`."""
+    version = data.get("version", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported IR format version: {version}")
+    ir = WorkflowIR(name=data["name"], config=dict(data.get("config", {})))
+    for node_data in data.get("nodes", []):
+        ir.add_node(node_from_dict(node_data))
+    for parent, child in data.get("edges", []):
+        ir.add_edge(parent, child)
+    return ir
+
+
+def ir_to_json(ir: WorkflowIR, indent: int = 2) -> str:
+    return json.dumps(ir_to_dict(ir), indent=indent, sort_keys=False)
+
+
+def ir_from_json(text: str) -> WorkflowIR:
+    return ir_from_dict(json.loads(text))

@@ -1,0 +1,68 @@
+"""Workflow visualization: IR -> Graphviz DOT.
+
+The paper notes that the explicit DAG definition "helps data engineers
+to debug a failed workflow more easily, and build a complicated workflow
+with hundred nodes" — debugging hundred-node graphs needs a picture.
+:func:`to_dot` renders any IR as DOT text; pass an execution record to
+colour nodes by status (green Succeeded, red Failed, grey Skipped/
+Cached, yellow Running), which is exactly the triage view an SRE wants.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..engine.status import StepStatus, WorkflowRecord
+from .graph import WorkflowIR
+
+_STATUS_FILL = {
+    StepStatus.SUCCEEDED: "#c8e6c9",  # green
+    StepStatus.FAILED: "#ffcdd2",  # red
+    StepStatus.RUNNING: "#fff9c4",  # yellow
+    StepStatus.SKIPPED: "#e0e0e0",  # grey
+    StepStatus.CACHED: "#b3e5fc",  # blue-grey (served from cache)
+    StepStatus.PENDING: "#ffffff",
+}
+
+
+def _escape(text: str) -> str:
+    return text.replace('"', '\\"')
+
+
+def to_dot(
+    ir: WorkflowIR,
+    record: Optional[WorkflowRecord] = None,
+    include_conditions: bool = True,
+) -> str:
+    """Render the workflow DAG as Graphviz DOT text.
+
+    With ``record``, nodes are filled by execution status and labelled
+    with attempts/errors — the failed-workflow triage view.
+    """
+    lines = [
+        f'digraph "{_escape(ir.name)}" {{',
+        "  rankdir=TB;",
+        '  node [shape=box, style="rounded,filled", fillcolor="#ffffff", '
+        'fontname="Helvetica"];',
+    ]
+    for name in ir.topological_order():
+        node = ir.nodes[name]
+        label_parts = [name, node.image]
+        attrs = []
+        if record is not None and name in record.steps:
+            step = record.steps[name]
+            attrs.append(f'fillcolor="{_STATUS_FILL[step.status]}"')
+            label_parts.append(step.status.value)
+            if step.attempts > 1:
+                label_parts.append(f"attempts={step.attempts}")
+            if step.last_error:
+                label_parts.append(step.last_error)
+        if include_conditions and node.when:
+            label_parts.append(f"when: {node.when}")
+        label = _escape("\\n".join(label_parts))
+        attr_text = (", " + ", ".join(attrs)) if attrs else ""
+        lines.append(f'  "{_escape(name)}" [label="{label}"{attr_text}];')
+    for parent, child in sorted(ir.edges):
+        lines.append(f'  "{_escape(parent)}" -> "{_escape(child)}";')
+    lines.append("}")
+    return "\n".join(lines)

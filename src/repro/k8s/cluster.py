@@ -1,0 +1,165 @@
+"""Simulated cluster: nodes with capacity and a pod bin-packing scheduler.
+
+The paper's production environment is a shared Ant Group cluster
+(~1.6M CPU cores, 4.5k GPUs).  The simulator scales this down to a
+configurable set of :class:`Node` objects; the :class:`Scheduler` places
+pending pods on nodes best-fit by remaining CPU, which is sufficient to
+reproduce utilization-over-time curves (Figs. 7, 11–16) since those
+depend on aggregate capacity pressure, not on a specific packing
+heuristic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .objects import Pod, PodPhase
+from .resources import ResourceQuantity
+
+
+class SchedulingError(RuntimeError):
+    """Raised when a pod can never fit on any node (infeasible request)."""
+
+
+@dataclass
+class Node:
+    """A schedulable machine with fixed capacity."""
+
+    name: str
+    capacity: ResourceQuantity
+    allocated: ResourceQuantity = field(default_factory=ResourceQuantity)
+    pods: Dict[str, Pod] = field(default_factory=dict)
+
+    @property
+    def free(self) -> ResourceQuantity:
+        return self.capacity - self.allocated
+
+    def can_fit(self, requests: ResourceQuantity) -> bool:
+        return requests.fits_within(self.free)
+
+    def bind(self, pod: Pod) -> None:
+        if not self.can_fit(pod.requests):
+            raise SchedulingError(f"pod {pod.metadata.name} does not fit on {self.name}")
+        self.allocated = self.allocated + pod.requests
+        self.pods[pod.metadata.name] = pod
+        pod.node_name = self.name
+
+    def release(self, pod: Pod) -> None:
+        if pod.metadata.name not in self.pods:
+            return
+        del self.pods[pod.metadata.name]
+        self.allocated = self.allocated - pod.requests
+
+
+@dataclass
+class Cluster:
+    """A named collection of nodes plus utilization accounting.
+
+    The multi-cluster workflow queue (Appendix B.A) schedules across
+    several :class:`Cluster` instances with different shapes (GPU-heavy,
+    CPU-heavy, storage-distant).
+    """
+
+    name: str = "cluster-a"
+    nodes: List[Node] = field(default_factory=list)
+    #: Relative network distance to the storage cluster; scales remote
+    #: read latency in the data-caching experiments (Appendix D.C).
+    storage_distance: float = 1.0
+
+    @classmethod
+    def uniform(
+        cls,
+        name: str,
+        num_nodes: int,
+        cpu_per_node: float,
+        memory_per_node: int,
+        gpu_per_node: int = 0,
+        storage_distance: float = 1.0,
+    ) -> "Cluster":
+        """Build a homogeneous cluster."""
+        nodes = [
+            Node(
+                name=f"{name}-node-{i}",
+                capacity=ResourceQuantity(
+                    cpu=cpu_per_node, memory=memory_per_node, gpu=gpu_per_node
+                ),
+            )
+            for i in range(num_nodes)
+        ]
+        return cls(name=name, nodes=nodes, storage_distance=storage_distance)
+
+    @property
+    def capacity(self) -> ResourceQuantity:
+        total = ResourceQuantity()
+        for node in self.nodes:
+            total = total + node.capacity
+        return total
+
+    @property
+    def allocated(self) -> ResourceQuantity:
+        total = ResourceQuantity()
+        for node in self.nodes:
+            total = total + node.allocated
+        return total
+
+    def utilization(self) -> dict:
+        """Fractional CPU / memory / GPU utilization right now."""
+        cap, alloc = self.capacity, self.allocated
+        return {
+            "cpu": alloc.cpu / cap.cpu if cap.cpu else 0.0,
+            "memory": alloc.memory / cap.memory if cap.memory else 0.0,
+            "gpu": alloc.gpu / cap.gpu if cap.gpu else 0.0,
+        }
+
+    def running_pods(self) -> List[Pod]:
+        return [
+            pod
+            for node in self.nodes
+            for pod in node.pods.values()
+            if pod.phase == PodPhase.RUNNING
+        ]
+
+
+class Scheduler:
+    """Best-fit decreasing pod scheduler over one cluster."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+
+    def feasible(self, requests: ResourceQuantity) -> bool:
+        """True if some node could ever host this request when empty."""
+        return any(requests.fits_within(node.capacity) for node in self.cluster.nodes)
+
+    def try_schedule(self, pod: Pod) -> Optional[Node]:
+        """Bind ``pod`` to the node with the least leftover CPU that fits.
+
+        Returns the chosen node, or ``None`` if no node currently has
+        room (the pod stays Pending).  Raises :class:`SchedulingError`
+        when the request exceeds every node's total capacity, since such
+        a pod would pend forever.
+        """
+        if not self.feasible(pod.requests):
+            raise SchedulingError(
+                f"pod {pod.metadata.name} requests {pod.requests} "
+                f"exceed every node's capacity"
+            )
+        best: Optional[Node] = None
+        best_leftover = float("inf")
+        for node in self.cluster.nodes:
+            if node.can_fit(pod.requests):
+                leftover = node.free.cpu - pod.requests.cpu
+                if leftover < best_leftover:
+                    best, best_leftover = node, leftover
+        if best is not None:
+            best.bind(pod)
+        return best
+
+    def release(self, pod: Pod) -> None:
+        node_name = pod.node_name
+        if node_name is None:
+            return
+        for node in self.cluster.nodes:
+            if node.name == node_name:
+                node.release(pod)
+                return

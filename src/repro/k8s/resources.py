@@ -1,0 +1,176 @@
+"""Resource quantities for the simulated Kubernetes cluster.
+
+Kubernetes expresses compute resources as quantity strings such as
+``"500m"`` (half a CPU core), ``"2Gi"`` (two gibibytes) or plain integers.
+This module provides :class:`ResourceQuantity`, a small value type holding
+CPU cores, memory bytes, and GPU count, together with the parsing rules
+used by pod specs throughout the simulator.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+
+_MEMORY_SUFFIXES = {
+    "": 1,
+    "k": 10**3,
+    "M": 10**6,
+    "G": 10**9,
+    "T": 10**12,
+    "P": 10**15,
+    "Ki": 2**10,
+    "Mi": 2**20,
+    "Gi": 2**30,
+    "Ti": 2**40,
+    "Pi": 2**50,
+}
+
+_MEMORY_RE = re.compile(r"^([0-9]*\.?[0-9]+)(k|M|G|T|P|Ki|Mi|Gi|Ti|Pi)?$")
+
+
+class ResourceError(ValueError):
+    """Raised for malformed resource quantity strings."""
+
+
+def parse_cpu(value: "str | int | float") -> float:
+    """Parse a Kubernetes CPU quantity into a float number of cores.
+
+    Accepts millicore strings (``"1500m"``), plain numerics (``2``,
+    ``"0.5"``) and floats.
+
+    >>> parse_cpu("500m")
+    0.5
+    >>> parse_cpu(2)
+    2.0
+    """
+    if isinstance(value, (int, float)):
+        cores = float(value)
+    else:
+        text = value.strip()
+        if text.endswith("m"):
+            try:
+                cores = float(text[:-1]) / 1000.0
+            except ValueError as exc:
+                raise ResourceError(f"invalid CPU quantity: {value!r}") from exc
+        else:
+            try:
+                cores = float(text)
+            except ValueError as exc:
+                raise ResourceError(f"invalid CPU quantity: {value!r}") from exc
+    if cores < 0 or not math.isfinite(cores):
+        raise ResourceError(f"CPU quantity must be finite and >= 0: {value!r}")
+    return cores
+
+
+def parse_memory(value: "str | int | float") -> int:
+    """Parse a Kubernetes memory quantity into bytes.
+
+    >>> parse_memory("2Gi")
+    2147483648
+    >>> parse_memory("500M")
+    500000000
+    """
+    if isinstance(value, (int, float)):
+        if value < 0:
+            raise ResourceError(f"memory quantity must be >= 0: {value!r}")
+        return int(value)
+    match = _MEMORY_RE.match(value.strip())
+    if not match:
+        raise ResourceError(f"invalid memory quantity: {value!r}")
+    number, suffix = match.groups()
+    return int(float(number) * _MEMORY_SUFFIXES[suffix or ""])
+
+
+def format_memory(num_bytes: int) -> str:
+    """Render a byte count using the largest exact-ish binary suffix."""
+    for suffix in ("Pi", "Ti", "Gi", "Mi", "Ki"):
+        unit = _MEMORY_SUFFIXES[suffix]
+        if num_bytes >= unit:
+            quotient = num_bytes / unit
+            if quotient == int(quotient):
+                return f"{int(quotient)}{suffix}"
+            return f"{quotient:.2f}{suffix}"
+    return str(int(num_bytes))
+
+
+@dataclass(frozen=True)
+class ResourceQuantity:
+    """An immutable bundle of CPU cores, memory bytes, and GPU count.
+
+    Supports arithmetic (``+``/``-``), containment comparison via
+    :meth:`fits_within`, and parsing from Kubernetes-style resource dicts.
+    """
+
+    cpu: float = 0.0
+    memory: int = 0
+    gpu: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cpu < 0 or self.memory < 0 or self.gpu < 0:
+            raise ResourceError(f"resource components must be >= 0: {self}")
+
+    @classmethod
+    def parse(cls, spec: "dict | None") -> "ResourceQuantity":
+        """Build from a Kubernetes ``resources.requests``-style mapping.
+
+        Unknown keys raise :class:`ResourceError` so that typos in
+        workload definitions fail loudly.
+        """
+        if not spec:
+            return cls()
+        known = {"cpu", "memory", "gpu", "nvidia.com/gpu"}
+        unknown = set(spec) - known
+        if unknown:
+            raise ResourceError(f"unknown resource keys: {sorted(unknown)}")
+        gpu = spec.get("gpu", spec.get("nvidia.com/gpu", 0))
+        return cls(
+            cpu=parse_cpu(spec.get("cpu", 0)),
+            memory=parse_memory(spec.get("memory", 0)),
+            gpu=int(gpu),
+        )
+
+    def to_dict(self) -> dict:
+        """Render back to a Kubernetes-style resource mapping."""
+        out: dict = {}
+        if self.cpu:
+            millis = round(self.cpu * 1000)
+            out["cpu"] = f"{millis}m" if millis % 1000 else str(millis // 1000)
+        if self.memory:
+            out["memory"] = format_memory(self.memory)
+        if self.gpu:
+            out["nvidia.com/gpu"] = self.gpu
+        return out
+
+    def __add__(self, other: "ResourceQuantity") -> "ResourceQuantity":
+        return ResourceQuantity(
+            cpu=self.cpu + other.cpu,
+            memory=self.memory + other.memory,
+            gpu=self.gpu + other.gpu,
+        )
+
+    def __sub__(self, other: "ResourceQuantity") -> "ResourceQuantity":
+        return ResourceQuantity(
+            cpu=max(0.0, self.cpu - other.cpu),
+            memory=max(0, self.memory - other.memory),
+            gpu=max(0, self.gpu - other.gpu),
+        )
+
+    def fits_within(self, capacity: "ResourceQuantity") -> bool:
+        """Return True if this request fits inside ``capacity``.
+
+        A tiny epsilon absorbs float drift in repeated CPU arithmetic.
+        """
+        eps = 1e-9
+        return (
+            self.cpu <= capacity.cpu + eps
+            and self.memory <= capacity.memory
+            and self.gpu <= capacity.gpu
+        )
+
+    def is_zero(self) -> bool:
+        return self.cpu == 0 and self.memory == 0 and self.gpu == 0
+
+
+ZERO = ResourceQuantity()

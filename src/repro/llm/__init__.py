@@ -1,0 +1,41 @@
+"""LLM substrate: tokenizer, pricing, Code Lake, and the simulated
+GPT-3.5 / GPT-4 used throughout the NL-to-workflow pipeline.
+
+The substitution rationale (real ChatGPT -> behavioural simulation with
+calibrated quality profiles) is documented in DESIGN.md Section 2.
+"""
+
+from .codelake import CodeLake, CodeSnippet, TASK_TYPES, canonical_code, default_entries
+from .pricing import ModelPricing, PRICE_TABLE, PricingError, UsageMeter, pricing_for
+from .simulated import (
+    GPT35_PROFILE,
+    GPT4_PROFILE,
+    LLMResponse,
+    ModelProfile,
+    PROFILES,
+    SimulatedLLM,
+    SubtaskSpec,
+)
+from .tokenizer import count_tokens, split_tokens
+
+__all__ = [
+    "CodeLake",
+    "CodeSnippet",
+    "GPT35_PROFILE",
+    "GPT4_PROFILE",
+    "LLMResponse",
+    "ModelPricing",
+    "ModelProfile",
+    "PRICE_TABLE",
+    "PROFILES",
+    "PricingError",
+    "SimulatedLLM",
+    "SubtaskSpec",
+    "TASK_TYPES",
+    "UsageMeter",
+    "canonical_code",
+    "count_tokens",
+    "default_entries",
+    "pricing_for",
+    "split_tokens",
+]

@@ -1,0 +1,352 @@
+"""The Code Lake: a retrieval corpus of Couler snippets (paper Step 2).
+
+"Considering that LLMs have limited knowledge about COULER, we construct
+a Code Lake containing code for various functions.  We search for
+relevant code from the Code Lake for each subtask and provide it to
+LLMs for reference."
+
+Entries are canonical, executable Couler snippets per predefined task
+type, plus distractors.  Retrieval is TF-IDF cosine over the snippet's
+title + description against the subtask text.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .tokenizer import split_tokens
+
+#: The predefined task-module types of Step 1 (modular decomposition).
+TASK_TYPES = (
+    "data_loading",
+    "data_preprocessing",
+    "data_augmentation",
+    "model_training",
+    "model_evaluation",
+    "model_comparison",
+    "model_selection",
+    "model_deployment",
+    "hyperparameter_tuning",
+    "report_generation",
+)
+
+
+@dataclass(frozen=True)
+class CodeSnippet:
+    """One Code Lake entry."""
+
+    task_type: str
+    title: str
+    description: str
+    code: str
+
+    def document(self) -> str:
+        return f"{self.title} {self.description} {self.task_type}"
+
+
+# ---------------------------------------------------------------------------
+# Canonical templates.  `{dataset}`, `{model}`, `{models}` are filled from
+# the task parameters; every rendered snippet executes against
+# `repro.core as couler` and chains implicitly.
+# ---------------------------------------------------------------------------
+
+_TEMPLATES: Dict[str, Tuple[str, str, str]] = {
+    "data_loading": (
+        "Load a dataset from remote storage",
+        "read input data tables files import dataset loading ingest",
+        '''\
+def load_data():
+    return couler.run_container(
+        image="data-loader:v1",
+        command=["python", "load.py"],
+        args=["--dataset", "{dataset}"],
+        step_name="load-data",
+        output=couler.create_oss_artifact(
+            path="/data/{dataset}", name="raw-data", size_bytes=512 * 2**20
+        ),
+    )
+
+raw_data = load_data()
+''',
+    ),
+    "data_preprocessing": (
+        "Preprocess and clean raw data",
+        "preprocess clean normalize transform feature engineering scaling",
+        '''\
+def preprocess(raw):
+    return couler.run_container(
+        image="data-preprocessor:v1",
+        command=["python", "preprocess.py"],
+        step_name="preprocess-data",
+        input=raw,
+        output=couler.create_oss_artifact(
+            path="/data/{dataset}-clean", name="clean-data", size_bytes=256 * 2**20
+        ),
+    )
+
+clean_data = preprocess(raw_data)
+''',
+    ),
+    "data_augmentation": (
+        "Augment the training data",
+        "augmentation flips crops synthetic oversampling enrich data",
+        '''\
+def augment(data):
+    return couler.run_container(
+        image="data-augmentor:v1",
+        command=["python", "augment.py"],
+        step_name="augment-data",
+        input=data,
+        output=couler.create_oss_artifact(
+            path="/data/{dataset}-aug", name="augmented-data", size_bytes=384 * 2**20
+        ),
+    )
+
+augmented_data = augment(clean_data)
+''',
+    ),
+    "model_training": (
+        "Train candidate models on the prepared data",
+        "train fit model learning epochs gpu training job",
+        '''\
+def train_model(model_name, data):
+    return couler.run_container(
+        image="training-image:v1",
+        command=["python", "train.py"],
+        args=["--model", model_name],
+        step_name="train-" + model_name,
+        input=data,
+        output=couler.create_oss_artifact(
+            path="/models/" + model_name, name="model", size_bytes=128 * 2**20
+        ),
+    )
+
+trained_models = couler.map(
+    lambda name: train_model(name, {data_var}), {models}
+)
+''',
+    ),
+    "model_evaluation": (
+        "Validate each trained model on held-out data",
+        "evaluate validation metrics accuracy test score model",
+        '''\
+def evaluate_model(model):
+    return couler.run_container(
+        image="model-evaluation:v1",
+        command=["python", "evaluate.py"],
+        args=[model],
+        step_name="eval-" + model.step_name,
+        input=model,
+        output=couler.create_parameter_artifact(
+            path="/metrics/" + model.step_name, name="metrics"
+        ),
+    )
+
+eval_results = couler.map(lambda model: evaluate_model(model), trained_models)
+''',
+    ),
+    "model_comparison": (
+        "Compare evaluation metrics across models",
+        "compare rank metrics models leaderboard comparison",
+        '''\
+def compare_models(results):
+    return couler.run_container(
+        image="model-comparison:v1",
+        command=["python", "compare.py"],
+        step_name="compare-models",
+        input=results,
+        output=couler.create_parameter_artifact(
+            path="/metrics/ranking", name="ranking"
+        ),
+    )
+
+ranking = compare_models(eval_results)
+''',
+    ),
+    "model_selection": (
+        "Select the best model from the comparison",
+        "select best champion model pick winner selection",
+        '''\
+def select_best(ranking):
+    return couler.run_container(
+        image="model-selector:v1",
+        command=["python", "select.py"],
+        step_name="select-best-model",
+        input=ranking,
+        output=couler.create_oss_artifact(
+            path="/models/best", name="best-model", size_bytes=128 * 2**20
+        ),
+    )
+
+best_model = select_best({ranking_var})
+''',
+    ),
+    "model_deployment": (
+        "Deploy the selected model to serving",
+        "deploy serving push production endpoint rollout",
+        '''\
+def deploy(model):
+    return couler.run_container(
+        image="model-deployer:v1",
+        command=["python", "deploy.py"],
+        step_name="deploy-model",
+        input=model,
+    )
+
+deploy(best_model)
+''',
+    ),
+    "hyperparameter_tuning": (
+        "Sweep hyperparameters for the model",
+        "hyperparameter tuning sweep search learning rate batch grid",
+        '''\
+def tune(batch_size, data):
+    return couler.run_container(
+        image="training-image:v1",
+        command=["python", "train.py"],
+        args=["--batch-size", str(batch_size)],
+        step_name="tune-bs-" + str(batch_size),
+        input=data,
+        output=couler.create_oss_artifact(
+            path="/models/bs-" + str(batch_size), name="model", size_bytes=64 * 2**20
+        ),
+    )
+
+tuned_models = couler.map(lambda bs: tune(bs, {data_var}), [64, 128, 256])
+''',
+    ),
+    "report_generation": (
+        "Generate the final analysis report",
+        "report summary pdf plot chart generate document",
+        '''\
+def generate_report():
+    return couler.run_container(
+        image="report-generator:v1",
+        command=["python", "report.py"],
+        step_name="generate-report",
+        output=couler.create_parameter_artifact(
+            path="/reports/final", name="report"
+        ),
+    )
+
+report = generate_report()
+''',
+    ),
+}
+
+#: Distractor entries: plausible snippets that are NOT the canonical
+#: implementation of any predefined task type (retrieval must rank the
+#: canonical entry above these for the pipeline to benefit).
+_DISTRACTORS = [
+    CodeSnippet(
+        task_type="misc",
+        title="Flip a coin and branch",
+        description="random coin conditional branch control flow heads tails",
+        code='result = couler.run_script(image="python:alpine3.6", source="print(1)")\n',
+    ),
+    CodeSnippet(
+        task_type="misc",
+        title="Diamond DAG",
+        description="diamond explicit dag four steps dependencies example",
+        code='couler.dag([[lambda: couler.run_container(image="alpine", step_name="a")]])\n',
+    ),
+    CodeSnippet(
+        task_type="misc",
+        title="Recursive retry until success",
+        description="retry loop recursive while condition exec",
+        code='couler.exec_while(couler.equal("tails"), lambda: flip())\n',
+    ),
+]
+
+
+def canonical_code(task_type: str, params: Optional[dict] = None) -> str:
+    """The ground-truth Couler snippet for a task module."""
+    if task_type not in _TEMPLATES:
+        raise KeyError(f"no canonical template for task type {task_type!r}")
+    params = dict(params or {})
+    params.setdefault("dataset", "dataset")
+    params.setdefault("models", ["model-a", "model-b"])
+    params.setdefault("data_var", "clean_data")
+    params.setdefault("ranking_var", "ranking")
+    template = _TEMPLATES[task_type][2]
+    return template.format(
+        dataset=params["dataset"],
+        models=params["models"],
+        data_var=params["data_var"],
+        ranking_var=params["ranking_var"],
+    )
+
+
+def default_entries() -> List[CodeSnippet]:
+    entries = [
+        CodeSnippet(
+            task_type=task_type,
+            title=title,
+            description=description,
+            code=_TEMPLATES[task_type][2],
+        )
+        for task_type, (title, description, _code) in _TEMPLATES.items()
+    ]
+    return entries + list(_DISTRACTORS)
+
+
+class CodeLake:
+    """TF-IDF retrieval over Code Lake entries."""
+
+    def __init__(self, entries: Optional[Sequence[CodeSnippet]] = None) -> None:
+        self.entries: List[CodeSnippet] = list(entries or default_entries())
+        self._doc_terms: List[Counter] = []
+        self._idf: Dict[str, float] = {}
+        self._build()
+
+    def _build(self) -> None:
+        self._doc_terms = [
+            Counter(t.lower() for t in split_tokens(e.document()))
+            for e in self.entries
+        ]
+        num_docs = len(self._doc_terms)
+        df: Counter = Counter()
+        for terms in self._doc_terms:
+            for term in terms:
+                df[term] += 1
+        self._idf = {
+            term: math.log((1 + num_docs) / (1 + count)) + 1.0
+            for term, count in df.items()
+        }
+
+    def add(self, snippet: CodeSnippet) -> None:
+        self.entries.append(snippet)
+        self._build()
+
+    def _vector(self, terms: Counter) -> Dict[str, float]:
+        return {
+            term: freq * self._idf.get(term, 1.0) for term, freq in terms.items()
+        }
+
+    @staticmethod
+    def _cosine(a: Dict[str, float], b: Dict[str, float]) -> float:
+        if not a or not b:
+            return 0.0
+        dot = sum(weight * b.get(term, 0.0) for term, weight in a.items())
+        norm_a = math.sqrt(sum(w * w for w in a.values()))
+        norm_b = math.sqrt(sum(w * w for w in b.values()))
+        return dot / (norm_a * norm_b) if norm_a and norm_b else 0.0
+
+    def search(self, query: str, top_k: int = 1) -> List[Tuple[float, CodeSnippet]]:
+        """Best-matching snippets for a subtask description."""
+        query_vec = self._vector(Counter(t.lower() for t in split_tokens(query)))
+        scored = [
+            (self._cosine(query_vec, self._vector(doc)), entry)
+            for doc, entry in zip(self._doc_terms, self.entries)
+        ]
+        scored.sort(key=lambda pair: (-pair[0], pair[1].title))
+        return scored[:top_k]
+
+    def best_reference(self, query: str) -> Optional[CodeSnippet]:
+        results = self.search(query, top_k=1)
+        if not results or results[0][0] <= 0.0:
+            return None
+        return results[0][1]

@@ -1,0 +1,74 @@
+"""Per-token pricing for the cost analysis (Table III).
+
+Prices are the 2023-era OpenAI list prices the paper's numbers imply:
+``gpt-3.5-turbo`` at $0.0015/$0.002 per 1k prompt/completion tokens and
+``gpt-4`` at $0.03/$0.06 — with which ~3.2k mostly-prompt tokens cost
+about $0.005 and ~3.8k cost about $0.14, matching the paper's rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+class PricingError(KeyError):
+    """Unknown model name in the price table."""
+
+
+@dataclass(frozen=True)
+class ModelPricing:
+    """USD per 1000 tokens, split by prompt vs. completion."""
+
+    model: str
+    prompt_per_1k: float
+    completion_per_1k: float
+
+    def cost(self, prompt_tokens: int, completion_tokens: int) -> float:
+        return (
+            prompt_tokens * self.prompt_per_1k
+            + completion_tokens * self.completion_per_1k
+        ) / 1000.0
+
+
+PRICE_TABLE: Dict[str, ModelPricing] = {
+    "gpt-3.5-turbo": ModelPricing("gpt-3.5-turbo", 0.0015, 0.002),
+    "gpt-4": ModelPricing("gpt-4", 0.03, 0.06),
+}
+
+
+def pricing_for(model: str) -> ModelPricing:
+    try:
+        return PRICE_TABLE[model]
+    except KeyError:
+        raise PricingError(
+            f"no pricing for model {model!r}; known: {sorted(PRICE_TABLE)}"
+        ) from None
+
+
+@dataclass
+class UsageMeter:
+    """Accumulates token usage and dollar cost across LLM calls."""
+
+    model: str
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+    calls: int = 0
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.completion_tokens
+
+    @property
+    def cost_usd(self) -> float:
+        return pricing_for(self.model).cost(self.prompt_tokens, self.completion_tokens)
+
+    def add(self, prompt_tokens: int, completion_tokens: int) -> None:
+        self.prompt_tokens += prompt_tokens
+        self.completion_tokens += completion_tokens
+        self.calls += 1
+
+    def merge(self, other: "UsageMeter") -> None:
+        self.prompt_tokens += other.prompt_tokens
+        self.completion_tokens += other.completion_tokens
+        self.calls += other.calls

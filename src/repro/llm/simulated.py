@@ -1,0 +1,378 @@
+"""Simulated LLM: the stand-in for ChatGPT-3.5 / GPT-4 (DESIGN.md).
+
+Offline reproduction cannot call a hosted model, so this module provides
+a *behavioural* simulation: per-model quality profiles drive how often a
+generation is correct versus corrupted by a realistic error (wrong API
+name, dropped argument, broken wiring, syntax error).  Every call still
+builds a real prompt string and meters real token counts, so the cost
+analysis (Table III) measures the actual prompt/completion volumes of
+Algorithm 1 — only the *quality sampling* is synthetic, calibrated so
+raw single-shot pass@k lands in the GPT-3.5/GPT-4 bands of Table II.
+
+Determinism: all sampling flows from one seeded RNG per instance, so a
+fixed (profile, seed, temperature) reproduces identical outputs.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import re
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .codelake import CodeLake, CodeSnippet, TASK_TYPES, canonical_code
+from .pricing import UsageMeter
+from .tokenizer import count_tokens
+
+
+@dataclass(frozen=True)
+class LLMResponse:
+    """One completion with its token accounting."""
+
+    text: str
+    prompt_tokens: int
+    completion_tokens: int
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """Behavioural quality profile of a simulated model."""
+
+    name: str
+    #: Per-module correctness when generating the whole workflow in one
+    #: shot (Table II raw baselines multiply this across modules).
+    p_module_singleshot: float
+    #: Per-subtask correctness without / with a Code Lake reference.
+    p_correct_no_ref: float
+    p_correct_with_ref: float
+    #: Probability each true module is correctly identified in Step 1.
+    p_decompose_module: float
+    #: Mean critique scores for correct vs. incorrect code, and noise.
+    critique_mean_correct: float = 0.88
+    critique_mean_incorrect: float = 0.45
+    critique_noise: float = 0.08
+    #: Correctness degradation per unit of temperature above 0.2.
+    temperature_sensitivity: float = 0.25
+    #: Verbosity multiplier on completion lengths (GPT-4 is chattier).
+    verbosity: float = 1.0
+    #: Task-hardness capabilities: a task with hardness beyond these
+    #: anchors stays failed across samples (systematic failure — the
+    #: reason the paper's pass@k grows slowly in k).  ``capability_raw``
+    #: applies to single-shot whole-workflow generation;
+    #: ``capability_ours`` to the decomposed + retrieval pipeline.
+    capability_raw: float = 0.40
+    capability_ours: float = 0.66
+
+
+#: Calibrated so that 5-module single-shot workflows land near the
+#: paper's raw pass@1 (GPT-3.5 ~35%, GPT-4 ~46%) and the full pipeline
+#: lands near the "+Ours" rows (~61% / ~73%); see the Table II bench.
+GPT35_PROFILE = ModelProfile(
+    name="gpt-3.5-turbo",
+    p_module_singleshot=0.985,
+    p_correct_no_ref=0.72,
+    p_correct_with_ref=0.88,
+    p_decompose_module=0.99,
+    critique_noise=0.10,
+    verbosity=1.0,
+    capability_raw=0.385,
+    capability_ours=0.655,
+)
+
+GPT4_PROFILE = ModelProfile(
+    name="gpt-4",
+    p_module_singleshot=0.99,
+    p_correct_no_ref=0.82,
+    p_correct_with_ref=0.94,
+    p_decompose_module=0.995,
+    critique_noise=0.06,
+    verbosity=1.15,
+    capability_raw=0.47,
+    capability_ours=0.80,
+)
+
+PROFILES: Dict[str, ModelProfile] = {
+    GPT35_PROFILE.name: GPT35_PROFILE,
+    GPT4_PROFILE.name: GPT4_PROFILE,
+}
+
+
+@dataclass(frozen=True)
+class SubtaskSpec:
+    """One decomposed task module (Step 1 output)."""
+
+    text: str
+    task_type: str
+    params: Dict[str, object] = field(default_factory=dict)
+
+
+# ----------------------------------------------------------- corruptions
+
+
+def _corrupt_wrong_api(code: str, rng: random.Random) -> str:
+    replacements = [
+        ("couler.run_container", "couler.run_pod"),
+        ("couler.run_container", "couler.start_container"),
+        ("couler.map", "couler.parallel_map"),
+        ("couler.create_oss_artifact", "couler.create_bucket_artifact"),
+    ]
+    old, new = rng.choice(replacements)
+    if old in code:
+        return code.replace(old, new, 1)
+    return code.replace("couler.", "kouler.", 1)
+
+
+def _corrupt_missing_arg(code: str, rng: random.Random) -> str:
+    lines = code.splitlines()
+    candidates = [i for i, l in enumerate(lines) if re.match(r"\s+image=", l)]
+    if not candidates:
+        candidates = [i for i, l in enumerate(lines) if re.match(r"\s+command=", l)]
+    if candidates:
+        del lines[rng.choice(candidates)]
+        return "\n".join(lines)
+    return code
+
+
+def _corrupt_wiring(code: str, rng: random.Random) -> str:
+    lines = code.splitlines()
+    candidates = [i for i, l in enumerate(lines) if re.match(r"\s+input=", l)]
+    if candidates:
+        del lines[rng.choice(candidates)]
+        return "\n".join(lines)
+    return _corrupt_missing_arg(code, rng)
+
+
+def _corrupt_syntax(code: str, rng: random.Random) -> str:
+    index = code.rfind(")")
+    if index > 0:
+        return code[:index] + code[index + 1:]
+    return code + "\n)"
+
+
+_CORRUPTIONS = (_corrupt_wrong_api, _corrupt_missing_arg, _corrupt_wiring, _corrupt_syntax)
+
+
+class SimulatedLLM:
+    """The behavioural LLM used by Algorithm 1 and the evaluations."""
+
+    def __init__(
+        self,
+        profile: "ModelProfile | str" = GPT35_PROFILE,
+        code_lake: Optional[CodeLake] = None,
+        temperature: float = 0.2,
+        seed: int = 0,
+    ) -> None:
+        if isinstance(profile, str):
+            profile = PROFILES[profile]
+        if not 0.0 <= temperature <= 2.0:
+            raise ValueError(f"temperature out of range: {temperature}")
+        self.profile = profile
+        self.code_lake = code_lake or CodeLake()
+        self.temperature = temperature
+        self._rng = random.Random(seed)
+        self.meter = UsageMeter(model=profile.name)
+        self._task_hardness = 0.0
+
+    # ------------------------------------------------------------- plumbing
+
+    def begin_task(self, description: str) -> float:
+        """Fix the intrinsic hardness of the current task.
+
+        Hardness is a stable hash of the description, identical across
+        models and samples — so a hard task fails *systematically*, the
+        way real workflow-conversion failures do in the paper (pass@k
+        grows slowly in k).  Returns the hardness for introspection.
+        """
+        self._task_hardness = (
+            zlib.crc32(description.encode("utf-8")) % 10_000
+        ) / 10_000.0
+        return self._task_hardness
+
+    def _solve_multiplier(self, capability: float) -> float:
+        """Logistic gate: ~1 for tasks within capability, ~0 beyond."""
+        return 1.0 / (1.0 + math.exp(40.0 * (self._task_hardness - capability)))
+
+    def _p_effective(self, base: float) -> float:
+        penalty = self.profile.temperature_sensitivity * max(
+            0.0, self.temperature - 0.2
+        )
+        return max(0.01, min(0.999, base * (1.0 - penalty)))
+
+    def _p_gated(self, base: float, capability: float, floor: float) -> float:
+        """Temperature- and hardness-adjusted correctness probability."""
+        mult = self._solve_multiplier(capability)
+        return self._p_effective(floor + (base - floor) * mult)
+
+    def _account(self, prompt: str, completion: str) -> LLMResponse:
+        prompt_tokens = count_tokens(prompt)
+        completion_tokens = int(
+            count_tokens(completion) * self.profile.verbosity
+        )
+        self.meter.add(prompt_tokens, completion_tokens)
+        return LLMResponse(completion, prompt_tokens, completion_tokens)
+
+    def _maybe_corrupt(self, code: str, p_correct: float) -> Tuple[str, bool]:
+        """Emit ``code`` unchanged with probability ``p_correct`` (already
+        temperature/hardness adjusted), else a corrupted variant."""
+        if self._rng.random() < p_correct:
+            return code, True
+        corruption = self._rng.choice(_CORRUPTIONS)
+        return corruption(code, self._rng), False
+
+    # ------------------------------------------------- Step 1: decomposition
+
+    def decompose(
+        self, description: str, true_modules: Optional[Sequence[SubtaskSpec]] = None
+    ) -> List[SubtaskSpec]:
+        """Chain-of-thought modular decomposition.
+
+        Candidate modules come from the mechanical keyword decomposer
+        (``repro.nl2wf.decompose``) applied to the description itself —
+        no ground truth involved.  Callers may pass ``true_modules`` to
+        override the candidate set (calibration tests use this).  The
+        simulated model then recovers each candidate with probability
+        ``p_decompose_module`` and otherwise drops or mislabels it —
+        the error modes a real LLM exhibits on this step.
+        """
+        if true_modules is None:
+            from ..nl2wf.decompose import decompose_description
+
+            true_modules = decompose_description(description)
+        prompt = (
+            "I have a natural language description of a computational task. "
+            "Decompose it into smaller, more concise task modules, one per "
+            "line, using the predefined task types "
+            f"{', '.join(TASK_TYPES)}.\n\nDescription:\n{description}"
+        )
+        recovered: List[SubtaskSpec] = []
+        for module in true_modules:
+            roll = self._rng.random()
+            if roll < self._p_effective(self.profile.p_decompose_module):
+                recovered.append(module)
+            elif roll < self._p_effective(self.profile.p_decompose_module) + 0.5 * (
+                1 - self._p_effective(self.profile.p_decompose_module)
+            ):
+                # Mislabel: a near-miss task type.
+                wrong = self._rng.choice(
+                    [t for t in TASK_TYPES if t != module.task_type]
+                )
+                recovered.append(
+                    SubtaskSpec(text=module.text, task_type=wrong, params=module.params)
+                )
+            # else: dropped entirely.
+        completion = "\n".join(f"- {m.task_type}: {m.text}" for m in recovered)
+        self._account(prompt, completion)
+        return recovered
+
+    # ------------------------------------------------- Step 2: generation
+
+    def generate_subtask_code(
+        self, subtask: SubtaskSpec, reference: Optional[CodeSnippet] = None
+    ) -> LLMResponse:
+        """Generate Couler code for one task module (Step 2)."""
+        reference_text = (
+            f"\nReference code:\n{reference.code}" if reference else ""
+        )
+        prompt = (
+            "I have a concise task module, can you help me generate COULER "
+            "code for it? The unified interface provides run_container, "
+            "run_script, run_job, map, concurrent, when and artifact "
+            f"constructors.{reference_text}\n\nThe task is:\n"
+            f"{subtask.task_type}: {subtask.text}"
+        )
+        truth = canonical_code(subtask.task_type, dict(subtask.params))
+        if reference is not None and reference.task_type == subtask.task_type:
+            p = self._p_gated(
+                self.profile.p_correct_with_ref,
+                self.profile.capability_ours,
+                floor=0.10,
+            )
+        else:
+            # No (or off-topic) reference: the model leans on weaker
+            # prior knowledge and its capability ceiling drops.
+            p = self._p_gated(
+                self.profile.p_correct_no_ref,
+                self.profile.capability_ours - 0.12,
+                floor=0.05,
+            )
+        code, _correct = self._maybe_corrupt(truth, p)
+        return self._account(prompt, code)
+
+    def generate_workflow_code(
+        self, description: str, true_modules: Optional[Sequence[SubtaskSpec]] = None
+    ) -> LLMResponse:
+        """Single-shot whole-workflow generation (the raw baseline).
+
+        The module plan comes from the mechanical decomposer over the
+        description (the model "understands" the request); each module
+        independently comes out correct with ``p_module_singleshot`` —
+        the paper's observation that "overall workflow complexity
+        hampers the performance of LLMs in complete workflow conversion"
+        is exactly this multiplicative decay.
+        """
+        if true_modules is None:
+            from ..nl2wf.decompose import decompose_description
+
+            true_modules = decompose_description(description)
+        prompt = (
+            "Generate complete COULER workflow code for the following "
+            f"description, in one response:\n{description}"
+        )
+        pieces = []
+        p = self._p_gated(
+            self.profile.p_module_singleshot,
+            self.profile.capability_raw,
+            floor=0.03,
+        )
+        for module in true_modules:
+            truth = canonical_code(module.task_type, dict(module.params))
+            code, _correct = self._maybe_corrupt(truth, p)
+            pieces.append(code)
+        completion = "\n".join(pieces)
+        return self._account(prompt, completion)
+
+    # ------------------------------------------------ Step 3: self-calibration
+
+    def critique(self, code: str, is_correct: bool) -> Tuple[float, LLMResponse]:
+        """Score generated code in [0, 1] (Step 3's LLM-as-critic).
+
+        ``is_correct`` is the hidden ground truth the score is sampled
+        around; the caller never branches on it directly — only on the
+        returned (noisy) score, as Algorithm 1 line 8 does.
+        """
+        prompt = (
+            "Score this COULER snippet between 0 and 1 for compliance with "
+            f"the standard templates.\n\nCode:\n{code}"
+        )
+        mean = (
+            self.profile.critique_mean_correct
+            if is_correct
+            else self.profile.critique_mean_incorrect
+        )
+        score = max(0.0, min(1.0, self._rng.gauss(mean, self.profile.critique_noise)))
+        response = self._account(prompt, f"score: {score:.2f}")
+        return score, response
+
+    # ------------------------------------------------ Step 4: user feedback
+
+    def refine_with_feedback(
+        self, subtask: SubtaskSpec, previous_code: str, feedback: str
+    ) -> LLMResponse:
+        """Regenerate after textual user feedback (Step 4).
+
+        Feedback pins down the failure, so correctness probability gets
+        a strong boost over plain regeneration.
+        """
+        prompt = (
+            "The generated workflow code did not meet the user's "
+            f"requirements. User feedback:\n{feedback}\n\nPrevious code:\n"
+            f"{previous_code}\n\nPlease produce corrected COULER code for "
+            f"the task: {subtask.task_type}: {subtask.text}"
+        )
+        truth = canonical_code(subtask.task_type, dict(subtask.params))
+        boosted = min(0.98, self.profile.p_correct_with_ref + 0.07)
+        p = self._p_gated(boosted, self.profile.capability_ours + 0.05, floor=0.15)
+        code, _correct = self._maybe_corrupt(truth, p)
+        return self._account(prompt, code)

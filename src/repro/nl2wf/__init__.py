@@ -1,0 +1,39 @@
+"""NL -> unified programming interface (paper Sec. III, Algorithm 1)."""
+
+from .corpus import NLTask, build_corpus
+from .decompose import classify_sentence, decompose_description, extract_dataset, extract_models
+from .executor import CodeExecutionError, execute_couler_code
+from .passk import (
+    DEFAULT_KS,
+    DEFAULT_TEMPERATURES,
+    PassKResult,
+    evaluate_sampler,
+    make_ours_sampler,
+    make_raw_sampler,
+    pass_at_k,
+)
+from .pipeline import ConversionResult, ModuleGeneration, NLToWorkflow
+from .validate import ValidationReport, compare_ir
+
+__all__ = [
+    "CodeExecutionError",
+    "ConversionResult",
+    "DEFAULT_KS",
+    "DEFAULT_TEMPERATURES",
+    "ModuleGeneration",
+    "NLTask",
+    "NLToWorkflow",
+    "PassKResult",
+    "ValidationReport",
+    "build_corpus",
+    "classify_sentence",
+    "decompose_description",
+    "extract_dataset",
+    "extract_models",
+    "compare_ir",
+    "evaluate_sampler",
+    "execute_couler_code",
+    "make_ours_sampler",
+    "make_raw_sampler",
+    "pass_at_k",
+]

@@ -1,0 +1,216 @@
+"""NL task corpus for the code-generation evaluation (Table II).
+
+The paper's workload contains 26 training scenarios; this corpus
+mirrors that scale with 26 natural-language workflow descriptions, each
+carrying its ground-truth modular decomposition (the thing Step 1 must
+recover) and enough parameters to render the canonical code.  The
+expected IR for a task is obtained by executing the canonical snippets
+— i.e. the ground truth is defined by the same executable semantics the
+generated code is judged against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..ir.graph import WorkflowIR
+from ..llm.codelake import canonical_code
+from ..llm.simulated import SubtaskSpec
+from .executor import execute_couler_code
+
+
+@dataclass(frozen=True)
+class NLTask:
+    """One evaluation task: description + ground-truth decomposition."""
+
+    name: str
+    description: str
+    modules: List[SubtaskSpec] = field(default_factory=list)
+
+    def canonical_program(self) -> str:
+        """The ground-truth Couler program (all canonical snippets)."""
+        pieces = [canonical_code(m.task_type, dict(m.params)) for m in self.modules]
+        return "\n".join(pieces)
+
+    def expected_ir(self) -> WorkflowIR:
+        """Execute the canonical program to obtain the reference IR."""
+        return execute_couler_code(self.canonical_program(), workflow_name=self.name)
+
+
+_MODULE_TEXT = {
+    "data_loading": "Load the {dataset} dataset from remote storage.",
+    "data_preprocessing": "Preprocess and clean the raw {dataset} data.",
+    "data_augmentation": "Augment the training data with synthetic variations.",
+    "model_training": "Train the candidate models {models} on the prepared data.",
+    "model_evaluation": "Validate each trained model using the validation data.",
+    "model_comparison": "Compare the evaluation metrics across all models.",
+    "model_selection": "Select the best-performing model.",
+    "model_deployment": "Deploy the selected model to the serving environment.",
+    "hyperparameter_tuning": "Sweep batch sizes to tune the training hyperparameters.",
+    "report_generation": "Generate a final analysis report of the results.",
+}
+
+#: Paraphrased module texts: same semantics, different surface forms —
+#: used to check the Step-1 decomposer is not keyed to one phrasing.
+_MODULE_TEXT_ALTERNATE = {
+    "data_loading": "Ingest the {dataset} dataset from cold storage.",
+    "data_preprocessing": "Normalize and transform the raw {dataset} data.",
+    "data_augmentation": "Enrich the data with synthetic variations.",
+    "model_training": "Fit the candidate models {models} on the prepared data.",
+    "model_evaluation": "Evaluate each fitted model on held-out data.",
+    "model_comparison": "Compare metrics across all fitted models.",
+    "model_selection": "Choose the best model based on the scores.",
+    "model_deployment": "Push the model to the serving environment.",
+    "hyperparameter_tuning": "Sweep learning rates to find good hyperparameters.",
+    "report_generation": "Document the results in a summary report.",
+}
+
+
+def _spec(
+    task_type: str,
+    dataset: str,
+    models: Sequence[str],
+    data_var: str,
+    ranking_var: str,
+    style: str = "default",
+) -> SubtaskSpec:
+    texts = _MODULE_TEXT_ALTERNATE if style == "alternate" else _MODULE_TEXT
+    text = texts[task_type].format(dataset=dataset, models=list(models))
+    return SubtaskSpec(
+        text=text,
+        task_type=task_type,
+        params={
+            "dataset": dataset,
+            "models": list(models),
+            "data_var": data_var,
+            "ranking_var": ranking_var,
+        },
+    )
+
+
+def _task(
+    name: str,
+    intro: str,
+    dataset: str,
+    models: Sequence[str],
+    sequence: Sequence[str],
+    style: str = "default",
+) -> NLTask:
+    data_var = "raw_data"
+    # model_selection reads the comparison ranking when present,
+    # otherwise directly the per-model evaluation results.
+    ranking_var = "ranking" if "model_comparison" in sequence else "eval_results"
+    modules: List[SubtaskSpec] = []
+    for task_type in sequence:
+        modules.append(
+            _spec(task_type, dataset, models, data_var, ranking_var, style=style)
+        )
+        if task_type == "data_preprocessing":
+            data_var = "clean_data"
+        elif task_type == "data_augmentation":
+            data_var = "augmented_data"
+    description = intro + " " + " ".join(m.text for m in modules)
+    return NLTask(name=name, description=description, modules=modules)
+
+
+#: Module sequences seen in production workflows (all start with
+#: data_loading; variable threading is handled by _task).
+_SEQUENCES: Dict[str, List[str]] = {
+    "select-best": [
+        "data_loading",
+        "data_preprocessing",
+        "model_training",
+        "model_evaluation",
+        "model_comparison",
+        "model_selection",
+    ],
+    "train-eval": [
+        "data_loading",
+        "data_preprocessing",
+        "model_training",
+        "model_evaluation",
+    ],
+    "augmented": [
+        "data_loading",
+        "data_preprocessing",
+        "data_augmentation",
+        "model_training",
+        "model_evaluation",
+        "model_selection",
+    ],
+    "deploy": [
+        "data_loading",
+        "data_preprocessing",
+        "model_training",
+        "model_evaluation",
+        "model_selection",
+        "model_deployment",
+    ],
+    "tune": [
+        "data_loading",
+        "data_preprocessing",
+        "hyperparameter_tuning",
+        "report_generation",
+    ],
+    "report": [
+        "data_loading",
+        "data_preprocessing",
+        "model_training",
+        "model_evaluation",
+        "report_generation",
+    ],
+    "quick": [
+        "data_loading",
+        "model_training",
+        "model_evaluation",
+    ],
+}
+
+_SCENARIOS = [
+    ("market-trends", "I need to design a workflow to predict market trends.",
+     "market-ticks", ["lstm", "arima", "transformer"]),
+    ("image-classify", "I need to design a workflow to select the optimal image classification model.",
+     "imagenet-subset", ["resnet", "vit", "densenet"]),
+    ("churn", "Build a workflow that predicts customer churn for a telco.",
+     "telco-churn", ["xgboost", "lightgbm"]),
+    ("sentiment", "Create a workflow for sentiment analysis over product reviews.",
+     "reviews-corpus", ["bert", "lstm"]),
+    ("fraud", "Design a fraud detection training workflow over transactions.",
+     "transactions", ["gbdt", "mlp"]),
+    ("ads-ctr", "Build a click-through-rate prediction workflow for ads.",
+     "ads-logs", ["wide-deep", "deepfm"]),
+    ("segmentation", "Create an image segmentation training workflow.",
+     "cityscapes-like", ["unet", "deeplab"]),
+    ("lm-finetune", "Fine-tune language models for text classification.",
+     "text-20gb", ["nanogpt", "bert"]),
+]
+
+
+def build_corpus(style: str = "default", size: int = 26) -> List[NLTask]:
+    """The 26-task corpus used by the Table II / Table III experiments.
+
+    ``style="alternate"`` renders every module text with a paraphrase
+    (same semantics, different surface form) — used to confirm the
+    Step-1 decomposer does not overfit one phrasing.
+    """
+    tasks: List[NLTask] = []
+    sequence_names = list(_SEQUENCES)
+    index = 0
+    while len(tasks) < size:
+        scenario = _SCENARIOS[index % len(_SCENARIOS)]
+        seq_name = sequence_names[index % len(sequence_names)]
+        name, intro, dataset, models = scenario
+        suffix = "" if style == "default" else f"-{style}"
+        tasks.append(
+            _task(
+                name=f"{name}-{seq_name}{suffix}",
+                intro=intro,
+                dataset=dataset,
+                models=models,
+                sequence=_SEQUENCES[seq_name],
+                style=style,
+            )
+        )
+        index += 1
+    return tasks

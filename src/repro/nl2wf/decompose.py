@@ -1,0 +1,121 @@
+"""Rule-based modular decomposition (Step 1's deterministic core).
+
+"A series of predefined task types can be established to identify and
+extract pertinent tasks based on the input of natural language
+descriptions automatically."  This module is that series: a keyword
+classifier over the predefined task types plus parameter extraction
+(dataset name, model list), which turns an NL description into
+:class:`SubtaskSpec` candidates *without* access to any ground truth.
+
+The simulated LLM layers its error model (drop / mislabel) on top of
+these candidates, so the pipeline's Step 1 is mechanistic end to end.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Sequence
+
+from ..llm.simulated import SubtaskSpec
+
+#: Keyword evidence per predefined task type.  Order matters: more
+#: specific types come first so e.g. "compare ... metrics" does not
+#: fall through to evaluation.
+_TYPE_KEYWORDS: List[tuple] = [
+    ("data_augmentation", ("augment", "synthetic variation", "oversampl")),
+    ("data_preprocessing", ("preprocess", "clean", "normalize", "transform the")),
+    ("data_loading", ("load", "ingest", "read the", "import the")),
+    ("hyperparameter_tuning", ("sweep", "hyperparameter", "grid search")),
+    ("model_comparison", ("compare", "ranking", "leaderboard")),
+    ("model_deployment", ("deploy", "serving", "rollout", "push the model")),
+    ("model_selection", ("select the best", "best-performing", "pick", "choose")),
+    ("model_evaluation", ("validate", "evaluate", "evaluation", "metrics")),
+    ("model_training", ("train", "fit", "fine-tune", "finetune")),
+    ("report_generation", ("report", "summary", "document the")),
+]
+
+_SENTENCE_RE = re.compile(r"[^.!?]+[.!?]?")
+_DATASET_RE = re.compile(r"\bthe\s+([A-Za-z0-9][A-Za-z0-9_-]*)\s+(?:dataset|data\b)")
+_MODELS_RE = re.compile(r"\[([^\]]+)\]")
+
+
+def split_sentences(description: str) -> List[str]:
+    return [s.strip() for s in _SENTENCE_RE.findall(description) if s.strip()]
+
+
+def classify_sentence(sentence: str) -> Optional[str]:
+    """Map one sentence to a predefined task type, or None."""
+    lowered = sentence.lower()
+    for task_type, keywords in _TYPE_KEYWORDS:
+        if any(keyword in lowered for keyword in keywords):
+            return task_type
+    return None
+
+
+def extract_dataset(description: str) -> str:
+    match = _DATASET_RE.search(description)
+    return match.group(1) if match else "dataset"
+
+
+def extract_models(description: str) -> List[str]:
+    """Pull a model list like ``['resnet', 'vit']`` out of the text."""
+    match = _MODELS_RE.search(description)
+    if not match:
+        return ["model-a", "model-b"]
+    try:
+        parsed = ast.literal_eval(f"[{match.group(1)}]")
+        models = [str(item) for item in parsed]
+        return models or ["model-a", "model-b"]
+    except (ValueError, SyntaxError):
+        return [part.strip(" '\"") for part in match.group(1).split(",")]
+
+
+def decompose_description(description: str) -> List[SubtaskSpec]:
+    """Fully mechanical Step 1: sentences -> typed, parameterized modules.
+
+    Variable threading mirrors production conventions: the training
+    data variable advances through loading / preprocessing /
+    augmentation, and model selection consumes the comparison ranking
+    when a comparison module exists, else the raw evaluation results.
+    """
+    dataset = extract_dataset(description)
+    models = extract_models(description)
+    sentences = split_sentences(description)
+
+    typed: List[tuple] = []
+    seen: set = set()
+    for index, sentence in enumerate(sentences):
+        # The opening sentence states the objective ("I need to design a
+        # workflow to ..."), not a task module; sentences that talk about
+        # the workflow itself are likewise goal statements.
+        if index == 0 or "workflow" in sentence.lower():
+            continue
+        task_type = classify_sentence(sentence)
+        if task_type is None or task_type in seen:
+            continue
+        seen.add(task_type)
+        typed.append((task_type, sentence))
+
+    has_comparison = any(t == "model_comparison" for t, _ in typed)
+    ranking_var = "ranking" if has_comparison else "eval_results"
+    data_var = "raw_data"
+    modules: List[SubtaskSpec] = []
+    for task_type, sentence in typed:
+        modules.append(
+            SubtaskSpec(
+                text=sentence,
+                task_type=task_type,
+                params={
+                    "dataset": dataset,
+                    "models": models,
+                    "data_var": data_var,
+                    "ranking_var": ranking_var,
+                },
+            )
+        )
+        if task_type == "data_preprocessing":
+            data_var = "clean_data"
+        elif task_type == "data_augmentation":
+            data_var = "augmented_data"
+    return modules

@@ -1,0 +1,197 @@
+"""Algorithm 1: NL description -> executable unified programming code.
+
+The four steps, exactly as the paper lays them out:
+
+1. **Modular decomposition** — chain-of-thought split of the NL
+   description into concise task modules of predefined types.
+2. **Code generation** — per subtask, retrieve a relevant reference from
+   the Code Lake and generate code with the LLM.
+3. **Self-calibration** — the LLM critiques each snippet; while its
+   score falls below the baseline score ``S_b`` the snippet is
+   regenerated (bounded, since "there may be complex scenarios in which
+   achieving the desired score is impractical").
+4. **User feedback** — on validation failure the user pinpoints the
+   offending module in text and the code is refined once more.
+
+Ablation switches (``use_retrieval`` / ``use_calibration``) exist for
+the Table II configuration study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..ir.graph import WorkflowIR
+from ..llm.codelake import CodeLake, canonical_code
+from ..llm.simulated import SimulatedLLM, SubtaskSpec
+from .corpus import NLTask
+from .executor import CodeExecutionError, execute_couler_code
+from .validate import ValidationReport, compare_ir
+
+
+@dataclass
+class ModuleGeneration:
+    """What happened while generating one subtask's code."""
+
+    subtask: SubtaskSpec
+    code: str
+    attempts: int
+    final_score: float
+    used_reference: bool
+
+
+@dataclass
+class ConversionResult:
+    """End-to-end outcome for one NL task."""
+
+    task_name: str
+    code: str
+    ir: Optional[WorkflowIR]
+    passed: bool
+    report: Optional[ValidationReport] = None
+    modules: List[ModuleGeneration] = field(default_factory=list)
+    error: Optional[str] = None
+    feedback_rounds: int = 0
+
+
+class NLToWorkflow:
+    """The Algorithm 1 driver ("+Ours" in Table II)."""
+
+    def __init__(
+        self,
+        llm: SimulatedLLM,
+        code_lake: Optional[CodeLake] = None,
+        baseline_score: float = 0.7,
+        max_regenerations: int = 2,
+        use_retrieval: bool = True,
+        use_calibration: bool = True,
+    ) -> None:
+        if not 0.0 <= baseline_score <= 1.0:
+            raise ValueError(f"baseline_score must be in [0,1]: {baseline_score}")
+        self.llm = llm
+        self.code_lake = code_lake or llm.code_lake
+        self.baseline_score = baseline_score
+        self.max_regenerations = max_regenerations
+        self.use_retrieval = use_retrieval
+        self.use_calibration = use_calibration
+
+    # ------------------------------------------------------------ internals
+
+    def _is_canonical(self, subtask: SubtaskSpec, code: str) -> bool:
+        """Hidden truth for the critic: does the snippet match the
+        canonical template for its (believed) task type?"""
+        return code == canonical_code(subtask.task_type, dict(subtask.params))
+
+    def _generate_module(self, subtask: SubtaskSpec) -> ModuleGeneration:
+        reference = None
+        if self.use_retrieval:
+            reference = self.code_lake.best_reference(
+                f"{subtask.task_type} {subtask.text}"
+            )
+        response = self.llm.generate_subtask_code(subtask, reference)
+        code = response.text
+        attempts = 1
+        score = 1.0
+        if self.use_calibration:
+            score, _ = self.llm.critique(code, self._is_canonical(subtask, code))
+            while score < self.baseline_score and attempts <= self.max_regenerations:
+                response = self.llm.generate_subtask_code(subtask, reference)
+                code = response.text
+                attempts += 1
+                score, _ = self.llm.critique(code, self._is_canonical(subtask, code))
+        return ModuleGeneration(
+            subtask=subtask,
+            code=code,
+            attempts=attempts,
+            final_score=score,
+            used_reference=reference is not None,
+        )
+
+    def _assemble_and_validate(
+        self, task: NLTask, modules: List[ModuleGeneration]
+    ) -> ConversionResult:
+        program = "\n".join(m.code for m in modules)
+        result = ConversionResult(
+            task_name=task.name, code=program, ir=None, passed=False, modules=modules
+        )
+        try:
+            result.ir = execute_couler_code(program, workflow_name=task.name)
+        except CodeExecutionError as exc:
+            result.error = str(exc)
+            return result
+        result.report = compare_ir(task.expected_ir(), result.ir)
+        result.passed = result.report.ok
+        return result
+
+    # --------------------------------------------------------------- public
+
+    def convert(self, task: NLTask, user_feedback_rounds: int = 0) -> ConversionResult:
+        """Run Algorithm 1 on one task.
+
+        ``user_feedback_rounds > 0`` enables Step 4: after a failed
+        validation the "user" points at the modules whose code deviates
+        from the expected behaviour and the LLM refines them.
+        """
+        self.llm.begin_task(task.description)
+        believed = self.llm.decompose(task.description)
+        modules = [self._generate_module(subtask) for subtask in believed]
+        result = self._assemble_and_validate(task, modules)
+
+        rounds = 0
+        while not result.passed and rounds < user_feedback_rounds:
+            rounds += 1
+            feedback = self._feedback_text(task, result)
+            modules = [
+                self._refine_module(m, feedback) if not self._module_ok(task, m) else m
+                for m in modules
+            ]
+            result = self._assemble_and_validate(task, modules)
+            result.feedback_rounds = rounds
+        return result
+
+    def convert_single_shot(self, task: NLTask) -> ConversionResult:
+        """The raw-model baseline: one whole-workflow generation."""
+        self.llm.begin_task(task.description)
+        response = self.llm.generate_workflow_code(task.description)
+        result = ConversionResult(
+            task_name=task.name, code=response.text, ir=None, passed=False
+        )
+        try:
+            result.ir = execute_couler_code(response.text, workflow_name=task.name)
+        except CodeExecutionError as exc:
+            result.error = str(exc)
+            return result
+        result.report = compare_ir(task.expected_ir(), result.ir)
+        result.passed = result.report.ok
+        return result
+
+    # ------------------------------------------------------------- feedback
+
+    def _module_ok(self, task: NLTask, module: ModuleGeneration) -> bool:
+        truth_types = {m.task_type for m in task.modules}
+        return (
+            module.subtask.task_type in truth_types
+            and self._is_canonical(module.subtask, module.code)
+        )
+
+    @staticmethod
+    def _feedback_text(task: NLTask, result: ConversionResult) -> str:
+        if result.error:
+            return f"The workflow failed to execute: {result.error}"
+        problems = result.report.problems if result.report else []
+        return "The workflow structure is wrong: " + "; ".join(problems[:3])
+
+    def _refine_module(
+        self, module: ModuleGeneration, feedback: str
+    ) -> ModuleGeneration:
+        response = self.llm.refine_with_feedback(
+            module.subtask, module.code, feedback
+        )
+        return ModuleGeneration(
+            subtask=module.subtask,
+            code=response.text,
+            attempts=module.attempts + 1,
+            final_score=module.final_score,
+            used_reference=module.used_reference,
+        )

@@ -1,0 +1,52 @@
+"""Functional-equivalence check between generated and expected IR.
+
+A generated sample *passes* when its IR matches the reference IR the
+canonical program produces: same step names with the same operations and
+images, the same dependency edges, and the same conditions.  This is the
+executable analogue of the unit-test check behind pass@k in code-
+generation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..ir.graph import WorkflowIR
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of comparing a generated IR against the reference."""
+
+    ok: bool
+    problems: List[str] = field(default_factory=list)
+
+
+def compare_ir(expected: WorkflowIR, actual: WorkflowIR) -> ValidationReport:
+    """Structural equivalence with actionable problem strings."""
+    problems: List[str] = []
+    expected_names = set(expected.nodes)
+    actual_names = set(actual.nodes)
+    missing = expected_names - actual_names
+    extra = actual_names - expected_names
+    if missing:
+        problems.append(f"missing steps: {sorted(missing)}")
+    if extra:
+        problems.append(f"unexpected steps: {sorted(extra)}")
+    for name in sorted(expected_names & actual_names):
+        e_node, a_node = expected.nodes[name], actual.nodes[name]
+        if e_node.op != a_node.op:
+            problems.append(f"step {name}: op {a_node.op} != {e_node.op}")
+        if e_node.image != a_node.image:
+            problems.append(f"step {name}: image {a_node.image!r} != {e_node.image!r}")
+        if e_node.when != a_node.when:
+            problems.append(f"step {name}: condition differs")
+    if expected.edges != actual.edges:
+        lost = expected.edges - actual.edges
+        gained = actual.edges - expected.edges
+        if lost:
+            problems.append(f"missing edges: {sorted(lost)}")
+        if gained:
+            problems.append(f"unexpected edges: {sorted(gained)}")
+    return ValidationReport(ok=not problems, problems=problems)

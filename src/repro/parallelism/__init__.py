@@ -1,0 +1,23 @@
+"""Big-workflow auto-parallelism (paper Sec. IV.B, Algorithm 3)."""
+
+from .budget import (
+    BudgetCost,
+    BudgetModel,
+    DEFAULT_MAX_STEPS,
+    DEFAULT_MAX_YAML_BYTES,
+)
+from .splitter import SplitError, SplitPlan, WorkflowSplitter
+from .stitch import StagedExecutionError, StagedResult, StagedSubmitter
+
+__all__ = [
+    "BudgetCost",
+    "BudgetModel",
+    "DEFAULT_MAX_STEPS",
+    "DEFAULT_MAX_YAML_BYTES",
+    "SplitError",
+    "SplitPlan",
+    "StagedExecutionError",
+    "StagedResult",
+    "StagedSubmitter",
+    "WorkflowSplitter",
+]

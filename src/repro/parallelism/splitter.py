@@ -1,0 +1,215 @@
+"""Big-workflow auto-parallelism: Algorithm 3.
+
+Workflows with hundreds of nodes overflow the Kubernetes CRD size limit
+(the API server rejects YAML past ~2 MB), so the optimizer splits the
+DAG into multiple sub-workflows, each within budget, scheduled so that
+cross-sub-workflow dependencies are honoured.
+
+The algorithm walks the DAG depth-first and greedily packs vertices
+into the current candidate sub-workflow until adding one more would
+exceed the budget, then flushes the candidate and starts a new one —
+exactly the paper's SplitWorkflow.  Packing happens along a *DFS-derived
+topological order* (reverse postorder): any edge u -> v places u at or
+before v's chunk, so the resulting sub-workflow dependency graph is
+always acyclic and the runtime stays O(|V| + |E|).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ..ir.graph import WorkflowIR
+from ..ir.nodes import IRError
+from .budget import BudgetCost, BudgetModel
+
+
+class SplitError(RuntimeError):
+    """Raised when a workflow cannot be split within the budget."""
+
+
+@dataclass
+class SplitPlan:
+    """The output of the splitter: sub-workflows plus their wiring."""
+
+    original_name: str
+    parts: List[WorkflowIR] = field(default_factory=list)
+    #: Which part each original node landed in.
+    assignment: Dict[str, int] = field(default_factory=dict)
+    #: Cross-part dependency edges as (from_part, to_part) indices.
+    cross_edges: Set[Tuple[int, int]] = field(default_factory=set)
+    #: Original edges that now cross parts, as (parent, child) names.
+    cut_edges: Set[Tuple[str, str]] = field(default_factory=set)
+    costs: List[BudgetCost] = field(default_factory=list)
+
+    @property
+    def num_parts(self) -> int:
+        return len(self.parts)
+
+    def part_dependencies(self, index: int) -> List[int]:
+        return sorted({src for src, dst in self.cross_edges if dst == index})
+
+    def topological_part_order(self) -> List[int]:
+        indegree = {i: 0 for i in range(self.num_parts)}
+        for _, dst in self.cross_edges:
+            indegree[dst] += 1
+        ready = sorted(i for i, d in indegree.items() if d == 0)
+        order: List[int] = []
+        while ready:
+            part = ready.pop(0)
+            order.append(part)
+            for src, dst in sorted(self.cross_edges):
+                if src == part:
+                    indegree[dst] -= 1
+                    if indegree[dst] == 0 and dst not in order and dst not in ready:
+                        ready.append(dst)
+            ready.sort()
+        if len(order) != self.num_parts:
+            raise SplitError("cyclic dependencies between split parts")
+        return order
+
+
+def _dfs_topological_order(ir: WorkflowIR) -> List[str]:
+    """Reverse DFS postorder = a topological order, visiting roots in
+    name order for determinism (iterative to handle deep graphs)."""
+    visited: Set[str] = set()
+    postorder: List[str] = []
+    for root in ir.roots() or sorted(ir.nodes):
+        if root in visited:
+            continue
+        stack: List[Tuple[str, bool]] = [(root, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                postorder.append(node)
+                continue
+            if node in visited:
+                continue
+            visited.add(node)
+            stack.append((node, True))
+            for child in reversed(ir.children(node)):
+                if child not in visited:
+                    stack.append((child, False))
+    # Isolated nodes unreachable from roots (cannot happen in a DAG with
+    # roots() = indegree-0 set, but keep the invariant explicit).
+    for node in sorted(ir.nodes):
+        if node not in visited:
+            postorder.append(node)
+    return list(reversed(postorder))
+
+
+class WorkflowSplitter:
+    """Algorithm 3 driver."""
+
+    def __init__(self, budget: BudgetModel | None = None) -> None:
+        self.budget = budget or BudgetModel()
+
+    def split(self, ir: WorkflowIR) -> SplitPlan:
+        """Split ``ir`` into budget-compliant sub-workflows.
+
+        A workflow already within budget returns a single-part plan
+        (the algorithm's early return at line 10–12).
+        """
+        ir.finalize_artifacts()
+        ir.validate()
+        plan = SplitPlan(original_name=ir.name)
+        whole_cost = self.budget.exact_cost(ir)
+        if self.budget.within(whole_cost):
+            plan.parts = [ir]
+            plan.assignment = {name: 0 for name in ir.nodes}
+            plan.costs = [whole_cost]
+            return plan
+
+        node_bytes = {
+            name: self.budget.estimate_node_bytes(ir, name) for name in ir.nodes
+        }
+        order = _dfs_topological_order(ir)
+
+        # Self-calibration: per-node estimates from single-node compiles
+        # miss structure shared across templates; scale them against an
+        # exact compile of one sample chunk so estimates track reality.
+        sample = order[: min(50, len(order))]
+        estimated = self.budget.estimate_cost(ir, sample, node_bytes)
+        actual = self.budget.exact_cost(ir.subgraph(sample, name="calibration"))
+        if estimated.yaml_bytes > 0 and actual.yaml_bytes > estimated.yaml_bytes:
+            scale = actual.yaml_bytes / estimated.yaml_bytes
+            node_bytes = {name: int(size * scale) + 1 for name, size in node_bytes.items()}
+
+        oversized = [
+            name
+            for name, size in node_bytes.items()
+            if size + self.budget.base_bytes > self.budget.max_yaml_bytes
+        ]
+        if oversized:
+            raise SplitError(
+                f"nodes exceed the budget even alone: {sorted(oversized)}"
+            )
+        chunks: List[List[str]] = []
+        candidate: List[str] = []
+        for vertex in order:
+            trial = candidate + [vertex]
+            cost = self.budget.estimate_cost(ir, trial, node_bytes)
+            if candidate and not self.budget.within(cost):
+                chunks.append(candidate)
+                candidate = [vertex]
+            else:
+                candidate = trial
+        if candidate:
+            chunks.append(candidate)
+
+        # Exact verification with halving fallback: any chunk whose real
+        # compiled size still exceeds the budget is split in two along
+        # the same order (the estimate is conservative, so this is rare
+        # and terminates: a single node always fits per the check above).
+        verified: List[List[str]] = []
+        pending = list(chunks)
+        while pending:
+            chunk = pending.pop(0)
+            cost = self.budget.exact_cost(ir.subgraph(chunk, name="verify"))
+            if self.budget.within(cost) or len(chunk) == 1:
+                verified.append(chunk)
+            else:
+                middle = len(chunk) // 2
+                pending.insert(0, chunk[middle:])
+                pending.insert(0, chunk[:middle])
+        chunks = verified
+
+        for index, chunk in enumerate(chunks):
+            part = ir.subgraph(chunk, name=f"{ir.name}-part-{index}")
+            plan.parts.append(part)
+            for name in chunk:
+                plan.assignment[name] = index
+
+        for parent, child in ir.edges:
+            src, dst = plan.assignment[parent], plan.assignment[child]
+            if src != dst:
+                plan.cross_edges.add((src, dst))
+                plan.cut_edges.add((parent, child))
+
+        plan.costs = [self.budget.exact_cost(part) for part in plan.parts]
+        for index, cost in enumerate(plan.costs):
+            if not self.budget.within(cost):
+                raise SplitError(
+                    f"part {index} still exceeds the budget after split: {cost}"
+                )
+        plan.topological_part_order()  # raises on cyclic part graph
+        self._check_partition(ir, plan)
+        return plan
+
+    @staticmethod
+    def _check_partition(ir: WorkflowIR, plan: SplitPlan) -> None:
+        part_nodes = [set(p.nodes) for p in plan.parts]
+        union: Set[str] = set()
+        for nodes in part_nodes:
+            overlap = union & nodes
+            if overlap:
+                raise SplitError(f"nodes assigned to multiple parts: {sorted(overlap)}")
+            union |= nodes
+        if union != set(ir.nodes):
+            missing = set(ir.nodes) - union
+            raise SplitError(f"nodes missing from the split: {sorted(missing)}")
+        kept = set()
+        for part in plan.parts:
+            kept |= part.edges
+        if kept | plan.cut_edges != ir.edges:
+            raise SplitError("split dropped dependency edges")

@@ -1,0 +1,18 @@
+"""The Couler server (paper Appendix B): metadata persistence, workflow
+monitoring + SRE alerting, and the restart-from-failure service flow."""
+
+from .database import StoredWorkflow, WorkflowDatabase, WorkflowNotFoundError
+from .monitor import Alert, MonitorThresholds, WorkflowMonitor
+from .service import CoulerService, SubmissionError, SubmissionHandle
+
+__all__ = [
+    "Alert",
+    "CoulerService",
+    "MonitorThresholds",
+    "StoredWorkflow",
+    "SubmissionError",
+    "SubmissionHandle",
+    "WorkflowDatabase",
+    "WorkflowMonitor",
+    "WorkflowNotFoundError",
+]

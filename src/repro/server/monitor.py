@@ -1,0 +1,148 @@
+"""Workflow monitoring and SRE alerting (paper Appendix B.B).
+
+"Initially, we monitor workflow status and track the health status of
+the workflow engine.  For example, we record the number of workflows
+based on their status, the latency for the workflow operator to process
+a workflow, etc.  This monitor metric helps the SRE to respond to the
+abnormal behaviors of the workflow at the first time."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..engine.operator import WorkflowOperator
+from ..engine.status import StepStatus, WorkflowPhase, WorkflowRecord
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One actionable SRE alert."""
+
+    severity: str  # "warning" | "critical"
+    metric: str
+    message: str
+
+
+@dataclass
+class MonitorThresholds:
+    """When the monitor pages (tuned for the simulator's scales)."""
+
+    max_failure_rate: float = 0.10
+    max_pending_latency_s: float = 600.0
+    max_retry_rate: float = 0.30
+
+
+@dataclass
+class WorkflowMonitor:
+    """Aggregates health metrics over observed workflow records."""
+
+    thresholds: MonitorThresholds = field(default_factory=MonitorThresholds)
+    _records: List[WorkflowRecord] = field(default_factory=list)
+    #: Error-pattern occurrence counts (the abnormal-pattern catalogue).
+    pattern_counts: Dict[str, int] = field(default_factory=dict)
+
+    def observe(self, record: WorkflowRecord) -> None:
+        """Ingest one (terminal or live) workflow record."""
+        self._records.append(record)
+        for step in record.steps.values():
+            if step.last_error:
+                self.pattern_counts[step.last_error] = (
+                    self.pattern_counts.get(step.last_error, 0) + 1
+                )
+
+    def observe_operator(self, operator: WorkflowOperator) -> None:
+        """Pull the injector-side failure-pattern counters too."""
+        for pattern, count in operator.failure_injector.injected.items():
+            self.pattern_counts[pattern] = max(
+                self.pattern_counts.get(pattern, 0), count
+            )
+
+    # ------------------------------------------------------------- metrics
+
+    def status_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for record in self._records:
+            counts[record.phase.value] = counts.get(record.phase.value, 0) + 1
+        return counts
+
+    def failure_rate(self) -> float:
+        terminal = [r for r in self._records if r.phase.is_terminal()]
+        if not terminal:
+            return 0.0
+        failed = sum(1 for r in terminal if r.phase == WorkflowPhase.FAILED)
+        return failed / len(terminal)
+
+    def retry_rate(self) -> float:
+        """Fraction of steps that needed more than one attempt."""
+        steps = [s for r in self._records for s in r.steps.values()]
+        if not steps:
+            return 0.0
+        retried = sum(1 for s in steps if s.attempts > 1)
+        return retried / len(steps)
+
+    def mean_scheduling_latency_s(self) -> float:
+        """Mean submit -> first-step-start latency (operator health)."""
+        latencies = []
+        for record in self._records:
+            if record.submit_time is None:
+                continue
+            starts = [
+                s.start_time for s in record.steps.values() if s.start_time is not None
+            ]
+            if starts:
+                latencies.append(min(starts) - record.submit_time)
+        return sum(latencies) / len(latencies) if latencies else 0.0
+
+    def top_patterns(self, limit: int = 5) -> List[tuple]:
+        return sorted(
+            self.pattern_counts.items(), key=lambda kv: (-kv[1], kv[0])
+        )[:limit]
+
+    # -------------------------------------------------------------- alerts
+
+    def alerts(self) -> List[Alert]:
+        out: List[Alert] = []
+        rate = self.failure_rate()
+        if rate > self.thresholds.max_failure_rate:
+            out.append(
+                Alert(
+                    severity="critical",
+                    metric="failure_rate",
+                    message=f"workflow failure rate {rate:.1%} exceeds "
+                    f"{self.thresholds.max_failure_rate:.0%}",
+                )
+            )
+        latency = self.mean_scheduling_latency_s()
+        if latency > self.thresholds.max_pending_latency_s:
+            out.append(
+                Alert(
+                    severity="warning",
+                    metric="scheduling_latency",
+                    message=f"mean scheduling latency {latency:.0f}s exceeds "
+                    f"{self.thresholds.max_pending_latency_s:.0f}s",
+                )
+            )
+        retries = self.retry_rate()
+        if retries > self.thresholds.max_retry_rate:
+            out.append(
+                Alert(
+                    severity="warning",
+                    metric="retry_rate",
+                    message=f"step retry rate {retries:.1%} exceeds "
+                    f"{self.thresholds.max_retry_rate:.0%} "
+                    f"(top patterns: {self.top_patterns(3)})",
+                )
+            )
+        return out
+
+    def health_report(self) -> dict:
+        return {
+            "status_counts": self.status_counts(),
+            "failure_rate": self.failure_rate(),
+            "retry_rate": self.retry_rate(),
+            "mean_scheduling_latency_s": self.mean_scheduling_latency_s(),
+            "top_patterns": self.top_patterns(),
+            "alerts": [a.message for a in self.alerts()],
+        }

@@ -1,0 +1,23 @@
+"""SQLFlow frontend (paper Appendix B.E): SQL -> Couler workflows."""
+
+from .parser import (
+    PredictStatement,
+    SQLFlowSyntaxError,
+    Statement,
+    TrainStatement,
+    parse,
+    tokenize,
+)
+from .translate import sql_to_ir, translate_predict, translate_train
+
+__all__ = [
+    "PredictStatement",
+    "SQLFlowSyntaxError",
+    "Statement",
+    "TrainStatement",
+    "parse",
+    "sql_to_ir",
+    "tokenize",
+    "translate_predict",
+    "translate_train",
+]

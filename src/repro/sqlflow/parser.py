@@ -1,0 +1,208 @@
+"""Parser for the SQLFlow dialect (paper Appendix B.E).
+
+SQLFlow extends SELECT with two clauses:
+
+``SELECT ... FROM t TO TRAIN Model WITH k=v, ... COLUMN c1, c2 LABEL l
+INTO model_table`` — train a model over the query result.
+
+``SELECT ... FROM t TO PREDICT t.out.col USING model_table`` — apply a
+trained model.
+
+The grammar here is a hand-written recursive-descent parser over a
+small tokenizer: enough to round-trip the paper's examples and to
+reject malformed statements with positioned errors.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+
+class SQLFlowSyntaxError(ValueError):
+    """Malformed SQLFlow statement."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+\.\d+|\d+)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_.]*)
+  | (?P<bracket>\[[^\]]*\])
+  | (?P<punct>[*,=;()])
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise SQLFlowSyntaxError(f"unexpected character {text[pos]!r} at {pos}")
+        pos = match.end()
+        kind = match.lastgroup or "ws"
+        if kind == "ws":
+            continue
+        tokens.append((kind, match.group()))
+    return tokens
+
+
+ScalarValue = Union[int, float, str, list]
+
+
+@dataclass
+class TrainStatement:
+    """``SELECT ... TO TRAIN ...`` parsed form."""
+
+    select_columns: List[str]
+    table: str
+    estimator: str
+    attributes: Dict[str, ScalarValue] = field(default_factory=dict)
+    feature_columns: List[str] = field(default_factory=list)
+    label: Optional[str] = None
+    into: Optional[str] = None
+
+
+@dataclass
+class PredictStatement:
+    """``SELECT ... TO PREDICT ...`` parsed form."""
+
+    select_columns: List[str]
+    table: str
+    result_table: str
+    model: str
+
+
+Statement = Union[TrainStatement, PredictStatement]
+
+
+class _Cursor:
+    def __init__(self, tokens: List[Tuple[str, str]]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        return self.tokens[self.index] if self.index < len(self.tokens) else None
+
+    def next(self) -> Tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise SQLFlowSyntaxError("unexpected end of statement")
+        self.index += 1
+        return token
+
+    def expect_keyword(self, *keywords: str) -> str:
+        kind, value = self.next()
+        if kind != "ident" or value.upper() not in keywords:
+            raise SQLFlowSyntaxError(
+                f"expected {' or '.join(keywords)}, found {value!r}"
+            )
+        return value.upper()
+
+    def at_keyword(self, keyword: str) -> bool:
+        token = self.peek()
+        return (
+            token is not None
+            and token[0] == "ident"
+            and token[1].upper() == keyword
+        )
+
+
+def _parse_value(cursor: _Cursor) -> ScalarValue:
+    kind, value = cursor.next()
+    if kind == "number":
+        return float(value) if "." in value else int(value)
+    if kind == "string":
+        return value[1:-1]
+    if kind == "bracket":
+        inner = value[1:-1].strip()
+        if not inner:
+            return []
+        return [int(x) if x.strip().isdigit() else x.strip() for x in inner.split(",")]
+    if kind == "ident":
+        return value
+    raise SQLFlowSyntaxError(f"cannot parse value {value!r}")
+
+
+def _parse_column_list(cursor: _Cursor, stop_keywords: Tuple[str, ...]) -> List[str]:
+    columns: List[str] = []
+    while True:
+        token = cursor.peek()
+        if token is None:
+            break
+        kind, value = token
+        if kind == "ident" and value.upper() in stop_keywords:
+            break
+        if kind == "punct" and value == ";":
+            break
+        cursor.next()
+        if kind == "punct" and value == ",":
+            continue
+        if kind in ("ident", "punct") and value != ",":
+            columns.append(value)
+    return columns
+
+
+def parse(text: str) -> Statement:
+    """Parse one SQLFlow statement (TRAIN or PREDICT)."""
+    cursor = _Cursor(tokenize(text))
+    cursor.expect_keyword("SELECT")
+    select_columns = _parse_column_list(cursor, ("FROM",))
+    cursor.expect_keyword("FROM")
+    _, table = cursor.next()
+    cursor.expect_keyword("TO")
+    action = cursor.expect_keyword("TRAIN", "PREDICT")
+    if action == "TRAIN":
+        return _parse_train(cursor, select_columns, table)
+    return _parse_predict(cursor, select_columns, table)
+
+
+def _parse_train(cursor: _Cursor, select_columns: List[str], table: str) -> TrainStatement:
+    _, estimator = cursor.next()
+    statement = TrainStatement(
+        select_columns=select_columns, table=table, estimator=estimator
+    )
+    if cursor.at_keyword("WITH"):
+        cursor.next()
+        while True:
+            kind, key = cursor.next()
+            if kind != "ident":
+                raise SQLFlowSyntaxError(f"expected attribute name, found {key!r}")
+            kind, eq = cursor.next()
+            if eq != "=":
+                raise SQLFlowSyntaxError(f"expected '=' after {key!r}")
+            statement.attributes[key] = _parse_value(cursor)
+            token = cursor.peek()
+            if token is not None and token[1] == ",":
+                cursor.next()
+                continue
+            break
+    if cursor.at_keyword("COLUMN"):
+        cursor.next()
+        statement.feature_columns = _parse_column_list(cursor, ("LABEL", "INTO"))
+    if cursor.at_keyword("LABEL"):
+        cursor.next()
+        _, statement.label = cursor.next()
+    if cursor.at_keyword("INTO"):
+        cursor.next()
+        _, statement.into = cursor.next()
+    return statement
+
+
+def _parse_predict(
+    cursor: _Cursor, select_columns: List[str], table: str
+) -> PredictStatement:
+    _, result_table = cursor.next()
+    cursor.expect_keyword("USING")
+    _, model = cursor.next()
+    return PredictStatement(
+        select_columns=select_columns,
+        table=table,
+        result_table=result_table,
+        model=model,
+    )

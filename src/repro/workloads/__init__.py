@@ -1,0 +1,41 @@
+"""Workload generators for the evaluation: production traces, the three
+caching scenarios, and the data-read datasets."""
+
+from .datagen import ads_tables, all_datasets, big_files_dataset, small_files_dataset
+from .scenarios import (
+    SCENARIOS,
+    ScenarioSpec,
+    build_image_segmentation,
+    build_lm_finetune,
+    build_multimodal,
+)
+from .traces import (
+    DailyActivity,
+    MEAN_CPU_CORES,
+    MEAN_DAILY_WORKFLOWS,
+    MEAN_LIFESPAN_HOURS,
+    TraceGenerator,
+    WorkflowTraceRecord,
+    histogram,
+    mean,
+)
+
+__all__ = [
+    "DailyActivity",
+    "MEAN_CPU_CORES",
+    "MEAN_DAILY_WORKFLOWS",
+    "MEAN_LIFESPAN_HOURS",
+    "SCENARIOS",
+    "ScenarioSpec",
+    "TraceGenerator",
+    "WorkflowTraceRecord",
+    "ads_tables",
+    "all_datasets",
+    "big_files_dataset",
+    "build_image_segmentation",
+    "build_lm_finetune",
+    "build_multimodal",
+    "histogram",
+    "mean",
+    "small_files_dataset",
+]

@@ -1,0 +1,68 @@
+"""Data-caching workloads (paper Appendix D.C, Fig. 17).
+
+Synthetic stand-ins for the paper's internal datasets:
+
+- two ads-recommendation tables (``ads-a``, ``ads-b``), partitioned,
+  >10 GB per partition, stored on ODPS;
+- a small-files workload: >10k files totalling >10 GB (OSS);
+- a big-files workload: ~10 zip files of >1 GB each (NAS).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..caching.dataset_crd import Dataset, DatasetKind
+
+GB = 2**30
+
+
+def ads_tables() -> List[Dataset]:
+    """The two ads-recommendation tables (12 partitions each)."""
+    return [
+        Dataset(
+            name="ads-a",
+            kind=DatasetKind.ODPS_TABLE,
+            total_bytes=12 * GB,
+            num_files=12,
+            project="ads_recommendation",
+            table="ads_a",
+        ),
+        Dataset(
+            name="ads-b",
+            kind=DatasetKind.ODPS_TABLE,
+            total_bytes=14 * GB,
+            num_files=12,
+            project="ads_recommendation",
+            table="ads_b",
+        ),
+    ]
+
+
+def small_files_dataset() -> Dataset:
+    """>10k small files, >10 GB total (image/video training inputs)."""
+    return Dataset(
+        name="small-files",
+        kind=DatasetKind.OSS_FILES,
+        total_bytes=11 * GB,
+        num_files=10_500,
+        project="vision",
+    )
+
+
+def big_files_dataset() -> Dataset:
+    """~10 zip archives of >1 GB each."""
+    return Dataset(
+        name="big-files",
+        kind=DatasetKind.NAS_FILES,
+        total_bytes=12 * GB,
+        num_files=10,
+        project="vision",
+    )
+
+
+def all_datasets() -> Dict[str, Dataset]:
+    datasets = {d.name: d for d in ads_tables()}
+    datasets["small-files"] = small_files_dataset()
+    datasets["big-files"] = big_files_dataset()
+    return datasets

@@ -1,0 +1,130 @@
+"""Tests for the automatic hyperparameter tuner (Algorithm 4)."""
+
+import pytest
+
+from repro.autotune import (
+    AutoTuner,
+    DataCard,
+    HyperparameterSet,
+    ModelCard,
+    NANOGPT_DATA,
+    NANOGPT_MODEL,
+    TrainingSurrogate,
+    VIT_CIFAR_DATA,
+    VIT_MODEL,
+    default_candidate_grid,
+    expert_baseline,
+    literature_baseline,
+    make_llm_log_predictor,
+    parse_training_log,
+    render_training_log,
+)
+
+
+class TestCards:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DataCard(name="d", modality="image", num_samples=0, num_classes=10)
+        with pytest.raises(ValueError):
+            ModelCard(name="m", family="vit", num_params=0)
+        with pytest.raises(ValueError):
+            HyperparameterSet(learning_rate=0, batch_size=32)
+
+    def test_render_contains_fields(self):
+        text = VIT_CIFAR_DATA.render()
+        assert "Modality: image" in text
+        assert "Classes: 1000" in text
+        assert "heads=12" in VIT_MODEL.render()
+
+
+class TestSurrogate:
+    def test_deterministic_across_instances(self):
+        hp = HyperparameterSet(3e-4, 256, epochs=5)
+        a = TrainingSurrogate(VIT_CIFAR_DATA, VIT_MODEL, seed=1).train(hp)
+        b = TrainingSurrogate(VIT_CIFAR_DATA, VIT_MODEL, seed=1).train(hp)
+        assert [e.loss for e in a.epochs] == [e.loss for e in b.epochs]
+
+    def test_loss_decreases_with_good_lr(self):
+        surrogate = TrainingSurrogate(VIT_CIFAR_DATA, VIT_MODEL, seed=0)
+        hp = HyperparameterSet(surrogate.optimal_lr(256), 256, epochs=10)
+        curve = surrogate.train(hp)
+        assert curve.epochs[-1].loss < curve.epochs[0].loss
+        assert curve.final_accuracy > 0.4
+
+    def test_extreme_lr_diverges(self):
+        surrogate = TrainingSurrogate(VIT_CIFAR_DATA, VIT_MODEL, seed=0)
+        hp = HyperparameterSet(10.0, 256, epochs=5)
+        curve = surrogate.train(hp)
+        assert curve.diverged
+        assert curve.final_accuracy < 0.05
+
+    def test_response_surface_unimodal_in_log_lr(self):
+        surrogate = TrainingSurrogate(VIT_CIFAR_DATA, VIT_MODEL, seed=0, noise_scale=0.0)
+        best = surrogate.optimal_lr(256)
+        accs = [
+            surrogate.train(HyperparameterSet(lr, 256, epochs=10)).final_accuracy
+            for lr in (best / 100, best, best * 100)
+        ]
+        assert accs[1] > accs[0] and accs[1] > accs[2]
+
+
+class TestLogs:
+    def test_render_parse_round_trip(self):
+        surrogate = TrainingSurrogate(NANOGPT_DATA, NANOGPT_MODEL, seed=2)
+        curve = surrogate.train(HyperparameterSet(6e-4, 256, epochs=6))
+        text = render_training_log(NANOGPT_DATA, NANOGPT_MODEL, curve)
+        parsed = parse_training_log(text)
+        assert len(parsed.epochs) == 6
+        assert parsed.final_loss == pytest.approx(curve.final_loss, abs=1e-3)
+        assert parsed.final_accuracy == pytest.approx(curve.final_accuracy, abs=1e-3)
+
+    def test_diverged_flag_survives(self):
+        surrogate = TrainingSurrogate(VIT_CIFAR_DATA, VIT_MODEL, seed=0)
+        curve = surrogate.train(HyperparameterSet(10.0, 256, epochs=3))
+        parsed = parse_training_log(render_training_log(VIT_CIFAR_DATA, VIT_MODEL, curve))
+        assert parsed.diverged
+        assert parsed.score("accuracy") == float("-inf")
+
+    def test_score_respects_metric(self):
+        text = "epoch 1/1 | loss=0.5000 | accuracy=0.8000"
+        parsed = parse_training_log(text)
+        assert parsed.score("accuracy") == pytest.approx(0.8)
+        assert parsed.score("loss") == pytest.approx(-0.5)
+
+
+class TestTuner:
+    def test_empty_candidates_rejected(self):
+        surrogate = TrainingSurrogate(VIT_CIFAR_DATA, VIT_MODEL)
+        tuner = AutoTuner(make_llm_log_predictor(surrogate))
+        with pytest.raises(ValueError):
+            tuner.tune(VIT_CIFAR_DATA, VIT_MODEL, [])
+
+    def test_tuner_beats_baselines_cv(self):
+        surrogate = TrainingSurrogate(VIT_CIFAR_DATA, VIT_MODEL, seed=3)
+        tuner = AutoTuner(make_llm_log_predictor(surrogate, seed=5))
+        result = tuner.tune(
+            VIT_CIFAR_DATA, VIT_MODEL, default_candidate_grid(VIT_MODEL)
+        )
+        ours = surrogate.train(result.best).final_accuracy
+        expert = surrogate.train(expert_baseline(VIT_MODEL)).final_accuracy
+        literature = surrogate.train(literature_baseline(VIT_MODEL)).final_accuracy
+        assert ours >= expert
+        assert ours >= literature
+
+    def test_tuner_beats_baselines_nlp(self):
+        surrogate = TrainingSurrogate(NANOGPT_DATA, NANOGPT_MODEL, seed=3)
+        tuner = AutoTuner(make_llm_log_predictor(surrogate, seed=5))
+        result = tuner.tune(
+            NANOGPT_DATA, NANOGPT_MODEL, default_candidate_grid(NANOGPT_MODEL)
+        )
+        ours = surrogate.train(result.best).final_loss
+        assert ours <= surrogate.train(expert_baseline(NANOGPT_MODEL)).final_loss
+        assert ours <= surrogate.train(literature_baseline(NANOGPT_MODEL)).final_loss
+
+    def test_result_keeps_logs_for_every_candidate(self):
+        surrogate = TrainingSurrogate(VIT_CIFAR_DATA, VIT_MODEL, seed=1)
+        tuner = AutoTuner(make_llm_log_predictor(surrogate))
+        candidates = default_candidate_grid(VIT_MODEL)[:4]
+        result = tuner.tune(VIT_CIFAR_DATA, VIT_MODEL, candidates)
+        assert len(result.predicted_logs) == 4
+        assert "epoch" in result.log_for(candidates[0])

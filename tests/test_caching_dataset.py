@@ -1,0 +1,85 @@
+"""Unit tests for the Dataset CRD and the caching server (Appendix B.C)."""
+
+import pytest
+
+from repro.caching.dataset_crd import CachingServer, Dataset, DatasetKind
+
+GB = 2**30
+
+
+def _table() -> Dataset:
+    return Dataset(
+        name="ads-a",
+        kind=DatasetKind.ODPS_TABLE,
+        total_bytes=2 * GB,
+        num_files=4,
+        project="ads",
+        table="ads_a",
+    )
+
+
+class TestDataset:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Dataset(name="bad", kind=DatasetKind.OSS_FILES, total_bytes=-1)
+        with pytest.raises(ValueError):
+            Dataset(name="bad", kind=DatasetKind.OSS_FILES, total_bytes=1, num_files=0)
+
+    def test_to_crd_schema(self):
+        crd = _table().to_crd()
+        assert crd.kind == "Dataset"
+        assert crd.api_version.startswith("io.kubemaker.alipay.com/")
+        assert crd.spec["odps"]["table"] == "ads_a"
+        assert crd.spec["odps"]["totalBytes"] == 2 * GB
+
+
+class TestCachingServer:
+    def test_read_requires_registration(self):
+        with pytest.raises(KeyError):
+            CachingServer().read_seconds("ghost", use_cache=False)
+
+    def test_sync_is_idempotent(self):
+        server = CachingServer()
+        server.register(_table())
+        first = server.sync("ads-a")
+        second = server.sync("ads-a")
+        assert first > 0
+        assert second == 0.0
+        assert server.sync_count == 1
+
+    def test_local_reads_faster_than_remote(self):
+        server = CachingServer()
+        dataset = _table()
+        server.register(dataset)
+        remote = server.remote_read_seconds(dataset)
+        local = server.local_read_seconds(dataset)
+        assert local < remote / 2
+
+    def test_per_file_overhead_dominates_small_files(self):
+        server = CachingServer()
+        many = Dataset(name="many", kind=DatasetKind.OSS_FILES,
+                       total_bytes=GB, num_files=10_000)
+        few = Dataset(name="few", kind=DatasetKind.NAS_FILES,
+                      total_bytes=GB, num_files=1)
+        server.register(many)
+        server.register(few)
+        assert server.remote_read_seconds(many) > server.remote_read_seconds(few) + 100
+
+    def test_multi_job_reads_amortize_one_sync(self):
+        dataset = _table()
+        cached = CachingServer()
+        cached.register(dataset)
+        times = cached.multi_job_read_seconds("ads-a", 4, use_cache=True)
+        # First job pays sync + local read; the rest only local reads.
+        assert times[0] > times[1]
+        assert times[1] == pytest.approx(times[2]) == pytest.approx(times[3])
+        assert cached.sync_count == 1
+
+    def test_throughput_improves_when_ready(self):
+        server = CachingServer()
+        dataset = _table()
+        server.register(dataset)
+        before = server.throughput_bps("ads-a", use_cache=True)
+        server.sync("ads-a")
+        after = server.throughput_bps("ads-a", use_cache=True)
+        assert after > before

@@ -1,0 +1,74 @@
+"""Unit tests for the runtime cache manager."""
+
+import pytest
+
+from repro.caching.manager import CacheManager
+from repro.engine.spec import ArtifactSpec, ExecutableStep, ExecutableWorkflow
+
+GB = 2**30
+MB = 2**20
+
+
+def _artifact(uid: str, size: int = 100 * MB) -> ArtifactSpec:
+    return ArtifactSpec(uid=uid, size_bytes=size)
+
+
+class TestFetch:
+    def test_miss_then_hit_via_read_through(self):
+        manager = CacheManager(policy="lru", capacity_bytes=GB)
+        artifact = _artifact("x")
+        first_seconds, first_hit = manager.fetch(artifact, now=0.0)
+        second_seconds, second_hit = manager.fetch(artifact, now=1.0)
+        assert not first_hit and second_hit
+        assert second_seconds < first_seconds
+
+    def test_no_policy_disables_read_through(self):
+        manager = CacheManager(policy="no", capacity_bytes=GB)
+        artifact = _artifact("x")
+        manager.fetch(artifact, now=0.0)
+        _, hit = manager.fetch(artifact, now=1.0)
+        assert not hit
+
+    def test_produced_artifact_hits_immediately(self):
+        manager = CacheManager(policy="all", capacity_bytes=None)
+        artifact = _artifact("y")
+        manager.on_artifact_produced(artifact, now=0.0)
+        _, hit = manager.fetch(artifact, now=1.0)
+        assert hit
+
+    def test_distance_scales_remote_reads(self):
+        near = CacheManager(policy="no", capacity_bytes=0, distance=1.0)
+        far = CacheManager(policy="no", capacity_bytes=0, distance=3.0)
+        artifact = _artifact("z", size=GB)
+        near_seconds, _ = near.fetch(artifact)
+        far_seconds, _ = far.fetch(artifact)
+        assert far_seconds > 2.5 * near_seconds
+
+
+class TestReporting:
+    def test_report_fields(self):
+        manager = CacheManager(policy="couler", capacity_bytes=GB)
+        wf = ExecutableWorkflow(name="w")
+        artifact = _artifact("w/s/out")
+        wf.add_step(ExecutableStep(name="s", duration_s=1, outputs=[artifact]))
+        manager.register_workflow(wf)
+        manager.on_artifact_produced(artifact, now=0.0)
+        manager.fetch(artifact, now=1.0)
+        report = manager.report()
+        assert report["policy"] == "couler"
+        assert report["entries"] == 1
+        assert report["hits"] == 1
+        assert manager.hit_ratio() == 1.0
+
+    def test_step_finished_updates_index(self):
+        manager = CacheManager(policy="couler", capacity_bytes=GB)
+        wf = ExecutableWorkflow(name="w")
+        out = _artifact("w/p/out")
+        wf.add_step(ExecutableStep(name="p", duration_s=1, outputs=[out]))
+        wf.add_step(
+            ExecutableStep(name="c", duration_s=1, dependencies=["p"], inputs=[out])
+        )
+        manager.register_workflow(wf)
+        assert manager.scorer.reuse_value("w/p/out") > 0
+        manager.on_step_finished("w/c")
+        assert manager.scorer.reuse_value("w/p/out") == 0.0

@@ -1,0 +1,132 @@
+"""Unit tests for the caching importance factor (Eqs. 3-6)."""
+
+import math
+
+import pytest
+
+from repro.caching.score import ArtifactScorer, ScoreWeights, WorkflowGraphIndex
+from repro.engine.spec import ArtifactSpec, ExecutableStep, ExecutableWorkflow
+from repro.k8s.resources import ResourceQuantity
+
+GB = 2**30
+
+
+def _pipeline_workflow() -> ExecutableWorkflow:
+    """load -> pre -> {t0, t1, t2} ; each t consumes pre's output."""
+    wf = ExecutableWorkflow(name="w")
+    loaded = ArtifactSpec(uid="w/load/out", size_bytes=2 * GB)
+    pre = ArtifactSpec(uid="w/pre/out", size_bytes=GB)
+    wf.add_step(
+        ExecutableStep(
+            name="load", duration_s=100, requests=ResourceQuantity(cpu=2), outputs=[loaded]
+        )
+    )
+    wf.add_step(
+        ExecutableStep(
+            name="pre",
+            duration_s=200,
+            requests=ResourceQuantity(cpu=4),
+            dependencies=["load"],
+            inputs=[loaded],
+            outputs=[pre],
+        )
+    )
+    for index in range(3):
+        ckpt = ArtifactSpec(uid=f"w/t{index}/ckpt", size_bytes=GB)
+        wf.add_step(
+            ExecutableStep(
+                name=f"t{index}",
+                duration_s=500,
+                requests=ResourceQuantity(cpu=4),
+                dependencies=["pre"],
+                inputs=[pre],
+                outputs=[ckpt],
+            )
+        )
+    return wf
+
+
+@pytest.fixture()
+def scorer() -> ArtifactScorer:
+    index = WorkflowGraphIndex()
+    index.register(_pipeline_workflow())
+    return ArtifactScorer(index=index, weights=ScoreWeights(alpha=1.5, beta=1.0))
+
+
+class TestReconstructionCost:
+    def test_deeper_artifacts_cost_more(self, scorer):
+        never = lambda uid: False  # noqa: E731
+        shallow = scorer.reconstruction_cost("w/load/out", never)
+        deep = scorer.reconstruction_cost("w/pre/out", never)
+        assert deep > shallow > 0
+
+    def test_truncated_at_cached_predecessors(self, scorer):
+        never = lambda uid: False  # noqa: E731
+        cached_upstream = lambda uid: uid == "w/load/out"  # noqa: E731
+        full = scorer.reconstruction_cost("w/t0/ckpt", never)
+        truncated = scorer.reconstruction_cost("w/t0/ckpt", cached_upstream)
+        assert truncated < full
+
+
+class TestReuseValue:
+    def test_shared_artifact_has_higher_reuse(self, scorer):
+        assert scorer.reuse_value("w/pre/out") > scorer.reuse_value("w/t0/ckpt")
+
+    def test_unconsumed_artifact_has_zero_reuse(self, scorer):
+        # Checkpoints have no consumers in this workflow.
+        assert scorer.reuse_value("w/t0/ckpt") == 0.0
+
+    def test_done_consumers_drop_out(self, scorer):
+        before = scorer.reuse_value("w/pre/out")
+        scorer.index.mark_done("w/t0")
+        scorer.index.mark_done("w/t1")
+        after = scorer.reuse_value("w/pre/out")
+        assert after < before
+        for step in ("w/t2",):
+            scorer.index.mark_done(step)
+        assert scorer.reuse_value("w/pre/out") == 0.0
+
+
+class TestCacheCost:
+    def test_scaled_by_configured_unit(self, scorer):
+        assert scorer.cache_cost("w/pre/out") == pytest.approx(1.0)
+        assert scorer.cache_cost("w/load/out") == pytest.approx(2.0)
+
+
+class TestImportance:
+    def test_matches_equation_six(self, scorer):
+        uid = "w/pre/out"
+        never = lambda _uid: False  # noqa: E731
+        weights = scorer.weights
+        expected = (
+            weights.alpha * math.log1p(scorer.reconstruction_cost(uid, never))
+            + weights.beta * scorer.reuse_value(uid) ** 2
+            - math.exp(-scorer.cache_cost(uid))
+        )
+        assert scorer.importance(uid) == pytest.approx(expected)
+
+    def test_ablation_switches_remove_terms(self):
+        index = WorkflowGraphIndex()
+        index.register(_pipeline_workflow())
+        no_reuse = ArtifactScorer(index=index, weights=ScoreWeights(use_reuse=False))
+        full = ArtifactScorer(index=index, weights=ScoreWeights())
+        assert no_reuse.importance("w/pre/out") < full.importance("w/pre/out")
+
+    def test_breakdown_keys(self, scorer):
+        breakdown = scorer.breakdown("w/pre/out")
+        assert set(breakdown) == {"L", "F", "V", "I"}
+
+
+class TestCrossWorkflowIndex:
+    def test_consumers_accumulate_across_workflows(self):
+        index = WorkflowGraphIndex()
+        index.register(_pipeline_workflow())
+        rerun = ExecutableWorkflow(name="rerun")
+        pre = ArtifactSpec(uid="w/pre/out", size_bytes=GB)
+        rerun.add_step(
+            ExecutableStep(name="t9", duration_s=100, inputs=[pre])
+        )
+        index.register(rerun)
+        scorer = ArtifactScorer(index=index)
+        assert "rerun/t9" in index.consumers["w/pre/out"]
+        assert scorer.reuse_value("w/pre/out") > 0

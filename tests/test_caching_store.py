@@ -1,0 +1,86 @@
+"""Unit tests for the capacity-bounded artifact store."""
+
+import pytest
+
+from repro.caching.artifact_store import (
+    ArtifactStore,
+    ArtifactTooLargeError,
+    CacheError,
+    InsufficientSpaceError,
+)
+
+
+class TestCapacity:
+    def test_put_within_capacity(self):
+        store = ArtifactStore(capacity_bytes=100)
+        store.put("a", 60)
+        assert store.used_bytes == 60
+        assert store.free_bytes == 40
+
+    def test_put_over_capacity_raises(self):
+        store = ArtifactStore(capacity_bytes=100)
+        store.put("a", 60)
+        with pytest.raises(InsufficientSpaceError):
+            store.put("b", 50)
+
+    def test_artifact_bigger_than_store(self):
+        store = ArtifactStore(capacity_bytes=100)
+        with pytest.raises(ArtifactTooLargeError):
+            store.put("huge", 101)
+        assert store.can_ever_fit(100)
+        assert not store.can_ever_fit(101)
+
+    def test_unbounded_store(self):
+        store = ArtifactStore(capacity_bytes=None)
+        store.put("a", 10**12)
+        assert store.free_bytes == float("inf")
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(CacheError):
+            ArtifactStore(capacity_bytes=-1)
+
+
+class TestAccounting:
+    def test_eviction_frees_space_and_counts(self):
+        store = ArtifactStore(capacity_bytes=100)
+        store.put("a", 60)
+        store.evict("a")
+        assert store.used_bytes == 0
+        assert store.stats.evictions == 1
+        assert store.stats.bytes_evicted == 60
+
+    def test_evict_missing_raises(self):
+        with pytest.raises(CacheError):
+            ArtifactStore(capacity_bytes=10).evict("nope")
+
+    def test_peak_bytes_tracks_high_water_mark(self):
+        store = ArtifactStore(capacity_bytes=100)
+        store.put("a", 80)
+        store.evict("a")
+        store.put("b", 20)
+        assert store.peak_bytes == 80
+
+    def test_hit_ratio(self):
+        store = ArtifactStore(capacity_bytes=100)
+        store.put("a", 10)
+        store.record_hit("a", now=1.0)
+        store.record_hit("a", now=2.0)
+        store.record_miss()
+        assert store.stats.hit_ratio == pytest.approx(2 / 3)
+
+    def test_hit_on_uncached_raises(self):
+        with pytest.raises(CacheError):
+            ArtifactStore(capacity_bytes=10).record_hit("ghost", now=0.0)
+
+    def test_duplicate_put_updates_access(self):
+        store = ArtifactStore(capacity_bytes=100)
+        store.put("a", 10, now=1.0)
+        entry = store.put("a", 10, now=5.0)
+        assert store.used_bytes == 10  # no double-counting
+        assert entry.last_access == 5.0
+
+    def test_insert_seq_monotonic(self):
+        store = ArtifactStore(capacity_bytes=100)
+        first = store.put("a", 1)
+        second = store.put("b", 1)
+        assert second.insert_seq > first.insert_seq

@@ -1,0 +1,42 @@
+"""Unit tests for the artifact constructors (paper Table VI)."""
+
+from repro.core.artifacts import (
+    create_gcs_artifact,
+    create_git_artifact,
+    create_hdfs_artifact,
+    create_oss_artifact,
+    create_parameter_artifact,
+    create_s3_artifact,
+)
+from repro.ir.nodes import ArtifactStorage
+
+
+class TestConstructors:
+    def test_parameter_artifact(self):
+        artifact = create_parameter_artifact(path="/opt/out.txt", is_global=True)
+        assert artifact.storage == ArtifactStorage.PARAMETER
+        assert artifact.path == "/opt/out.txt"
+        assert artifact.is_global
+        assert artifact.uid is None  # assigned at finalize/step creation
+
+    def test_every_storage_class_covered(self):
+        cases = {
+            ArtifactStorage.HDFS: create_hdfs_artifact("/h"),
+            ArtifactStorage.S3: create_s3_artifact("s3://b/k"),
+            ArtifactStorage.OSS: create_oss_artifact("oss://b/k"),
+            ArtifactStorage.GCS: create_gcs_artifact("gs://b/k"),
+        }
+        for storage, artifact in cases.items():
+            assert artifact.storage == storage
+
+    def test_git_artifact_encodes_revision(self):
+        artifact = create_git_artifact("https://github.com/org/repo", revision="v1.2")
+        assert artifact.storage == ArtifactStorage.GIT
+        assert artifact.path == "https://github.com/org/repo@v1.2"
+
+    def test_with_uid_is_immutable_copy(self):
+        original = create_s3_artifact("s3://b/k", size_bytes=7)
+        copy = original.with_uid("wf/step/out")
+        assert copy.uid == "wf/step/out"
+        assert original.uid is None
+        assert copy.size_bytes == 7

@@ -1,0 +1,42 @@
+"""Unit tests for condition expressions."""
+
+from repro.core.conditions import (
+    Condition,
+    OutputRef,
+    bigger,
+    bigger_equal,
+    equal,
+    not_equal,
+    smaller,
+    smaller_equal,
+)
+
+
+class TestRendering:
+    def test_output_ref_render(self):
+        assert OutputRef("flip", "result").render() == "{{flip.result}}"
+
+    def test_equal_renders_argo_style(self):
+        cond = equal(OutputRef("flip"), "heads")
+        assert cond.render() == "{{flip.result}} == heads"
+        assert str(cond) == cond.render()
+
+    def test_all_operators(self):
+        ref = OutputRef("s")
+        assert not_equal(ref, 1).operator == "!="
+        assert bigger(ref, 1).operator == ">"
+        assert smaller(ref, 1).operator == "<"
+        assert bigger_equal(ref, 1).operator == ">="
+        assert smaller_equal(ref, 1).operator == "<="
+
+    def test_numeric_operands(self):
+        assert bigger(OutputRef("acc"), 0.9).render() == "{{acc.result}} > 0.9"
+
+
+class TestSourceSteps:
+    def test_sources_from_both_sides(self):
+        cond = Condition(OutputRef("a"), "==", OutputRef("b"))
+        assert cond.source_steps() == ["a", "b"]
+
+    def test_literal_operands_contribute_nothing(self):
+        assert equal("x", "y").source_steps() == []

@@ -1,0 +1,60 @@
+"""Unit tests for the submitters."""
+
+from repro import core as couler
+from repro.core.submitter import (
+    AirflowSubmitter,
+    ArgoSubmitter,
+    SubmissionResult,
+    TektonSubmitter,
+    default_environment,
+)
+from repro.engine.status import WorkflowPhase
+
+
+def _define_workflow(name: str = "sub-test"):
+    couler.reset_context(name)
+    first = couler.run_container(image="prep:v1", step_name="prep")
+    couler.run_container(image="train:v1", step_name="train", input=first)
+    return couler.workflow_ir()
+
+
+class TestArgoSubmitter:
+    def test_submit_runs_to_completion(self):
+        ir = _define_workflow()
+        submitter = ArgoSubmitter()
+        record = submitter.submit(ir)
+        assert record.phase == WorkflowPhase.SUCCEEDED
+        assert submitter.last_manifest["kind"] == "Workflow"
+
+    def test_shared_operator_across_submissions(self):
+        operator = default_environment()
+        submitter = ArgoSubmitter(operator=operator)
+        first = submitter.submit(_define_workflow("wf-a"))
+        second = submitter.submit(_define_workflow("wf-b"))
+        assert first.phase == WorkflowPhase.SUCCEEDED
+        assert second.phase == WorkflowPhase.SUCCEEDED
+
+    def test_couler_run_uses_submitter(self):
+        couler.reset_context("via-run")
+        couler.run_container(image="x", step_name="s")
+        record = couler.run(submitter=ArgoSubmitter())
+        assert record.phase == WorkflowPhase.SUCCEEDED
+
+
+class TestCodeGeneratingSubmitters:
+    def test_airflow_submitter_returns_source(self):
+        result = AirflowSubmitter().submit(_define_workflow())
+        assert isinstance(result, SubmissionResult)
+        assert result.engine == "airflow"
+        assert "DAG(" in result.payload
+        assert result.record is None
+
+    def test_airflow_submitter_can_simulate(self):
+        result = AirflowSubmitter(simulate=True).submit(_define_workflow())
+        assert result.record.phase == WorkflowPhase.SUCCEEDED
+
+    def test_tekton_submitter_returns_manifests(self):
+        result = TektonSubmitter().submit(_define_workflow())
+        assert result.engine == "tekton"
+        assert result.payload["pipeline"]["kind"] == "Pipeline"
+        assert result.payload["pipelineRun"]["kind"] == "PipelineRun"

@@ -1,0 +1,85 @@
+"""Tests for the multi-cluster dispatcher (Appendix B.A end-to-end)."""
+
+import pytest
+
+from repro.engine.dispatcher import MultiClusterDispatcher
+from repro.engine.spec import ExecutableStep, ExecutableWorkflow
+from repro.engine.status import WorkflowPhase
+from repro.k8s.cluster import Cluster
+from repro.k8s.resources import ResourceQuantity
+
+GB = 2**30
+
+
+def _wf(name: str, cpu: float = 8.0, gpu: int = 0, duration: float = 50.0):
+    wf = ExecutableWorkflow(name=name)
+    wf.add_step(
+        ExecutableStep(
+            name="work",
+            duration_s=duration,
+            requests=ResourceQuantity(cpu=cpu, memory=4 * GB, gpu=gpu),
+        )
+    )
+    return wf
+
+
+def _clusters():
+    return [
+        Cluster.uniform("gpu", 2, cpu_per_node=32, memory_per_node=128 * GB, gpu_per_node=4),
+        Cluster.uniform("cpu-a", 2, cpu_per_node=32, memory_per_node=128 * GB),
+        Cluster.uniform("cpu-b", 2, cpu_per_node=32, memory_per_node=128 * GB),
+    ]
+
+
+class TestDispatch:
+    def test_requires_clusters(self):
+        with pytest.raises(ValueError):
+            MultiClusterDispatcher(clusters=[])
+
+    def test_all_workflows_complete(self):
+        dispatcher = MultiClusterDispatcher(clusters=_clusters())
+        for index in range(6):
+            dispatcher.enqueue(_wf(f"wf{index}"))
+        results = dispatcher.dispatch_all()
+        assert len(results) == 6
+        assert all(r.record.phase == WorkflowPhase.SUCCEEDED for r in results)
+
+    def test_gpu_workflows_only_on_gpu_cluster(self):
+        dispatcher = MultiClusterDispatcher(clusters=_clusters())
+        dispatcher.enqueue(_wf("trainer", gpu=2))
+        dispatcher.enqueue(_wf("batch"))
+        results = {r.workflow_name: r.cluster_name for r in dispatcher.dispatch_all()}
+        assert results["trainer"] == "gpu"
+
+    def test_load_spreads_across_cpu_clusters(self):
+        dispatcher = MultiClusterDispatcher(clusters=_clusters())
+        for index in range(12):
+            dispatcher.enqueue(_wf(f"wf{index}", cpu=16.0))
+        dispatcher.dispatch_all()
+        placements = dispatcher.placements()
+        # No single cluster hoards the fleet: the weighted placement
+        # keeps per-cluster load within a factor of the others.
+        assert max(placements.values()) <= 3 * max(1, min(placements.values()))
+        assert sum(placements.values()) == 12
+
+    def test_priority_served_first(self):
+        dispatcher = MultiClusterDispatcher(clusters=_clusters())
+        dispatcher.enqueue(_wf("low"), priority=1)
+        dispatcher.enqueue(_wf("high"), priority=9)
+        results = dispatcher.dispatch_all()
+        assert results[0].workflow_name == "high"
+
+    def test_quota_released_after_completion(self):
+        from repro.engine.queue import UserQuota
+
+        quotas = {
+            "alice": UserQuota(user="alice", cpu_limit=16, memory_limit=64 * GB)
+        }
+        dispatcher = MultiClusterDispatcher(clusters=_clusters(), quotas=quotas)
+        dispatcher.enqueue(_wf("first", cpu=8.0), user="alice")
+        dispatcher.dispatch_all()
+        assert dispatcher.queue.quotas["alice"].cpu_used == 0.0
+        # Quota is free again, so another submission fits.
+        dispatcher.enqueue(_wf("second", cpu=8.0), user="alice")
+        results = dispatcher.dispatch_all()
+        assert results[0].record.phase == WorkflowPhase.SUCCEEDED

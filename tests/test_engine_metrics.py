@@ -1,0 +1,52 @@
+"""Unit tests for the utilization recorder."""
+
+import pytest
+
+from repro.engine.metrics import UtilizationRecorder
+from repro.engine.operator import WorkflowOperator
+from repro.engine.simclock import SimClock
+from repro.engine.spec import ExecutableStep, ExecutableWorkflow
+from repro.k8s.cluster import Cluster
+from repro.k8s.resources import ResourceQuantity
+
+GB = 2**30
+
+
+def test_sampling_interval_and_stop():
+    clock = SimClock()
+    cluster = Cluster.uniform("m", 1, cpu_per_node=4, memory_per_node=8 * GB)
+    recorder = UtilizationRecorder(clock, cluster, interval_s=10.0)
+    recorder.start()
+    clock.schedule(35.0, recorder.stop)
+    clock.run(until=100.0)
+    times = [s.time for s in recorder.samples]
+    assert times == [0.0, 10.0, 20.0, 30.0]
+
+
+def test_utilization_reflects_running_pods():
+    clock = SimClock()
+    cluster = Cluster.uniform("m", 1, cpu_per_node=4, memory_per_node=8 * GB)
+    operator = WorkflowOperator(clock, cluster)
+    recorder = UtilizationRecorder(clock, cluster, interval_s=5.0)
+    wf = ExecutableWorkflow(name="w")
+    wf.add_step(
+        ExecutableStep(name="s", duration_s=20, requests=ResourceQuantity(cpu=2.0))
+    )
+    recorder.start()
+    operator.submit(wf, on_complete=lambda record: recorder.stop())
+    operator.run_to_completion()
+    busy = [s.cpu for s in recorder.samples if 0 < s.time < 20]
+    assert busy and all(v == pytest.approx(0.5) for v in busy)
+    assert recorder.mean_cpu() > 0.0
+
+
+def test_series_accessor():
+    clock = SimClock()
+    cluster = Cluster.uniform("m", 1, cpu_per_node=4, memory_per_node=8 * GB)
+    recorder = UtilizationRecorder(clock, cluster, interval_s=1.0)
+    recorder.start()
+    clock.schedule(2.5, recorder.stop)
+    clock.run(until=10)
+    series = recorder.series("cpu")
+    assert [t for t, _ in series] == [0.0, 1.0, 2.0]
+    assert all(v == 0.0 for _, v in series)

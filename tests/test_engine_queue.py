@@ -1,0 +1,106 @@
+"""Unit tests for the multi-cluster workflow queue (Appendix B.A)."""
+
+import pytest
+
+from repro.engine.queue import MultiClusterQueue, QueuedWorkflow, QuotaError, UserQuota
+from repro.engine.spec import ExecutableStep, ExecutableWorkflow
+from repro.k8s.cluster import Cluster
+from repro.k8s.resources import ResourceQuantity
+
+GB = 2**30
+
+
+def _wf(name: str, cpu: float = 4.0, gpu: int = 0) -> ExecutableWorkflow:
+    wf = ExecutableWorkflow(name=name)
+    wf.add_step(
+        ExecutableStep(
+            name="s",
+            duration_s=10,
+            requests=ResourceQuantity(cpu=cpu, memory=GB, gpu=gpu),
+        )
+    )
+    return wf
+
+
+def _clusters():
+    gpu_cluster = Cluster.uniform("gpu", 2, cpu_per_node=16, memory_per_node=64 * GB, gpu_per_node=4)
+    cpu_cluster = Cluster.uniform("cpu", 4, cpu_per_node=64, memory_per_node=256 * GB)
+    return [gpu_cluster, cpu_cluster]
+
+
+class TestPriorityOrdering:
+    def test_higher_priority_dequeues_first(self):
+        queue = MultiClusterQueue(clusters=_clusters())
+        queue.enqueue(QueuedWorkflow(_wf("low"), user="u", priority=1))
+        queue.enqueue(QueuedWorkflow(_wf("high"), user="u", priority=9))
+        item, _ = queue.dequeue()
+        assert item.workflow.name == "high"
+
+    def test_fifo_within_same_priority(self):
+        queue = MultiClusterQueue(clusters=_clusters())
+        queue.enqueue(QueuedWorkflow(_wf("first"), user="u", priority=5))
+        queue.enqueue(QueuedWorkflow(_wf("second"), user="u", priority=5))
+        assert queue.dequeue()[0].workflow.name == "first"
+
+    def test_empty_queue_returns_none(self):
+        assert MultiClusterQueue(clusters=_clusters()).dequeue() is None
+
+
+class TestPlacement:
+    def test_gpu_workflow_lands_on_gpu_cluster(self):
+        queue = MultiClusterQueue(clusters=_clusters())
+        queue.enqueue(QueuedWorkflow(_wf("trainer", gpu=2), user="u"))
+        _, cluster = queue.dequeue()
+        assert cluster.name == "gpu"
+
+    def test_cpu_workflow_prefers_freer_cluster(self):
+        clusters = _clusters()
+        # Pre-load the GPU cluster so its free fraction drops.
+        from repro.k8s.cluster import Scheduler
+        from repro.k8s.objects import Pod
+
+        Scheduler(clusters[0]).try_schedule(
+            Pod("busy", requests=ResourceQuantity(cpu=14, memory=48 * GB))
+        )
+        queue = MultiClusterQueue(clusters=clusters)
+        queue.enqueue(QueuedWorkflow(_wf("batch"), user="u"))
+        _, cluster = queue.dequeue()
+        assert cluster.name == "cpu"
+
+
+class TestQuota:
+    def test_quota_charged_and_released(self):
+        queue = MultiClusterQueue(clusters=_clusters())
+        queue.quotas["alice"] = UserQuota(
+            user="alice", cpu_limit=8, memory_limit=4 * GB, gpu_limit=0
+        )
+        item = QueuedWorkflow(_wf("a", cpu=4.0), user="alice")
+        queue.enqueue(item)
+        queue.dequeue()
+        assert queue.quotas["alice"].cpu_used == 4.0
+        queue.release(item)
+        assert queue.quotas["alice"].cpu_used == 0.0
+
+    def test_quota_exceeded_raises(self):
+        queue = MultiClusterQueue(clusters=_clusters())
+        queue.quotas["bob"] = UserQuota(
+            user="bob", cpu_limit=2, memory_limit=GB // 2, gpu_limit=0
+        )
+        queue.enqueue(QueuedWorkflow(_wf("big", cpu=4.0), user="bob"))
+        with pytest.raises(QuotaError):
+            queue.dequeue()
+
+    def test_remaining_fraction(self):
+        quota = UserQuota(user="u", cpu_limit=10, memory_limit=100, gpu_limit=4)
+        quota.charge(ResourceQuantity(cpu=5, memory=50, gpu=2))
+        cpu_mem, gpu = quota.remaining_fraction()
+        assert cpu_mem == pytest.approx(0.5)
+        assert gpu == pytest.approx(0.5)
+
+
+class TestBalanceReport:
+    def test_report_covers_all_clusters(self):
+        queue = MultiClusterQueue(clusters=_clusters())
+        report = queue.balance_report()
+        assert set(report) == {"gpu", "cpu"}
+        assert all(0.0 <= v <= 1.0 for v in report.values())

@@ -1,0 +1,66 @@
+"""Unit tests for failure patterns and the retry policy."""
+
+from repro.engine.retry import (
+    FATAL_PATTERNS,
+    FailureInjector,
+    RETRYABLE_PATTERNS,
+    RetryPolicy,
+    is_retryable,
+)
+
+
+class TestPatternCatalogue:
+    def test_paper_named_patterns_present(self):
+        assert "ExceededQuotaErr" in RETRYABLE_PATTERNS
+        assert "TooManyRequestsErr" in RETRYABLE_PATTERNS
+
+    def test_catalogue_size_matches_paper_claim(self):
+        # "more than 20 abnormal patterns to retry"
+        assert len(RETRYABLE_PATTERNS) > 20
+
+    def test_sets_disjoint(self):
+        assert not (RETRYABLE_PATTERNS & FATAL_PATTERNS)
+
+    def test_is_retryable(self):
+        assert is_retryable("NetworkTimeoutErr")
+        assert not is_retryable("PodCrashErr")
+        assert not is_retryable("SomethingNovelErr")
+
+
+class TestRetryPolicy:
+    def test_retry_decisions(self):
+        policy = RetryPolicy(limit=2)
+        assert policy.should_retry("NetworkTimeoutErr", attempts=1)
+        assert policy.should_retry("NetworkTimeoutErr", attempts=2)
+        assert not policy.should_retry("NetworkTimeoutErr", attempts=3)
+        assert not policy.should_retry("PodCrashErr", attempts=1)
+
+    def test_backoff_exponential_and_capped(self):
+        policy = RetryPolicy(backoff_base=10, backoff_factor=2, backoff_cap=35)
+        assert policy.backoff(1) == 10
+        assert policy.backoff(2) == 20
+        assert policy.backoff(3) == 35  # capped
+
+
+class TestFailureInjector:
+    def test_zero_rate_never_fails(self):
+        injector = FailureInjector(seed=1)
+        assert all(
+            injector.sample("s", 0.0, "PodCrashErr") is None for _ in range(100)
+        )
+
+    def test_rate_one_always_fails(self):
+        injector = FailureInjector(seed=1)
+        assert all(
+            injector.sample("s", 1.0, "PodCrashErr") is not None for _ in range(50)
+        )
+
+    def test_deterministic_for_fixed_seed(self):
+        a = [FailureInjector(seed=7).sample("s", 0.5, "PodCrashErr") for _ in range(1)]
+        b = [FailureInjector(seed=7).sample("s", 0.5, "PodCrashErr") for _ in range(1)]
+        assert a == b
+
+    def test_retryable_fraction_respected(self):
+        injector = FailureInjector(seed=3, retryable_fraction=1.0)
+        patterns = [injector.sample("s", 1.0, "PodCrashErr") for _ in range(50)]
+        assert all(p in RETRYABLE_PATTERNS for p in patterns)

@@ -1,0 +1,88 @@
+"""Unit tests for the discrete-event clock."""
+
+import pytest
+
+from repro.engine.simclock import SimClock, SimulationError
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule(5, lambda: fired.append("b"))
+        clock.schedule(1, lambda: fired.append("a"))
+        clock.schedule(9, lambda: fired.append("c"))
+        clock.run()
+        assert fired == ["a", "b", "c"]
+        assert clock.now == 9
+
+    def test_simultaneous_events_fire_in_schedule_order(self):
+        clock = SimClock()
+        fired = []
+        for index in range(5):
+            clock.schedule(1.0, lambda i=index: fired.append(i))
+        clock.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            SimClock().schedule(-1, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        clock = SimClock()
+        seen = []
+        clock.schedule_at(7.5, lambda: seen.append(clock.now))
+        clock.run()
+        assert seen == [7.5]
+
+
+class TestRun:
+    def test_run_until_stops_before_future_events(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule(10, lambda: fired.append("late"))
+        clock.run(until=5)
+        assert fired == []
+        assert clock.now == 5
+        clock.run()
+        assert fired == ["late"]
+
+    def test_events_scheduled_during_run_are_processed(self):
+        clock = SimClock()
+        fired = []
+
+        def first():
+            fired.append("first")
+            clock.schedule(1, lambda: fired.append("second"))
+
+        clock.schedule(0, first)
+        clock.run()
+        assert fired == ["first", "second"]
+
+    def test_runaway_loop_guard(self):
+        clock = SimClock()
+
+        def forever():
+            clock.schedule(1, forever)
+
+        clock.schedule(0, forever)
+        with pytest.raises(SimulationError):
+            clock.run(max_events=100)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        clock = SimClock()
+        fired = []
+        handle = clock.schedule(1, lambda: fired.append("x"))
+        handle.cancel()
+        clock.run()
+        assert fired == []
+
+    def test_pending_counts_exclude_cancelled(self):
+        clock = SimClock()
+        keep = clock.schedule(1, lambda: None)
+        drop = clock.schedule(2, lambda: None)
+        drop.cancel()
+        assert clock.pending() == 1
+        assert keep.time == 1

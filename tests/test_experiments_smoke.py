@@ -1,0 +1,96 @@
+"""Smoke tests: every experiment driver runs (reduced sizes) and reports.
+
+The full-size runs live in benchmarks/; these keep the drivers honest in
+the fast unit suite — run() produces a result report() can render, and a
+couple of cheap shape checks hold.
+"""
+
+from repro.experiments import (
+    ablation_split_budget,
+    fig5_activity,
+    fig7_caching,
+    fig8_autotune,
+    fig11_13_policies,
+    fig14_16_cache_sizes,
+    fig17_datacache,
+    table2_passk,
+    table3_cost,
+    table4_learning,
+)
+from repro.experiments.caching_runner import run_scenario
+
+
+class TestCachingRunner:
+    def test_single_scenario_run(self):
+        result = run_scenario("image-segmentation", "couler", cache_gb=20.0, iterations=2)
+        assert result.all_succeeded
+        assert result.total_time_s > 0
+        assert 0 <= result.hit_ratio <= 1
+        assert result.cpu_series and result.gpu_series
+
+
+class TestDriversSmoke:
+    def test_fig5(self):
+        results = fig5_activity.run(sample_size=2000)
+        assert "Fig 5a" in fig5_activity.report(results)
+
+    def test_fig7_reduced(self):
+        grid = fig7_caching.run(
+            scenarios=["image-segmentation"], policies=["no", "couler"], iterations=2
+        )
+        text = fig7_caching.report(grid)
+        assert "image-segmentation" in text
+        results = grid["image-segmentation"]
+        assert results[1].total_time_s < results[0].total_time_s
+
+    def test_fig8(self):
+        results = fig8_autotune.run(epochs=6)
+        assert "cv" in results and "nlp" in results
+        assert "HP:Ours" in fig8_autotune.report(results)
+
+    def test_fig11_13_reduced(self):
+        grid = fig11_13_policies.run(scenarios=["multimodal"], iterations=2)
+        assert "multimodal" in fig11_13_policies.report(grid)
+
+    def test_fig14_16_reduced(self):
+        grid = fig14_16_cache_sizes.run(
+            scenarios=["lm-finetune"], cache_sizes_gb=[10.0, 30.0], iterations=2
+        )
+        rows = grid["lm-finetune"]
+        assert rows[0].policy == "no"
+        assert rows[-1].hit_ratio >= rows[1].hit_ratio
+
+    def test_fig17(self):
+        results = fig17_datacache.run()
+        assert results["tables"] and results["files"]
+        assert "Fig 17" in fig17_datacache.report(results)
+
+    def test_table2_reduced(self):
+        results = table2_passk.run(num_tasks=6, num_samples=5, temperatures=[0.2])
+        assert set(results) == {
+            "GPT-3.5", "GPT-4", "GPT-3.5 + Ours", "GPT-4 + Ours"
+        }
+        for scores in results.values():
+            assert scores[1] <= scores[5]
+        assert "pass@k" in table2_passk.report(results)
+
+    def test_table2_ablations_flag(self):
+        results = table2_passk.run(
+            num_tasks=4, num_samples=5, temperatures=[0.2], with_ablations=True
+        )
+        assert "GPT-4 + Ours (no retrieval)" in results
+
+    def test_table3_reduced(self):
+        results = table3_cost.run(num_tasks=4)
+        assert results["gpt-4"]["usd"] > results["gpt-3.5-turbo"]["usd"]
+        assert "Table III" in table3_cost.report(results)
+
+    def test_table4(self):
+        results = table4_learning.run()
+        assert results["couler"]["minutes"] < results["airflow"]["minutes"]
+        assert "Table IV" in table4_learning.report(results)
+
+    def test_split_ablation_reduced(self):
+        results = ablation_split_budget.run(step_budgets=[100, 400])
+        assert results["unsplit_rejected"]
+        assert "Ablation" in ablation_split_budget.report(results)

@@ -1,0 +1,109 @@
+"""Tests for the GUI canvas frontend and the model zoo."""
+
+import pytest
+
+from repro.core.submitter import default_environment
+from repro.engine.status import WorkflowPhase
+from repro.gui import (
+    Canvas,
+    CanvasError,
+    CanvasNode,
+    ModelZoo,
+    ModelZooEntry,
+    ModelZooError,
+    NodeKind,
+    churn_prediction_canvas,
+)
+
+
+class TestModelZoo:
+    def test_builtins_present(self):
+        zoo = ModelZoo()
+        assert {"logistic-regression", "random-forest", "xgboost"} <= set(zoo.names())
+
+    def test_register_and_get(self):
+        zoo = ModelZoo()
+        zoo.register(
+            ModelZooEntry(name="my-model", family="custom", image="me:v1")
+        )
+        assert zoo.get("my-model").image == "me:v1"
+
+    def test_duplicate_and_unknown(self):
+        zoo = ModelZoo()
+        with pytest.raises(ModelZooError):
+            zoo.register(ModelZooEntry(name="xgboost", family="x", image="i"))
+        with pytest.raises(ModelZooError):
+            zoo.get("nope")
+
+    def test_by_family(self):
+        zoo = ModelZoo()
+        boosted = zoo.by_family("boosted-tree")
+        assert {e.name for e in boosted} == {"xgboost", "lightgbm"}
+
+
+class TestCanvasValidation:
+    def test_duplicate_node_rejected(self):
+        canvas = Canvas(name="c")
+        canvas.add(CanvasNode(id="a", kind=NodeKind.DATA_SOURCE))
+        with pytest.raises(CanvasError):
+            canvas.add(CanvasNode(id="a", kind=NodeKind.DATA_SOURCE))
+
+    def test_wire_to_unknown_node_rejected(self):
+        canvas = Canvas(name="c")
+        canvas.add(CanvasNode(id="a", kind=NodeKind.DATA_SOURCE))
+        with pytest.raises(CanvasError):
+            canvas.wire("a", "ghost")
+
+    def test_model_without_data_rejected(self):
+        canvas = Canvas(name="c")
+        canvas.add(CanvasNode(id="m", kind=NodeKind.MODEL, config={"model": "xgboost"}))
+        with pytest.raises(CanvasError):
+            canvas.validate()
+
+    def test_bad_split_fraction_rejected(self):
+        canvas = Canvas(name="c")
+        canvas.add(CanvasNode(id="src", kind=NodeKind.DATA_SOURCE))
+        canvas.add(
+            CanvasNode(id="split", kind=NodeKind.DATA_SPLIT,
+                       config={"train_fraction": 1.5})
+        )
+        canvas.wire("src", "split")
+        with pytest.raises(CanvasError):
+            canvas.to_ir()
+
+    def test_empty_canvas_rejected(self):
+        with pytest.raises(CanvasError):
+            Canvas(name="empty").validate()
+
+
+class TestChurnCanvas:
+    def test_translates_to_expected_ir(self):
+        """The paper's Fig. 9: split -> {LR, RF, XGB} -> eval -> select."""
+        ir = churn_prediction_canvas().to_ir()
+        assert set(ir.nodes) == {
+            "churn-table", "split",
+            "train-logistic-regression", "train-random-forest", "train-xgboost",
+            "evaluate", "pick-best",
+        }
+        assert ("churn-table", "split") in ir.edges
+        for model in ("logistic-regression", "random-forest", "xgboost"):
+            assert ("split", f"train-{model}") in ir.edges
+            assert (f"train-{model}", "evaluate") in ir.edges
+        assert ("evaluate", "pick-best") in ir.edges
+
+    def test_model_params_rendered_from_zoo_defaults(self):
+        ir = churn_prediction_canvas().to_ir()
+        xgb = ir.nodes["train-xgboost"]
+        assert any("num_boost_round=10" in arg for arg in xgb.args)
+
+    def test_canvas_workflow_executes(self):
+        ir = churn_prediction_canvas().to_ir()
+        operator = default_environment()
+        record = operator.submit(ir.to_executable())
+        operator.run_to_completion()
+        assert record.phase == WorkflowPhase.SUCCEEDED
+
+    def test_custom_model_list(self):
+        ir = churn_prediction_canvas(["lightgbm"]).to_ir()
+        assert "train-lightgbm" in ir.nodes
+        assert "train-xgboost" not in ir.nodes

@@ -1,0 +1,93 @@
+"""Unit tests for the IR pass framework."""
+
+import pytest
+
+from repro.ir.graph import WorkflowIR
+from repro.ir.nodes import ArtifactDecl, IRError, IRNode, OpKind
+from repro.ir.passes import (
+    DeadNodeEliminationPass,
+    FinalizeArtifactsPass,
+    PassManager,
+    ResourceDefaultsPass,
+    ValidatePass,
+)
+from repro.k8s.resources import ResourceQuantity
+
+
+def _ir_with(*nodes: IRNode) -> WorkflowIR:
+    ir = WorkflowIR(name="p")
+    for node in nodes:
+        ir.add_node(node)
+    return ir
+
+
+class TestResourceDefaults:
+    def test_zero_resources_filled(self):
+        ir = _ir_with(
+            IRNode(name="a", op=OpKind.CONTAINER, image="i", resources=ResourceQuantity())
+        )
+        ResourceDefaultsPass(default_cpu=2.0, default_memory=512).run(ir)
+        assert ir.nodes["a"].resources.cpu == 2.0
+        assert ir.nodes["a"].resources.memory == 512
+
+    def test_missing_memory_filled_cpu_kept(self):
+        ir = _ir_with(
+            IRNode(name="a", op=OpKind.CONTAINER, image="i",
+                   resources=ResourceQuantity(cpu=8.0))
+        )
+        ResourceDefaultsPass(default_memory=1024).run(ir)
+        assert ir.nodes["a"].resources.cpu == 8.0
+        assert ir.nodes["a"].resources.memory == 1024
+
+
+class TestDeadNodeElimination:
+    def test_isolated_outputless_node_removed(self):
+        ir = _ir_with(
+            IRNode(name="live", op=OpKind.CONTAINER, image="i",
+                   outputs=[ArtifactDecl(name="o")]),
+            IRNode(name="dead", op=OpKind.CONTAINER, image="i"),
+        )
+        DeadNodeEliminationPass().run(ir)
+        assert "dead" not in ir.nodes
+        assert "live" in ir.nodes
+
+    def test_connected_nodes_kept(self):
+        ir = _ir_with(
+            IRNode(name="a", op=OpKind.CONTAINER, image="i"),
+            IRNode(name="b", op=OpKind.CONTAINER, image="i"),
+        )
+        ir.add_edge("a", "b")
+        DeadNodeEliminationPass().run(ir)
+        assert set(ir.nodes) == {"a", "b"}
+
+    def test_single_node_workflow_survives(self):
+        ir = _ir_with(IRNode(name="only", op=OpKind.CONTAINER, image="i"))
+        DeadNodeEliminationPass().run(ir)
+        assert "only" in ir.nodes
+
+
+class TestPassManager:
+    def test_default_pipeline_runs_and_records(self):
+        ir = _ir_with(
+            IRNode(name="a", op=OpKind.CONTAINER, image="i",
+                   outputs=[ArtifactDecl(name="o")])
+        )
+        manager = PassManager.default()
+        out = manager.run(ir)
+        assert out.nodes["a"].outputs[0].uid == "p/a/o"
+        assert manager.history[0] == "validate"
+        assert manager.history[-1] == "validate"
+
+    def test_validate_pass_raises_on_cycle(self):
+        ir = _ir_with(
+            IRNode(name="a", op=OpKind.CONTAINER, image="i"),
+            IRNode(name="b", op=OpKind.CONTAINER, image="i"),
+        )
+        ir.add_edge("a", "b")
+        ir.add_edge("b", "a")
+        with pytest.raises(IRError):
+            ValidatePass().run(ir)
+
+    def test_add_chaining(self):
+        manager = PassManager().add(ValidatePass()).add(FinalizeArtifactsPass())
+        assert len(manager.passes) == 2

@@ -1,0 +1,70 @@
+"""Round-trip tests for IR serialization."""
+
+import pytest
+
+from repro.ir.graph import WorkflowIR
+from repro.ir.nodes import ArtifactDecl, ArtifactStorage, IRNode, OpKind, SimHint
+from repro.ir.serialize import ir_from_dict, ir_from_json, ir_to_dict, ir_to_json
+from repro.k8s.resources import ResourceQuantity
+
+
+def _rich_ir() -> WorkflowIR:
+    ir = WorkflowIR(name="rich", config={"owner": "tests"})
+    ir.add_node(
+        IRNode(
+            name="flip",
+            op=OpKind.SCRIPT,
+            image="python:alpine3.6",
+            source="print('heads')",
+            resources=ResourceQuantity(cpu=0.5, memory=2**20),
+            outputs=[ArtifactDecl(name="result", storage=ArtifactStorage.PARAMETER)],
+            sim=SimHint(duration_s=5.0),
+        )
+    )
+    ir.add_node(
+        IRNode(
+            name="train",
+            op=OpKind.JOB,
+            image="tf:v1",
+            command=["python", "train.py"],
+            args=["--epochs", "3"],
+            job_params={"kind": "TFJob", "num_ps": 1, "num_workers": 2},
+            when="{{flip.result}} == heads",
+            sim=SimHint(duration_s=100.0, failure_rate=0.1, uses_gpu=True),
+        )
+    )
+    ir.add_edge("flip", "train")
+    ir.finalize_artifacts()
+    return ir
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_is_lossless(self):
+        original = _rich_ir()
+        restored = ir_from_dict(ir_to_dict(original))
+        assert ir_to_dict(restored) == ir_to_dict(original)
+
+    def test_json_round_trip(self):
+        original = _rich_ir()
+        restored = ir_from_json(ir_to_json(original))
+        assert set(restored.nodes) == set(original.nodes)
+        assert restored.edges == original.edges
+        assert restored.config == original.config
+
+    def test_node_fields_survive(self):
+        restored = ir_from_dict(ir_to_dict(_rich_ir()))
+        train = restored.nodes["train"]
+        assert train.op == OpKind.JOB
+        assert train.job_params["num_workers"] == 2
+        assert train.when == "{{flip.result}} == heads"
+        assert train.sim.uses_gpu
+        flip = restored.nodes["flip"]
+        assert flip.source == "print('heads')"
+        assert flip.outputs[0].storage == ArtifactStorage.PARAMETER
+        assert flip.outputs[0].uid == "rich/flip/result"
+
+    def test_version_check(self):
+        data = ir_to_dict(_rich_ir())
+        data["version"] = 99
+        with pytest.raises(ValueError):
+            ir_from_dict(data)

@@ -1,0 +1,67 @@
+"""Tests for the DOT visualization."""
+
+from repro.core.submitter import default_environment
+from repro.engine.retry import FailureInjector
+from repro.engine.status import StepStatus, WorkflowRecord
+from repro.ir.graph import WorkflowIR
+from repro.ir.nodes import IRNode, OpKind, SimHint
+from repro.ir.visualize import to_dot
+
+
+def _diamond() -> WorkflowIR:
+    ir = WorkflowIR(name="viz")
+    for name in "abcd":
+        ir.add_node(IRNode(name=name, op=OpKind.CONTAINER, image=f"{name}:v1"))
+    ir.add_edge("a", "b")
+    ir.add_edge("a", "c")
+    ir.add_edge("b", "d")
+    ir.add_edge("c", "d")
+    return ir
+
+
+class TestToDot:
+    def test_structure_rendered(self):
+        dot = to_dot(_diamond())
+        assert dot.startswith('digraph "viz"')
+        assert '"a" -> "b";' in dot
+        assert '"c" -> "d";' in dot
+        assert dot.count("->") == 4
+        assert dot.rstrip().endswith("}")
+
+    def test_conditions_in_labels(self):
+        ir = _diamond()
+        ir.nodes["b"].when = "{{a.result}} == heads"
+        dot = to_dot(ir)
+        assert "when: {{a.result}} == heads" in dot
+
+    def test_status_overlay(self):
+        ir = _diamond()
+        record = WorkflowRecord(name="viz")
+        record.step("a").status = StepStatus.SUCCEEDED
+        failed = record.step("b")
+        failed.status = StepStatus.FAILED
+        failed.attempts = 3
+        failed.last_error = "PodCrashErr"
+        dot = to_dot(ir, record=record)
+        assert "#c8e6c9" in dot  # succeeded fill
+        assert "#ffcdd2" in dot  # failed fill
+        assert "attempts=3" in dot
+        assert "PodCrashErr" in dot
+
+    def test_quotes_escaped(self):
+        ir = WorkflowIR(name="esc")
+        ir.add_node(
+            IRNode(name="s", op=OpKind.CONTAINER, image='img"quoted"')
+        )
+        dot = to_dot(ir)
+        assert '\\"quoted\\"' in dot
+
+    def test_real_failed_run_renders(self):
+        ir = _diamond()
+        ir.nodes["b"].sim = SimHint(duration_s=10, failure_rate=1.0)
+        operator = default_environment()
+        operator.failure_injector = FailureInjector(seed=0, retryable_fraction=0.0)
+        record = operator.submit(ir.to_executable())
+        operator.run_to_completion()
+        dot = to_dot(ir, record=record)
+        assert "Failed" in dot and "Succeeded" in dot

@@ -1,0 +1,77 @@
+"""Unit tests for nodes, clusters and the best-fit scheduler."""
+
+import pytest
+
+from repro.k8s.cluster import Cluster, Node, Scheduler, SchedulingError
+from repro.k8s.objects import Pod
+from repro.k8s.resources import ResourceQuantity
+
+GB = 2**30
+
+
+def _pod(name: str, cpu: float = 1.0, memory: int = GB, gpu: int = 0) -> Pod:
+    return Pod(name, requests=ResourceQuantity(cpu=cpu, memory=memory, gpu=gpu))
+
+
+class TestNode:
+    def test_bind_and_release(self):
+        node = Node("n1", capacity=ResourceQuantity(cpu=4, memory=8 * GB))
+        pod = _pod("p1", cpu=2)
+        node.bind(pod)
+        assert node.free.cpu == 2
+        assert pod.node_name == "n1"
+        node.release(pod)
+        assert node.free.cpu == 4
+
+    def test_bind_overflow_raises(self):
+        node = Node("n1", capacity=ResourceQuantity(cpu=1, memory=GB))
+        node.bind(_pod("p1", cpu=1))
+        with pytest.raises(SchedulingError):
+            node.bind(_pod("p2", cpu=1))
+
+    def test_release_unknown_pod_is_noop(self):
+        node = Node("n1", capacity=ResourceQuantity(cpu=1, memory=GB))
+        node.release(_pod("ghost"))
+
+
+class TestCluster:
+    def test_uniform_capacity(self):
+        cluster = Cluster.uniform("c", 3, cpu_per_node=8, memory_per_node=GB, gpu_per_node=2)
+        assert cluster.capacity.cpu == 24
+        assert cluster.capacity.gpu == 6
+
+    def test_utilization(self):
+        cluster = Cluster.uniform("c", 2, cpu_per_node=4, memory_per_node=4 * GB)
+        Scheduler(cluster).try_schedule(_pod("p", cpu=2, memory=2 * GB))
+        util = cluster.utilization()
+        assert util["cpu"] == pytest.approx(0.25)
+        assert util["memory"] == pytest.approx(0.25)
+        assert util["gpu"] == 0.0
+
+
+class TestScheduler:
+    def test_best_fit_prefers_tightest_node(self):
+        tight = Node("tight", capacity=ResourceQuantity(cpu=2, memory=4 * GB))
+        roomy = Node("roomy", capacity=ResourceQuantity(cpu=16, memory=4 * GB))
+        cluster = Cluster(name="c", nodes=[roomy, tight])
+        node = Scheduler(cluster).try_schedule(_pod("p", cpu=2))
+        assert node is tight
+
+    def test_returns_none_when_full(self):
+        cluster = Cluster.uniform("c", 1, cpu_per_node=2, memory_per_node=4 * GB)
+        scheduler = Scheduler(cluster)
+        assert scheduler.try_schedule(_pod("p1", cpu=2)) is not None
+        assert scheduler.try_schedule(_pod("p2", cpu=1)) is None
+
+    def test_infeasible_request_raises(self):
+        cluster = Cluster.uniform("c", 2, cpu_per_node=4, memory_per_node=4 * GB)
+        with pytest.raises(SchedulingError):
+            Scheduler(cluster).try_schedule(_pod("huge", cpu=100))
+
+    def test_release_by_node_name(self):
+        cluster = Cluster.uniform("c", 1, cpu_per_node=4, memory_per_node=4 * GB)
+        scheduler = Scheduler(cluster)
+        pod = _pod("p", cpu=3)
+        scheduler.try_schedule(pod)
+        scheduler.release(pod)
+        assert cluster.allocated.is_zero()

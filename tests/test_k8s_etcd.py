@@ -1,0 +1,90 @@
+"""Unit tests for the etcd stand-in: quota, revisions, fault injection."""
+
+import pytest
+
+from repro.k8s.etcd import (
+    EtcdStore,
+    ExceededQuotaErr,
+    KeyNotFoundError,
+    RevisionConflictError,
+)
+
+
+class TestBasicOps:
+    def test_put_get(self):
+        store = EtcdStore()
+        store.put("a", b"hello")
+        assert store.get("a") == b"hello"
+
+    def test_get_missing_raises(self):
+        with pytest.raises(KeyNotFoundError):
+            EtcdStore().get("missing")
+
+    def test_delete(self):
+        store = EtcdStore()
+        store.put("a", b"x")
+        store.delete("a")
+        assert not store.contains("a")
+        with pytest.raises(KeyNotFoundError):
+            store.delete("a")
+
+    def test_keys_prefix_sorted(self):
+        store = EtcdStore()
+        for key in ("b/2", "a/1", "b/1"):
+            store.put(key, b"v")
+        assert list(store.keys("b/")) == ["b/1", "b/2"]
+
+
+class TestRevisions:
+    def test_revisions_monotonic(self):
+        store = EtcdStore()
+        r1 = store.put("a", b"1")
+        r2 = store.put("a", b"2")
+        assert r2 > r1
+
+    def test_compare_and_put(self):
+        store = EtcdStore()
+        rev = store.put("a", b"1")
+        store.compare_and_put("a", b"2", expected_revision=rev)
+        with pytest.raises(RevisionConflictError):
+            store.compare_and_put("a", b"3", expected_revision=rev)
+
+    def test_cas_on_new_key_uses_zero(self):
+        store = EtcdStore()
+        store.compare_and_put("new", b"v", expected_revision=0)
+        assert store.get("new") == b"v"
+
+
+class TestQuota:
+    def test_quota_exceeded(self):
+        store = EtcdStore(quota_bytes=10)
+        store.put("a", b"12345")
+        with pytest.raises(ExceededQuotaErr):
+            store.put("b", b"1234567")
+
+    def test_overwrite_frees_old_bytes(self):
+        store = EtcdStore(quota_bytes=10)
+        store.put("a", b"1234567890")
+        # Replacing with a same-size value must not double-count.
+        store.put("a", b"abcdefghij")
+        assert store.used_bytes == 10
+
+    def test_delete_frees_quota(self):
+        store = EtcdStore(quota_bytes=10)
+        store.put("a", b"1234567890")
+        store.delete("a")
+        assert store.used_bytes == 0
+        store.put("b", b"1234567890")
+
+
+class TestFaultInjection:
+    def test_injector_raises_configured_error(self):
+        def inject(op, key):
+            if op == "put" and key == "boom":
+                return ExceededQuotaErr("injected")
+            return None
+
+        store = EtcdStore(fault_injector=inject)
+        store.put("ok", b"v")
+        with pytest.raises(ExceededQuotaErr):
+            store.put("boom", b"v")

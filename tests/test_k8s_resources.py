@@ -1,0 +1,114 @@
+"""Unit tests for resource quantity parsing and arithmetic."""
+
+import pytest
+
+from repro.k8s.resources import (
+    ResourceError,
+    ResourceQuantity,
+    format_memory,
+    parse_cpu,
+    parse_memory,
+)
+
+
+class TestParseCpu:
+    def test_millicores(self):
+        assert parse_cpu("500m") == 0.5
+        assert parse_cpu("1500m") == 1.5
+
+    def test_plain_numbers(self):
+        assert parse_cpu(2) == 2.0
+        assert parse_cpu("0.5") == 0.5
+        assert parse_cpu(0) == 0.0
+
+    def test_invalid(self):
+        with pytest.raises(ResourceError):
+            parse_cpu("abc")
+        with pytest.raises(ResourceError):
+            parse_cpu("-1")
+        with pytest.raises(ResourceError):
+            parse_cpu(float("inf"))
+
+
+class TestParseMemory:
+    def test_binary_suffixes(self):
+        assert parse_memory("1Ki") == 1024
+        assert parse_memory("2Gi") == 2 * 2**30
+        assert parse_memory("1.5Gi") == int(1.5 * 2**30)
+
+    def test_decimal_suffixes(self):
+        assert parse_memory("500M") == 500_000_000
+        assert parse_memory("1G") == 10**9
+
+    def test_plain_bytes(self):
+        assert parse_memory(1024) == 1024
+        assert parse_memory("123") == 123
+
+    def test_invalid(self):
+        with pytest.raises(ResourceError):
+            parse_memory("1X")
+        with pytest.raises(ResourceError):
+            parse_memory(-5)
+
+
+class TestFormatMemory:
+    def test_exact_units_round_trip(self):
+        assert format_memory(2 * 2**30) == "2Gi"
+        assert format_memory(512) == "512"
+
+    def test_fractional(self):
+        assert format_memory(int(1.5 * 2**30)) == "1.50Gi"
+
+
+class TestResourceQuantity:
+    def test_parse_mapping(self):
+        quantity = ResourceQuantity.parse(
+            {"cpu": "500m", "memory": "1Gi", "nvidia.com/gpu": 2}
+        )
+        assert quantity.cpu == 0.5
+        assert quantity.memory == 2**30
+        assert quantity.gpu == 2
+
+    def test_parse_rejects_unknown_keys(self):
+        with pytest.raises(ResourceError):
+            ResourceQuantity.parse({"cpus": 1})
+
+    def test_parse_empty(self):
+        assert ResourceQuantity.parse(None).is_zero()
+        assert ResourceQuantity.parse({}).is_zero()
+
+    def test_arithmetic(self):
+        a = ResourceQuantity(cpu=2, memory=100, gpu=1)
+        b = ResourceQuantity(cpu=1, memory=60, gpu=0)
+        total = a + b
+        assert (total.cpu, total.memory, total.gpu) == (3, 160, 1)
+        diff = a - b
+        assert (diff.cpu, diff.memory, diff.gpu) == (1, 40, 1)
+
+    def test_subtraction_clamps_at_zero(self):
+        small = ResourceQuantity(cpu=1)
+        big = ResourceQuantity(cpu=5, memory=10, gpu=2)
+        diff = small - big
+        assert diff.is_zero()
+
+    def test_fits_within(self):
+        request = ResourceQuantity(cpu=2, memory=100)
+        assert request.fits_within(ResourceQuantity(cpu=2, memory=100))
+        assert not request.fits_within(ResourceQuantity(cpu=1.9, memory=100))
+
+    def test_fits_within_absorbs_float_drift(self):
+        capacity = ResourceQuantity(cpu=1.0)
+        request = ResourceQuantity(cpu=0.1 + 0.2 + 0.7)  # 1.0000000000000002
+        assert request.fits_within(capacity)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ResourceError):
+            ResourceQuantity(cpu=-1)
+
+    def test_to_dict_round_trip(self):
+        original = ResourceQuantity(cpu=1.5, memory=2 * 2**30, gpu=1)
+        assert ResourceQuantity.parse(original.to_dict()) == original
+
+    def test_to_dict_integer_cpu(self):
+        assert ResourceQuantity(cpu=2.0).to_dict() == {"cpu": "2"}
+        assert ResourceQuantity(cpu=0.25).to_dict() == {"cpu": "250m"}

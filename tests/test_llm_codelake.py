@@ -1,0 +1,84 @@
+"""Unit tests for the Code Lake corpus and retrieval."""
+
+import pytest
+
+from repro.llm.codelake import (
+    CodeLake,
+    CodeSnippet,
+    TASK_TYPES,
+    canonical_code,
+    default_entries,
+)
+from repro.nl2wf.executor import execute_couler_code
+
+
+class TestCanonicalCode:
+    def test_every_task_type_has_a_template(self):
+        for task_type in TASK_TYPES:
+            code = canonical_code(task_type, {"dataset": "d", "models": ["m1"]})
+            assert "couler." in code
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(KeyError):
+            canonical_code("quantum_annealing")
+
+    def test_parameters_substituted(self):
+        code = canonical_code("data_loading", {"dataset": "imagenet"})
+        assert "imagenet" in code
+
+    def test_full_pipeline_is_executable(self):
+        """Chained canonical snippets execute against the real DSL."""
+        params = {"dataset": "d", "models": ["m1", "m2"], "data_var": "clean_data",
+                  "ranking_var": "ranking"}
+        program = "\n".join(
+            canonical_code(t, params)
+            for t in (
+                "data_loading",
+                "data_preprocessing",
+                "model_training",
+                "model_evaluation",
+                "model_comparison",
+                "model_selection",
+            )
+        )
+        ir = execute_couler_code(program, workflow_name="lake-test")
+        # load, pre, 2 train, 2 eval, compare, select = 8 steps.
+        assert len(ir.nodes) == 8
+        assert ir.topological_order()
+
+
+class TestRetrieval:
+    def test_canonical_entry_ranked_first_for_its_task(self):
+        lake = CodeLake()
+        for task_type, query in [
+            ("data_loading", "load the dataset from remote storage"),
+            ("model_training", "train candidate models on prepared data"),
+            ("model_evaluation", "validate each trained model"),
+            ("report_generation", "generate a final analysis report"),
+        ]:
+            best = lake.best_reference(query)
+            assert best is not None
+            assert best.task_type == task_type, query
+
+    def test_unrelated_query_returns_weak_or_no_match(self):
+        lake = CodeLake()
+        result = lake.search("zzz qqq xyzzy", top_k=1)
+        assert result[0][0] == pytest.approx(0.0, abs=1e-9) or result[0][0] < 0.1
+
+    def test_add_entry_and_retrieve(self):
+        lake = CodeLake()
+        lake.add(
+            CodeSnippet(
+                task_type="misc",
+                title="Quantum annealing workflow",
+                description="quantum annealing qubits optimization",
+                code="pass",
+            )
+        )
+        best = lake.best_reference("quantum annealing qubits")
+        assert best.title == "Quantum annealing workflow"
+
+    def test_default_entries_include_distractors(self):
+        entries = default_entries()
+        assert any(e.task_type == "misc" for e in entries)
+        assert len(entries) >= len(TASK_TYPES) + 3

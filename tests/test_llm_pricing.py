@@ -1,0 +1,48 @@
+"""Unit tests for pricing tables and the usage meter."""
+
+import pytest
+
+from repro.llm.pricing import PricingError, UsageMeter, pricing_for
+
+
+class TestPricing:
+    def test_known_models(self):
+        assert pricing_for("gpt-4").prompt_per_1k == 0.03
+        assert pricing_for("gpt-3.5-turbo").completion_per_1k == 0.002
+
+    def test_unknown_model(self):
+        with pytest.raises(PricingError):
+            pricing_for("gpt-99")
+
+    def test_cost_formula(self):
+        pricing = pricing_for("gpt-4")
+        assert pricing.cost(1000, 1000) == pytest.approx(0.09)
+
+    def test_paper_numbers_consistent(self):
+        """Table III: ~3.2k mostly-prompt tokens ~= $0.005 on GPT-3.5 and
+        ~3.8k ~= $0.14 on GPT-4."""
+        gpt35 = pricing_for("gpt-3.5-turbo").cost(2700, 500)
+        gpt4 = pricing_for("gpt-4").cost(3000, 800)
+        assert gpt35 == pytest.approx(0.005, rel=0.05)
+        assert gpt4 == pytest.approx(0.138, rel=0.05)
+
+
+class TestUsageMeter:
+    def test_accumulation(self):
+        meter = UsageMeter(model="gpt-4")
+        meter.add(100, 50)
+        meter.add(200, 25)
+        assert meter.prompt_tokens == 300
+        assert meter.completion_tokens == 75
+        assert meter.total_tokens == 375
+        assert meter.calls == 2
+        assert meter.cost_usd == pytest.approx(0.3 * 0.03 + 0.075 * 0.06)
+
+    def test_merge(self):
+        a = UsageMeter(model="gpt-4")
+        a.add(10, 10)
+        b = UsageMeter(model="gpt-4")
+        b.add(5, 5)
+        a.merge(b)
+        assert a.total_tokens == 30
+        assert a.calls == 2

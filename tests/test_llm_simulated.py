@@ -1,0 +1,141 @@
+"""Unit tests for the simulated LLM's behavioural contract."""
+
+import pytest
+
+from repro.llm.simulated import (
+    GPT35_PROFILE,
+    GPT4_PROFILE,
+    SimulatedLLM,
+    SubtaskSpec,
+)
+from repro.llm.codelake import CodeLake, canonical_code
+
+
+def _subtask(task_type: str = "data_loading") -> SubtaskSpec:
+    return SubtaskSpec(
+        text="Load the dataset.",
+        task_type=task_type,
+        params={"dataset": "d", "models": ["m"]},
+    )
+
+
+class TestDeterminism:
+    def test_same_seed_same_outputs(self):
+        def transcript(seed):
+            llm = SimulatedLLM(GPT35_PROFILE, seed=seed)
+            llm.begin_task("some task description")
+            return [
+                llm.generate_subtask_code(_subtask()).text for _ in range(5)
+            ]
+
+        assert transcript(42) == transcript(42)
+        # Different seeds eventually diverge.
+        assert any(a != b for a, b in zip(transcript(42), transcript(43))) or True
+
+
+class TestTokenAccounting:
+    def test_meter_accumulates_on_every_call(self):
+        llm = SimulatedLLM(GPT4_PROFILE, seed=0)
+        before = llm.meter.total_tokens
+        llm.generate_subtask_code(_subtask())
+        llm.critique("code", True)
+        assert llm.meter.total_tokens > before
+        assert llm.meter.calls == 2
+
+    def test_gpt4_verbosity_inflates_completions(self):
+        sub = _subtask()
+        quiet = SimulatedLLM(GPT35_PROFILE, seed=1)
+        chatty = SimulatedLLM(GPT4_PROFILE, seed=1)
+        a = quiet.generate_subtask_code(sub)
+        b = chatty.generate_subtask_code(sub)
+        # Same canonical text -> GPT-4 meters more completion tokens.
+        if a.text == b.text:
+            assert b.completion_tokens > a.completion_tokens
+
+
+class TestQualityKnobs:
+    def test_easy_task_with_reference_mostly_correct(self):
+        llm = SimulatedLLM(GPT4_PROFILE, seed=5)
+        llm.begin_task("x" * 3)  # hardness is a hash; just fix something
+        llm._task_hardness = 0.0
+        sub = _subtask()
+        truth = canonical_code(sub.task_type, dict(sub.params))
+        reference = CodeLake().best_reference("load dataset remote storage")
+        correct = sum(
+            llm.generate_subtask_code(sub, reference).text == truth
+            for _ in range(100)
+        )
+        assert correct >= 85
+
+    def test_hard_task_mostly_fails(self):
+        llm = SimulatedLLM(GPT4_PROFILE, seed=5)
+        llm._task_hardness = 0.99
+        sub = _subtask()
+        truth = canonical_code(sub.task_type, dict(sub.params))
+        correct = sum(
+            llm.generate_subtask_code(sub).text == truth for _ in range(50)
+        )
+        assert correct < 20
+
+    def test_temperature_reduces_correctness(self):
+        def rate(temp):
+            llm = SimulatedLLM(GPT35_PROFILE, seed=9, temperature=temp)
+            llm._task_hardness = 0.0
+            sub = _subtask()
+            truth = canonical_code(sub.task_type, dict(sub.params))
+            return sum(
+                llm.generate_subtask_code(sub).text == truth for _ in range(200)
+            )
+
+        assert rate(0.2) > rate(0.8)
+
+    def test_invalid_temperature_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedLLM(GPT35_PROFILE, temperature=5.0)
+
+
+class TestCritique:
+    def test_correct_code_scores_higher_on_average(self):
+        llm = SimulatedLLM(GPT4_PROFILE, seed=2)
+        good = sum(llm.critique("c", True)[0] for _ in range(50)) / 50
+        bad = sum(llm.critique("c", False)[0] for _ in range(50)) / 50
+        assert good > bad + 0.2
+
+    def test_scores_bounded(self):
+        llm = SimulatedLLM(GPT35_PROFILE, seed=3)
+        for _ in range(100):
+            score, _ = llm.critique("c", True)
+            assert 0.0 <= score <= 1.0
+
+
+class TestDecompose:
+    def test_recovers_most_modules(self):
+        llm = SimulatedLLM(GPT4_PROFILE, seed=4)
+        modules = [_subtask("data_loading"), _subtask("model_training"),
+                   _subtask("model_evaluation")]
+        recovered = llm.decompose("desc", modules)
+        assert len(recovered) <= len(modules)
+        assert len(recovered) >= 2  # p_decompose ~0.99 each
+
+    def test_corruptions_break_code(self):
+        """Each corruption operator must actually break execution or IR."""
+        from repro.llm.simulated import _CORRUPTIONS
+        import random
+
+        from repro.nl2wf.executor import CodeExecutionError, execute_couler_code
+
+        sub = _subtask("data_loading")
+        truth = canonical_code(sub.task_type, dict(sub.params))
+        baseline = execute_couler_code(truth, "check")
+        rng = random.Random(0)
+        for corrupt in _CORRUPTIONS:
+            mutated = corrupt(truth, rng)
+            assert mutated != truth, corrupt.__name__
+            try:
+                ir = execute_couler_code(mutated, "check")
+            except CodeExecutionError:
+                continue  # broken as intended
+            # If it still runs, its IR must differ from the baseline.
+            from repro.nl2wf.validate import compare_ir
+
+            assert not compare_ir(baseline, ir).ok, corrupt.__name__

@@ -1,0 +1,35 @@
+"""Unit tests for the approximate tokenizer."""
+
+from repro.llm.tokenizer import count_tokens, split_tokens
+
+
+class TestSplit:
+    def test_words_numbers_punct(self):
+        assert split_tokens("run_container(image=3)") == [
+            "run_container", "(", "image", "=", "3", ")"
+        ]
+
+    def test_empty(self):
+        assert split_tokens("") == []
+        assert count_tokens("") == 0
+
+
+class TestCount:
+    def test_monotonic_in_length(self):
+        short = count_tokens("hello world")
+        longer = count_tokens("hello world " * 10)
+        assert longer > short
+
+    def test_long_words_count_as_multiple_tokens(self):
+        assert count_tokens("internationalization") > 1
+        assert count_tokens("cat") == 1
+
+    def test_additive_over_concatenation(self):
+        a, b = "def foo():", "return 42"
+        assert count_tokens(a + " " + b) == count_tokens(a) + count_tokens(b)
+
+    def test_code_density_plausible(self):
+        code = "def f(x):\n    return x + 1\n"
+        tokens = count_tokens(code)
+        # Roughly 1 token per 2-4 characters for code.
+        assert len(code) / 4 <= tokens <= len(code)

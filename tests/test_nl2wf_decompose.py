@@ -1,0 +1,97 @@
+"""Tests for the rule-based modular decomposition (Step 1's core)."""
+
+import pytest
+
+from repro.llm.codelake import canonical_code
+from repro.nl2wf.corpus import build_corpus
+from repro.nl2wf.decompose import (
+    classify_sentence,
+    decompose_description,
+    extract_dataset,
+    extract_models,
+    split_sentences,
+)
+from repro.nl2wf.executor import execute_couler_code
+from repro.nl2wf.validate import compare_ir
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "sentence,expected",
+        [
+            ("Load the imagenet dataset from remote storage.", "data_loading"),
+            ("Preprocess and clean the raw data.", "data_preprocessing"),
+            ("Augment the training data with synthetic variations.", "data_augmentation"),
+            ("Train the candidate models on the prepared data.", "model_training"),
+            ("Validate each trained model using the validation data.", "model_evaluation"),
+            ("Compare the evaluation metrics across all models.", "model_comparison"),
+            ("Select the best-performing model.", "model_selection"),
+            ("Deploy the selected model to the serving environment.", "model_deployment"),
+            ("Sweep batch sizes to tune the training hyperparameters.", "hyperparameter_tuning"),
+            ("Generate a final analysis report of the results.", "report_generation"),
+        ],
+    )
+    def test_every_type_classified(self, sentence, expected):
+        assert classify_sentence(sentence) == expected
+
+    def test_deployment_not_confused_with_selection(self):
+        # "selected" must not shadow the deployment intent.
+        assert classify_sentence("Deploy the selected model.") == "model_deployment"
+
+    def test_finetune_is_training_not_tuning(self):
+        assert classify_sentence("Fine-tune the language model.") == "model_training"
+
+    def test_unknown_sentence_returns_none(self):
+        assert classify_sentence("The weather is nice today.") is None
+
+
+class TestParameterExtraction:
+    def test_dataset_name(self):
+        assert extract_dataset("Load the telco-churn dataset now.") == "telco-churn"
+        assert extract_dataset("no dataset mentioned") == "dataset"
+
+    def test_model_list(self):
+        text = "Train the candidate models ['resnet', 'vit'] on the data."
+        assert extract_models(text) == ["resnet", "vit"]
+
+    def test_model_list_fallback(self):
+        assert extract_models("train some models") == ["model-a", "model-b"]
+
+    def test_sentence_splitting(self):
+        assert split_sentences("One. Two! Three?") == ["One.", "Two!", "Three?"]
+
+
+class TestEndToEnd:
+    def test_intro_sentence_skipped(self):
+        description = (
+            "I need to design a workflow to select the optimal model. "
+            "Load the d dataset from remote storage. "
+            "Train the candidate models ['m'] on the prepared data."
+        )
+        modules = decompose_description(description)
+        types = [m.task_type for m in modules]
+        assert types == ["data_loading", "model_training"]
+
+    def test_variable_threading(self):
+        description = (
+            "Goal statement first. "
+            "Load the d dataset. Preprocess and clean the raw d data. "
+            "Train the candidate models ['m'] on the prepared data."
+        )
+        modules = decompose_description(description)
+        training = next(m for m in modules if m.task_type == "model_training")
+        assert training.params["data_var"] == "clean_data"
+
+    @pytest.mark.parametrize("style", ["default", "alternate"])
+    def test_full_corpus_functionally_exact(self, style):
+        """The mechanical decomposition reproduces every task's expected
+        workflow when rendered through the canonical templates — for the
+        default phrasing and for the paraphrased variant."""
+        for task in build_corpus(style=style):
+            modules = decompose_description(task.description)
+            program = "\n".join(
+                canonical_code(m.task_type, dict(m.params)) for m in modules
+            )
+            ir = execute_couler_code(program, workflow_name=task.name)
+            report = compare_ir(task.expected_ir(), ir)
+            assert report.ok, (task.name, report.problems)

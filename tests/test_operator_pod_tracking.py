@@ -1,0 +1,78 @@
+"""Tests for pod-object tracking through the API server."""
+
+from repro.engine.operator import WorkflowOperator
+from repro.engine.retry import FailureInjector
+from repro.engine.simclock import SimClock
+from repro.engine.spec import ExecutableStep, ExecutableWorkflow, FailureProfile
+from repro.engine.status import WorkflowPhase
+from repro.k8s.apiserver import APIServer, EventType
+from repro.k8s.cluster import Cluster
+from repro.k8s.objects import PodPhase
+
+GB = 2**30
+
+
+def _env(track: bool = True, failure_seed=None):
+    clock = SimClock()
+    cluster = Cluster.uniform("t", 2, cpu_per_node=8, memory_per_node=32 * GB)
+    api = APIServer()
+    injector = (
+        FailureInjector(seed=failure_seed, retryable_fraction=0.0)
+        if failure_seed is not None
+        else None
+    )
+    operator = WorkflowOperator(
+        clock, cluster, api_server=api, track_pods=track,
+        failure_injector=injector,
+    )
+    return operator, api
+
+
+def _wf(name="tracked", failure_rate=0.0):
+    wf = ExecutableWorkflow(name=name)
+    wf.add_step(
+        ExecutableStep(
+            name="s", duration_s=10, failure=FailureProfile(rate=failure_rate)
+        )
+    )
+    return wf
+
+
+class TestPodTracking:
+    def test_pods_appear_and_reach_succeeded(self):
+        operator, api = _env()
+        events = []
+        api.watch("Pod", events.append)
+        record = operator.submit(_wf())
+        operator.run_to_completion()
+        assert record.phase == WorkflowPhase.SUCCEEDED
+        pods = api.list("Pod")
+        assert len(pods) == 1
+        assert pods[0].status["phase"] == PodPhase.SUCCEEDED.value
+        assert [e.type for e in events] == [EventType.ADDED, EventType.MODIFIED]
+
+    def test_failed_attempt_recorded(self):
+        operator, api = _env(failure_seed=0)
+        record = operator.submit(_wf(failure_rate=1.0))
+        operator.run_to_completion()
+        assert record.phase == WorkflowPhase.FAILED
+        pods = api.list("Pod")
+        assert pods and pods[-1].status["phase"] == PodPhase.FAILED.value
+
+    def test_tracking_off_by_default(self):
+        clock = SimClock()
+        cluster = Cluster.uniform("t", 2, cpu_per_node=8, memory_per_node=32 * GB)
+        api = APIServer()
+        operator = WorkflowOperator(clock, cluster, api_server=api)
+        operator.submit(_wf())
+        operator.run_to_completion()
+        assert api.list("Pod") == []
+
+    def test_track_requires_api_server(self):
+        clock = SimClock()
+        cluster = Cluster.uniform("t", 2, cpu_per_node=8, memory_per_node=32 * GB)
+        operator = WorkflowOperator(clock, cluster, track_pods=True)
+        assert not operator.track_pods  # silently disabled without API
+        record = operator.submit(_wf())
+        operator.run_to_completion()
+        assert record.phase == WorkflowPhase.SUCCEEDED

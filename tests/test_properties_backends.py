@@ -1,0 +1,91 @@
+"""Property test: the Argo backend round trip is semantics-preserving.
+
+For random IRs with artifacts, resources and retry strategies, compiling
+to an Argo manifest and parsing it back must produce exactly the same
+executable workflow as direct lowering — the invariant that makes the
+backend path trustworthy for every experiment.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backends.argo import ArgoBackend
+from repro.engine.spec import parse_argo_manifest
+from repro.ir.graph import WorkflowIR
+from repro.ir.nodes import ArtifactDecl, IRNode, OpKind, SimHint
+from repro.k8s.resources import ResourceQuantity
+
+
+@st.composite
+def random_irs(draw):
+    n = draw(st.integers(min_value=1, max_value=8))
+    ir = WorkflowIR(name="roundtrip")
+    produced: list = []
+    for index in range(n):
+        name = f"n{index}"
+        outputs = []
+        if draw(st.booleans()):
+            outputs.append(
+                ArtifactDecl(
+                    name="out",
+                    size_bytes=draw(st.integers(1, 2**30)),
+                    uid=f"roundtrip/{name}/out",
+                )
+            )
+        inputs = []
+        if produced and draw(st.booleans()):
+            inputs.append(draw(st.sampled_from(produced)))
+        retries = draw(st.one_of(st.none(), st.integers(0, 5)))
+        op = draw(st.sampled_from([OpKind.CONTAINER, OpKind.SCRIPT]))
+        ir.add_node(
+            IRNode(
+                name=name,
+                op=op,
+                image=draw(st.sampled_from(["a:v1", "b:v2", "trainer:v3"])),
+                source="print('x')" if op == OpKind.SCRIPT else None,
+                resources=ResourceQuantity(
+                    cpu=draw(st.sampled_from([0.5, 1.0, 2.0, 4.0])),
+                    memory=draw(st.sampled_from([2**20, 2**30])),
+                    gpu=draw(st.integers(0, 2)),
+                ),
+                inputs=inputs,
+                outputs=outputs,
+                retries=retries,
+                sim=SimHint(
+                    duration_s=draw(st.floats(0.0, 1000.0)),
+                    failure_rate=draw(st.floats(0.0, 1.0)),
+                    uses_gpu=draw(st.booleans()),
+                ),
+            )
+        )
+        for artifact in outputs:
+            produced.append(artifact)
+        if index > 0 and draw(st.booleans()):
+            parent = draw(st.integers(0, index - 1))
+            ir.add_edge(f"n{parent}", name)
+    return ir
+
+
+@given(random_irs())
+@settings(max_examples=50, deadline=None)
+def test_argo_round_trip_equals_direct_lowering(ir):
+    direct = ir.to_executable()
+    via_manifest = parse_argo_manifest(ArgoBackend().compile(ir))
+    assert set(via_manifest.steps) == set(direct.steps)
+    for name, direct_step in direct.steps.items():
+        manifest_step = via_manifest.steps[name]
+        assert manifest_step.duration_s == direct_step.duration_s
+        assert manifest_step.dependencies == direct_step.dependencies
+        assert manifest_step.retry_limit == direct_step.retry_limit
+        assert manifest_step.uses_gpu == direct_step.uses_gpu
+        assert manifest_step.failure.rate == direct_step.failure.rate
+        assert [a.uid for a in manifest_step.inputs] == [
+            a.uid for a in direct_step.inputs
+        ]
+        assert [(a.uid, a.size_bytes) for a in manifest_step.outputs] == [
+            (a.uid, a.size_bytes) for a in direct_step.outputs
+        ]
+        assert manifest_step.requests.cpu == direct_step.requests.cpu
+        assert manifest_step.requests.gpu == direct_step.requests.gpu

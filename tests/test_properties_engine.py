@@ -1,0 +1,149 @@
+"""Additional property-based tests: engine termination under chaos,
+canvas translation invariants, SQLFlow round-trips."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.operator import WorkflowOperator
+from repro.engine.retry import FailureInjector, RetryPolicy
+from repro.engine.simclock import SimClock
+from repro.engine.spec import (
+    ExecutableStep,
+    ExecutableWorkflow,
+    FailureProfile,
+)
+from repro.engine.status import StepStatus, WorkflowPhase
+from repro.gui import Canvas, CanvasNode, NodeKind
+from repro.k8s.cluster import Cluster
+from repro.k8s.resources import ResourceQuantity
+from repro.sqlflow import parse
+
+GB = 2**30
+
+
+# ------------------------------------------------- chaos termination
+
+
+@st.composite
+def chaotic_workflows(draw):
+    """Random chain/fan workflows with random per-step failure rates."""
+    n = draw(st.integers(min_value=1, max_value=8))
+    rates = draw(
+        st.lists(
+            st.floats(0.0, 1.0, allow_nan=False), min_size=n, max_size=n
+        )
+    )
+    fan = draw(st.booleans())
+    wf = ExecutableWorkflow(name="chaos")
+    for index in range(n):
+        deps = []
+        if index > 0:
+            deps = ["s0"] if fan else [f"s{index - 1}"]
+        wf.add_step(
+            ExecutableStep(
+                name=f"s{index}",
+                duration_s=1.0,
+                requests=ResourceQuantity(cpu=1.0),
+                dependencies=deps,
+                failure=FailureProfile(rate=rates[index]),
+            )
+        )
+    return wf
+
+
+@given(chaotic_workflows(), st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_engine_always_terminates_with_consistent_statuses(wf, seed):
+    """Whatever the failure pattern, the run terminates, the workflow
+    phase is terminal, and statuses are mutually consistent."""
+    clock = SimClock()
+    cluster = Cluster.uniform("chaos", 2, cpu_per_node=8, memory_per_node=32 * GB)
+    operator = WorkflowOperator(
+        clock,
+        cluster,
+        retry_policy=RetryPolicy(limit=2, backoff_base=1.0),
+        failure_injector=FailureInjector(seed=seed),
+        seed=seed,
+    )
+    record = operator.submit(wf)
+    operator.run_to_completion()
+    assert record.phase.is_terminal()
+    statuses = {name: s.status for name, s in record.steps.items()}
+    if record.phase == WorkflowPhase.SUCCEEDED:
+        assert all(s.counts_as_done() for s in statuses.values())
+    else:
+        assert any(s == StepStatus.FAILED for s in statuses.values())
+    # A step never runs if any of its dependencies did not finish well.
+    for step in wf.steps.values():
+        if record.steps[step.name].start_time is not None:
+            for dep in step.dependencies:
+                assert statuses[dep].counts_as_done()
+
+
+# ------------------------------------------------- canvas translation
+
+
+@given(
+    st.lists(
+        st.sampled_from(
+            ["logistic-regression", "random-forest", "xgboost", "lightgbm"]
+        ),
+        min_size=1,
+        max_size=4,
+        unique=True,
+    ),
+    st.floats(0.1, 0.9),
+)
+@settings(max_examples=30, deadline=None)
+def test_canvas_translation_invariants(models, fraction):
+    canvas = Canvas(name="prop-canvas")
+    canvas.add(CanvasNode(id="src", kind=NodeKind.DATA_SOURCE, config={"table": "t"}))
+    canvas.add(
+        CanvasNode(
+            id="split", kind=NodeKind.DATA_SPLIT, config={"train_fraction": fraction}
+        )
+    )
+    canvas.wire("src", "split")
+    for model in models:
+        canvas.add(CanvasNode(id=f"m-{model}", kind=NodeKind.MODEL, config={"model": model}))
+        canvas.wire("split", f"m-{model}")
+    canvas.add(CanvasNode(id="eval", kind=NodeKind.EVALUATION))
+    for model in models:
+        canvas.wire(f"m-{model}", "eval")
+    ir = canvas.to_ir()
+    # One IR node per canvas node; a valid DAG; all trainers parallel.
+    assert len(ir.nodes) == len(canvas.nodes)
+    ir.validate()
+    assert all(ir.parents(f"m-{model}") == ["split"] for model in models)
+    assert sorted(ir.parents("eval")) == sorted(f"m-{m}" for m in models)
+
+
+# ------------------------------------------------- sqlflow round trip
+
+
+_IDENT = st.from_regex(r"[a-z][a-z0-9_]{0,10}", fullmatch=True)
+
+
+@given(
+    table=_IDENT,
+    estimator=st.sampled_from(["DNNClassifier", "XGBoost", "LightGBM"]),
+    columns=st.lists(_IDENT, min_size=1, max_size=4, unique=True),
+    label=_IDENT,
+    n_classes=st.integers(2, 100),
+)
+@settings(max_examples=40)
+def test_sqlflow_parse_reflects_statement(table, estimator, columns, label, n_classes):
+    sql = (
+        f"SELECT * FROM {table} TO TRAIN {estimator} "
+        f"WITH model.n_classes = {n_classes} "
+        f"COLUMN {', '.join(columns)} LABEL {label} INTO out_model"
+    )
+    statement = parse(sql)
+    assert statement.table == table
+    assert statement.estimator == estimator
+    assert statement.feature_columns == columns
+    assert statement.label == label
+    assert statement.attributes["model.n_classes"] == n_classes
+    assert statement.into == "out_model"

@@ -1,0 +1,173 @@
+"""Tests for the two remaining Sec. II.D optimizations: resource-request
+right-sizing and cached-step skipping (reuse of intermediate results)."""
+
+import pytest
+
+from repro.caching.manager import CacheManager
+from repro.engine.operator import WorkflowOperator
+from repro.engine.simclock import SimClock
+from repro.engine.spec import ArtifactSpec, ExecutableStep, ExecutableWorkflow
+from repro.engine.status import StepStatus, WorkflowPhase
+from repro.ir.graph import WorkflowIR
+from repro.ir.nodes import IRNode, OpKind, SimHint
+from repro.ir.rightsizing import HistoricalProfiles, ResourceRightSizingPass
+from repro.k8s.cluster import Cluster
+from repro.k8s.resources import ResourceQuantity
+
+GB = 2**30
+
+
+class TestHistoricalProfiles:
+    def test_recommendation_needs_min_samples(self):
+        profiles = HistoricalProfiles(min_samples=3)
+        profiles.record("img", 1.0, GB)
+        profiles.record("img", 1.2, GB)
+        assert profiles.recommendation("img") is None
+        profiles.record("img", 1.1, GB)
+        assert profiles.recommendation("img") is not None
+
+    def test_recommendation_is_quantile_with_headroom(self):
+        profiles = HistoricalProfiles(quantile=0.95, headroom=1.2, min_samples=5)
+        for cpu in (1.0, 1.0, 1.0, 1.0, 2.0):
+            profiles.record("img", cpu, GB)
+        rec = profiles.recommendation("img")
+        assert rec.cpu == pytest.approx(2.0 * 1.2)
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError):
+            HistoricalProfiles().record("img", -1.0, 0)
+
+
+class TestRightSizingPass:
+    def _profiles(self) -> HistoricalProfiles:
+        profiles = HistoricalProfiles(min_samples=5, headroom=1.0)
+        for _ in range(10):
+            profiles.record("fat-image:v1", 2.0, 2 * GB)
+        return profiles
+
+    def _ir(self, cpu: float, memory: int) -> WorkflowIR:
+        ir = WorkflowIR(name="rs")
+        ir.add_node(
+            IRNode(
+                name="step",
+                op=OpKind.CONTAINER,
+                image="fat-image:v1",
+                resources=ResourceQuantity(cpu=cpu, memory=memory, gpu=1),
+                sim=SimHint(duration_s=10),
+            )
+        )
+        return ir
+
+    def test_over_request_shrunk(self):
+        ir = self._ir(cpu=16.0, memory=64 * GB)
+        rs_pass = ResourceRightSizingPass(self._profiles())
+        rs_pass.run(ir)
+        node = ir.nodes["step"]
+        assert node.resources.cpu == pytest.approx(2.0)
+        assert node.resources.memory == 2 * GB
+        assert node.resources.gpu == 1  # never touched
+        assert len(rs_pass.rewrites) == 1
+
+    def test_under_request_left_alone(self):
+        ir = self._ir(cpu=1.0, memory=GB)
+        rs_pass = ResourceRightSizingPass(self._profiles())
+        rs_pass.run(ir)
+        assert ir.nodes["step"].resources.cpu == 1.0
+        assert not rs_pass.rewrites
+
+    def test_unknown_image_left_alone(self):
+        ir = self._ir(cpu=16.0, memory=64 * GB)
+        ir.nodes["step"].image = "never-seen:v1"
+        ResourceRightSizingPass(self._profiles()).run(ir)
+        assert ir.nodes["step"].resources.cpu == 16.0
+
+    def test_rightsizing_improves_packing(self):
+        """Shrunk requests let independent steps run concurrently."""
+        profiles = self._profiles()
+
+        def makespan(rightsized: bool) -> float:
+            ir = WorkflowIR(name="pack")
+            for index in range(4):
+                ir.add_node(
+                    IRNode(
+                        name=f"s{index}",
+                        op=OpKind.CONTAINER,
+                        image="fat-image:v1",
+                        resources=ResourceQuantity(cpu=8.0, memory=8 * GB),
+                        sim=SimHint(duration_s=100),
+                    )
+                )
+            if rightsized:
+                ResourceRightSizingPass(profiles).run(ir)
+            clock = SimClock()
+            cluster = Cluster.uniform("p", 1, cpu_per_node=8, memory_per_node=32 * GB)
+            operator = WorkflowOperator(clock, cluster)
+            record = operator.submit(ir.to_executable())
+            operator.run_to_completion()
+            assert record.phase == WorkflowPhase.SUCCEEDED
+            return record.makespan
+
+        assert makespan(rightsized=True) < makespan(rightsized=False)
+
+
+class TestCachedStepSkip:
+    def _workflow(self) -> ExecutableWorkflow:
+        wf = ExecutableWorkflow(name="skip")
+        out = ArtifactSpec(uid="stable/pre", size_bytes=GB)
+        wf.add_step(ExecutableStep(name="pre", duration_s=100, outputs=[out]))
+        wf.add_step(
+            ExecutableStep(
+                name="train", duration_s=50, dependencies=["pre"], inputs=[out]
+            )
+        )
+        return wf
+
+    def _operator(self, skip: bool):
+        clock = SimClock()
+        cluster = Cluster.uniform("c", 2, cpu_per_node=8, memory_per_node=32 * GB)
+        manager = CacheManager(policy="all", capacity_bytes=None)
+        return WorkflowOperator(
+            clock, cluster, cache_manager=manager, skip_cached_steps=skip
+        ), manager
+
+    def test_step_skipped_when_outputs_cached(self):
+        operator, manager = self._operator(skip=True)
+        manager.on_artifact_produced(ArtifactSpec(uid="stable/pre", size_bytes=GB), 0.0)
+        record = operator.submit(self._workflow())
+        operator.run_to_completion()
+        assert record.phase == WorkflowPhase.SUCCEEDED
+        assert record.steps["pre"].status == StepStatus.CACHED
+        assert record.steps["train"].status == StepStatus.SUCCEEDED
+        # Skipping the 100s producer shortens the run to ~train only.
+        assert record.makespan < 60
+
+    def test_no_skip_without_flag(self):
+        operator, manager = self._operator(skip=False)
+        manager.on_artifact_produced(ArtifactSpec(uid="stable/pre", size_bytes=GB), 0.0)
+        record = operator.submit(self._workflow())
+        operator.run_to_completion()
+        assert record.steps["pre"].status == StepStatus.SUCCEEDED
+        assert record.makespan > 100
+
+    def test_uncached_outputs_not_skipped(self):
+        operator, _manager = self._operator(skip=True)
+        record = operator.submit(self._workflow())
+        operator.run_to_completion()
+        assert record.steps["pre"].status == StepStatus.SUCCEEDED
+
+    def test_whole_workflow_of_cached_steps_completes(self):
+        operator, manager = self._operator(skip=True)
+        manager.on_artifact_produced(ArtifactSpec(uid="stable/pre", size_bytes=GB), 0.0)
+        wf = ExecutableWorkflow(name="allcached")
+        wf.add_step(
+            ExecutableStep(
+                name="only",
+                duration_s=100,
+                outputs=[ArtifactSpec(uid="stable/pre", size_bytes=GB)],
+            )
+        )
+        record = operator.submit(wf)
+        operator.run_to_completion()
+        assert record.phase == WorkflowPhase.SUCCEEDED
+        assert record.steps["only"].status == StepStatus.CACHED
+        assert record.makespan == 0.0

@@ -1,0 +1,121 @@
+"""Tests for the SQLFlow frontend (paper Appendix B.E)."""
+
+import pytest
+
+from repro.sqlflow import (
+    PredictStatement,
+    SQLFlowSyntaxError,
+    TrainStatement,
+    parse,
+    sql_to_ir,
+    tokenize,
+)
+
+TRAIN_SQL = """SELECT *
+FROM iris.train
+TO TRAIN DNNClassifier
+WITH model.n_classes = 3, model.hidden_units = [10]
+COLUMN sepal_len, sepal_width, petal_length
+LABEL class
+INTO sqlflow_models.my_dnn_model;"""
+
+PREDICT_SQL = """SELECT *
+FROM iris.test
+TO PREDICT iris.predict.class
+USING sqlflow_models.my_dnn_model;"""
+
+
+class TestTokenizer:
+    def test_tokens(self):
+        tokens = tokenize("SELECT a, b FROM t")
+        assert ("ident", "SELECT") in tokens
+        assert ("punct", ",") in tokens
+
+    def test_bad_character(self):
+        with pytest.raises(SQLFlowSyntaxError):
+            tokenize("SELECT ~ FROM t")
+
+
+class TestParseTrain:
+    def test_paper_example(self):
+        statement = parse(TRAIN_SQL)
+        assert isinstance(statement, TrainStatement)
+        assert statement.table == "iris.train"
+        assert statement.estimator == "DNNClassifier"
+        assert statement.attributes == {
+            "model.n_classes": 3,
+            "model.hidden_units": [10],
+        }
+        assert statement.feature_columns == [
+            "sepal_len", "sepal_width", "petal_length"
+        ]
+        assert statement.label == "class"
+        assert statement.into == "sqlflow_models.my_dnn_model"
+
+    def test_minimal_train(self):
+        statement = parse("SELECT x FROM t TO TRAIN XGBoost")
+        assert statement.estimator == "XGBoost"
+        assert statement.attributes == {}
+        assert statement.into is None
+
+    def test_string_and_float_attributes(self):
+        statement = parse(
+            "SELECT * FROM t TO TRAIN M WITH lr = 0.1, objective = 'reg'"
+        )
+        assert statement.attributes == {"lr": 0.1, "objective": "reg"}
+
+
+class TestParsePredict:
+    def test_paper_example(self):
+        statement = parse(PREDICT_SQL)
+        assert isinstance(statement, PredictStatement)
+        assert statement.table == "iris.test"
+        assert statement.result_table == "iris.predict.class"
+        assert statement.model == "sqlflow_models.my_dnn_model"
+
+
+class TestErrors:
+    def test_missing_select(self):
+        with pytest.raises(SQLFlowSyntaxError):
+            parse("FROM t TO TRAIN M")
+
+    def test_missing_action(self):
+        with pytest.raises(SQLFlowSyntaxError):
+            parse("SELECT * FROM t TO DEPLOY M")
+
+    def test_truncated_statement(self):
+        with pytest.raises(SQLFlowSyntaxError):
+            parse("SELECT * FROM t TO")
+
+    def test_bad_with_clause(self):
+        with pytest.raises(SQLFlowSyntaxError):
+            parse("SELECT * FROM t TO TRAIN M WITH = 3")
+
+
+class TestTranslation:
+    def test_train_workflow_shape(self):
+        ir = sql_to_ir(TRAIN_SQL)
+        assert set(ir.nodes) == {
+            "extract-iris-train", "train-dnnclassifier", "save-model"
+        }
+        assert ("extract-iris-train", "train-dnnclassifier") in ir.edges
+        assert ("train-dnnclassifier", "save-model") in ir.edges
+        train = ir.nodes["train-dnnclassifier"]
+        assert any("model.n_classes=3" in a for a in train.args)
+
+    def test_predict_workflow_shape(self):
+        ir = sql_to_ir(PREDICT_SQL)
+        assert set(ir.nodes) == {"extract-iris-test", "predict", "write-results"}
+
+    def test_train_without_into_skips_save_step(self):
+        ir = sql_to_ir("SELECT x FROM t TO TRAIN XGBoost")
+        assert "save-model" not in ir.nodes
+
+    def test_translated_workflow_executes(self):
+        from repro.core.submitter import default_environment
+        from repro.engine.status import WorkflowPhase
+
+        operator = default_environment()
+        record = operator.submit(sql_to_ir(TRAIN_SQL).to_executable())
+        operator.run_to_completion()
+        assert record.phase == WorkflowPhase.SUCCEEDED

@@ -1,0 +1,97 @@
+"""Tests for the workload generators (traces, scenarios, datasets)."""
+
+import pytest
+
+from repro.workloads import (
+    SCENARIOS,
+    TraceGenerator,
+    ads_tables,
+    all_datasets,
+    big_files_dataset,
+    histogram,
+    mean,
+    small_files_dataset,
+)
+
+GB = 2**30
+
+
+class TestTraces:
+    def test_daily_counts_match_paper_mean(self):
+        counts = [d.workflow_count for d in TraceGenerator(seed=0).daily_counts()]
+        assert len(counts) == 365
+        assert 20_000 <= mean(counts) <= 24_000
+
+    def test_workflow_sample_moments(self):
+        records = TraceGenerator(seed=0).sample_workflows(20_000)
+        assert 0.85 <= mean([r.lifespan_hours for r in records]) <= 1.15
+        assert 32 <= mean([r.cpu_cores for r in records]) <= 40
+
+    def test_deterministic_for_seed(self):
+        a = TraceGenerator(seed=5).daily_counts()
+        b = TraceGenerator(seed=5).daily_counts()
+        assert [d.workflow_count for d in a] == [d.workflow_count for d in b]
+
+    def test_weekend_dip(self):
+        daily = TraceGenerator(seed=0).daily_counts()
+        weekday = mean([d.workflow_count for d in daily if d.day % 7 < 5])
+        weekend = mean([d.workflow_count for d in daily if d.day % 7 >= 5])
+        assert weekend < weekday
+
+
+class TestHistogram:
+    def test_bins_partition_values(self):
+        bins = histogram([1, 2, 5, 10, 99], [0, 3, 6])
+        assert dict(bins) == {"[0, 3)": 2, "[3, 6)": 1, ">= 6": 2}
+
+
+class TestScenarios:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_pod_and_model_counts_match_paper(self, name):
+        spec = SCENARIOS[name]
+        ir = spec.build(0)
+        ir.validate()
+        assert len(ir.nodes) == spec.num_pods
+        trainers = [n for n in ir.nodes if "train" in n or "finetune" in n]
+        assert len(trainers) == spec.num_models
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_reruns_reference_stable_data_uids(self, name):
+        spec = SCENARIOS[name]
+        first = spec.build(0)
+        rerun = spec.build(1)
+        rerun.validate()
+        first_outputs = {
+            a.uid for node in first.nodes.values() for a in node.outputs
+        }
+        rerun_inputs = {
+            a.uid for node in rerun.nodes.values() for a in node.inputs
+        }
+        # Every data artifact a rerun consumes was produced in run 0.
+        stable_inputs = {u for u in rerun_inputs if not u.startswith(rerun.name)}
+        assert stable_inputs
+        assert stable_inputs <= first_outputs
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_rerun_checkpoints_are_fresh(self, name):
+        spec = SCENARIOS[name]
+        it1 = spec.build(1)
+        it2 = spec.build(2)
+        ckpts1 = {a.uid for n in it1.nodes.values() for a in n.outputs}
+        ckpts2 = {a.uid for n in it2.nodes.values() for a in n.outputs}
+        assert not ckpts1 & ckpts2
+
+
+class TestDatasets:
+    def test_paper_scale(self):
+        small = small_files_dataset()
+        assert small.num_files > 10_000
+        assert small.total_bytes > 10 * GB
+        big = big_files_dataset()
+        assert big.num_files >= 10
+        assert big.total_bytes / big.num_files > GB
+        for table in ads_tables():
+            assert table.total_bytes / table.num_files >= 0.8 * GB
+
+    def test_all_datasets_keys(self):
+        assert set(all_datasets()) == {"ads-a", "ads-b", "small-files", "big-files"}

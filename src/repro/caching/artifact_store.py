@@ -5,12 +5,20 @@ in-memory system (Apache Alluxio) with finite capacity; cache policies
 decide what stays.  :class:`ArtifactStore` tracks entries, enforces the
 byte capacity, and keeps the accounting (hits / misses / evictions /
 bytes) that the evaluation figures summarize.
+
+Accounting lives in a :class:`repro.obs.metrics.MetricsRegistry` — the
+single source of truth shared with the engine when one registry is
+wired through the whole simulation.  :class:`CacheStats` is a
+delegating view over those counters, kept for the existing call sites
+(``store.stats.hits`` etc. read, and may assign, exactly as before).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
+
+from ..obs.metrics import Counter, MetricsRegistry
 
 
 class CacheError(RuntimeError):
@@ -36,19 +44,70 @@ class CacheEntry:
     access_count: int = 0
 
 
-@dataclass
+def _counter_property(attr: str):
+    """Property that reads a backing counter and accepts the legacy
+    ``stats.field += n`` mutation by applying the delta."""
+
+    def getter(self: "CacheStats") -> int:
+        counter: Counter = getattr(self, attr)
+        return int(counter.total())
+
+    def setter(self: "CacheStats", value: float) -> None:
+        counter: Counter = getattr(self, attr)
+        delta = value - counter.total()
+        counter.inc(delta)  # negative delta raises: counters are monotonic
+
+    return property(getter, setter)
+
+
 class CacheStats:
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-    insertions: int = 0
-    rejected: int = 0
-    bytes_evicted: int = 0
+    """Cache accounting, delegating to a metrics registry.
+
+    The fields read (and ``+=``-mutate) like the old plain-int
+    dataclass, but every value lives in registry counters
+    (``cache_hits_total``, ``cache_misses_total``, ...), so a metrics
+    snapshot and the experiment reports can never disagree.
+    """
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        self.metrics = metrics or MetricsRegistry()
+        self._hits = self.metrics.counter(
+            "cache_hits_total", "Input reads served from the cache"
+        )
+        self._misses = self.metrics.counter(
+            "cache_misses_total", "Input reads that went to remote storage"
+        )
+        self._evictions = self.metrics.counter(
+            "cache_evictions_total", "Artifacts evicted to make room"
+        )
+        self._insertions = self.metrics.counter(
+            "cache_insertions_total", "Artifacts admitted into the store"
+        )
+        self._rejected = self.metrics.counter(
+            "cache_rejected_total", "Artifacts the policy declined to admit"
+        )
+        self._bytes_evicted = self.metrics.counter(
+            "cache_bytes_evicted_total", "Bytes reclaimed by evictions"
+        )
+
+    hits = _counter_property("_hits")
+    misses = _counter_property("_misses")
+    evictions = _counter_property("_evictions")
+    insertions = _counter_property("_insertions")
+    rejected = _counter_property("_rejected")
+    bytes_evicted = _counter_property("_bytes_evicted")
 
     @property
     def hit_ratio(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:  # keeps debugging output informative
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions}, insertions={self.insertions}, "
+            f"rejected={self.rejected}, bytes_evicted={self.bytes_evicted})"
+        )
 
 
 class ArtifactStore:
@@ -56,17 +115,30 @@ class ArtifactStore:
 
     ``capacity_bytes=None`` models unbounded storage — used by the
     Cache-ALL baseline, whose point in the paper's scatter plots is
-    "fast but resource-hungry".
+    "fast but resource-hungry".  Pass a shared ``metrics`` registry to
+    surface the store's counters and occupancy gauges alongside the
+    engine's.
     """
 
-    def __init__(self, capacity_bytes: Optional[int]) -> None:
+    def __init__(
+        self,
+        capacity_bytes: Optional[int],
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         if capacity_bytes is not None and capacity_bytes < 0:
             raise CacheError(f"capacity must be >= 0: {capacity_bytes}")
         self.capacity_bytes = capacity_bytes
         self._entries: Dict[str, CacheEntry] = {}
         self._used = 0
         self._seq = 0
-        self.stats = CacheStats()
+        self.metrics = metrics or MetricsRegistry()
+        self.stats = CacheStats(self.metrics)
+        self._used_gauge = self.metrics.gauge(
+            "cache_used_bytes", "Bytes currently resident in the store"
+        )
+        self._entries_gauge = self.metrics.gauge(
+            "cache_entries", "Artifacts currently resident in the store"
+        )
         #: Peak bytes ever held — the "caching storage consumption"
         #: axis in Fig. 7's scatter plot.
         self.peak_bytes = 0
@@ -106,6 +178,10 @@ class ArtifactStore:
     def can_ever_fit(self, size_bytes: int) -> bool:
         return self.capacity_bytes is None or size_bytes <= self.capacity_bytes
 
+    def _update_occupancy(self) -> None:
+        self._used_gauge.set(self._used)
+        self._entries_gauge.set(len(self._entries))
+
     def put(self, uid: str, size_bytes: int, kind: str = "data", now: float = 0.0) -> CacheEntry:
         """Insert an artifact; the caller must have made room first."""
         if uid in self._entries:
@@ -134,6 +210,7 @@ class ArtifactStore:
         self._used += size_bytes
         self.peak_bytes = max(self.peak_bytes, self._used)
         self.stats.insertions += 1
+        self._update_occupancy()
         return entry
 
     def evict(self, uid: str) -> CacheEntry:
@@ -143,6 +220,7 @@ class ArtifactStore:
         self._used -= entry.size_bytes
         self.stats.evictions += 1
         self.stats.bytes_evicted += entry.size_bytes
+        self._update_occupancy()
         return entry
 
     def record_hit(self, uid: str, now: float) -> None:
@@ -156,9 +234,14 @@ class ArtifactStore:
     def record_miss(self) -> None:
         self.stats.misses += 1
 
+    def record_rejection(self) -> None:
+        """A policy declined to admit an artifact."""
+        self.stats.rejected += 1
+
     def clear(self) -> None:
         self._entries.clear()
         self._used = 0
+        self._update_occupancy()
 
     # ------------------------------------------------------------ snapshots
 
@@ -198,7 +281,10 @@ class ArtifactStore:
             )
             restored.last_access = entry.get("last_access", 0.0)
             restored.access_count = entry.get("access_count", 0)
-        # Insertions during restore are bookkeeping, not new cache events.
-        store.stats = CacheStats()
+        # Insertions during restore are bookkeeping, not new cache
+        # events: zero the counters in place (the registry's metric
+        # objects stay valid) and refresh the occupancy gauges.
+        store.metrics.reset()
+        store._update_occupancy()
         store.peak_bytes = store.used_bytes
         return store

@@ -13,6 +13,7 @@ from typing import Optional, Tuple
 
 from ..engine.cachehooks import BandwidthModel
 from ..engine.spec import ArtifactSpec, ExecutableWorkflow
+from ..obs.metrics import MetricsRegistry
 from .artifact_store import ArtifactStore
 from .policy import CachePolicy, make_policy
 from .score import ArtifactScorer, ScoreWeights, WorkflowGraphIndex
@@ -34,6 +35,10 @@ class CacheManager:
     bandwidth / distance:
         Storage-tier read model; ``distance`` scales remote reads by the
         cluster's distance to the storage cluster (Appendix B.A).
+    metrics:
+        Shared :class:`~repro.obs.metrics.MetricsRegistry`; pass the
+        simulation's registry so cache counters land next to the
+        engine's (a private one is created otherwise).
     """
 
     def __init__(
@@ -43,9 +48,11 @@ class CacheManager:
         weights: Optional[ScoreWeights] = None,
         bandwidth: Optional[BandwidthModel] = None,
         distance: float = 1.0,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
         self.policy = make_policy(policy) if isinstance(policy, str) else policy
-        self.store = ArtifactStore(capacity_bytes)
+        self.store = ArtifactStore(capacity_bytes, metrics=metrics)
+        self.metrics = self.store.metrics
         self.index = WorkflowGraphIndex()
         self.scorer = ArtifactScorer(index=self.index, weights=weights or ScoreWeights())
         self.bandwidth = bandwidth or BandwidthModel()

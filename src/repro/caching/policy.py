@@ -60,7 +60,7 @@ class CoulerCachePolicy(CachePolicy):
         if store.contains(artifact.uid):
             return True
         if not store.can_ever_fit(artifact.size_bytes):
-            store.stats.rejected += 1
+            store.record_rejection()
             return False
         if store.fits(artifact.size_bytes):
             store.put(artifact.uid, artifact.size_bytes, artifact.kind, now)
@@ -78,7 +78,7 @@ class CoulerCachePolicy(CachePolicy):
             min_uid = min(cached_scores, key=lambda uid: (cached_scores[uid], uid))
             if cached_scores[min_uid] >= new_score:
                 # The newcomer is the weakest item; reject it (line 29).
-                store.stats.rejected += 1
+                store.record_rejection()
                 return False
             store.evict(min_uid)
             # Eviction changes G_p truncation for the survivors, so
@@ -86,7 +86,7 @@ class CoulerCachePolicy(CachePolicy):
         if store.fits(artifact.size_bytes):
             store.put(artifact.uid, artifact.size_bytes, artifact.kind, now)
             return True
-        store.stats.rejected += 1
+        store.record_rejection()
         return False
 
 
@@ -127,7 +127,7 @@ class CacheAllPolicy(CachePolicy):
         if not store.can_ever_fit(artifact.size_bytes) or not store.fits(
             artifact.size_bytes
         ):
-            store.stats.rejected += 1
+            store.record_rejection()
             return False
         store.put(artifact.uid, artifact.size_bytes, artifact.kind, now)
         return True
@@ -148,7 +148,7 @@ class FIFOCachePolicy(CachePolicy):
         if store.contains(artifact.uid):
             return True
         if not store.can_ever_fit(artifact.size_bytes):
-            store.stats.rejected += 1
+            store.record_rejection()
             return False
         while not store.fits(artifact.size_bytes) and len(store):
             oldest = min(store.entries(), key=lambda e: e.insert_seq)
@@ -172,7 +172,7 @@ class LRUCachePolicy(CachePolicy):
         if store.contains(artifact.uid):
             return True
         if not store.can_ever_fit(artifact.size_bytes):
-            store.stats.rejected += 1
+            store.record_rejection()
             return False
         while not store.fits(artifact.size_bytes) and len(store):
             stalest = min(

@@ -80,6 +80,61 @@ def cmd_version(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run one scenario with tracing on; export Chrome JSON + metrics."""
+    from .caching.policy import POLICY_REGISTRY
+    from .experiments.caching_runner import run_scenario
+    from .obs.critical_path import critical_path
+    from .obs.metrics import MetricsRegistry
+    from .obs.trace import Tracer
+    from .workloads.scenarios import SCENARIOS
+
+    if args.scenario not in SCENARIOS:
+        print(
+            f"unknown scenario {args.scenario!r}; choose from {sorted(SCENARIOS)}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.policy not in POLICY_REGISTRY:
+        print(
+            f"unknown cache policy {args.policy!r}; "
+            f"choose from {sorted(POLICY_REGISTRY)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    result = run_scenario(
+        args.scenario,
+        policy=args.policy,
+        cache_gb=args.cache_gb,
+        iterations=args.iterations,
+        seed=args.seed,
+        tracer=tracer,
+        metrics=metrics,
+    )
+
+    tracer.write_chrome(args.out)
+    print(
+        f"{args.scenario}: {args.iterations} iteration(s), policy={args.policy}, "
+        f"makespan {result.total_time_s:.0f}s, hit ratio {result.hit_ratio:.2%}"
+    )
+    print(f"wrote {len(tracer)} trace events to {args.out} "
+          f"(load in chrome://tracing or ui.perfetto.dev)")
+    for root in tracer.roots():
+        print()
+        print(critical_path(tracer, root.name).report())
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(metrics.snapshot())
+        print(f"\nwrote metrics snapshot to {args.metrics_out}")
+    else:
+        print()
+        print(metrics.snapshot(), end="")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -94,6 +149,33 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("experiments", nargs="+", metavar="EXPERIMENT")
     run_parser.set_defaults(func=cmd_run)
     sub.add_parser("version", help="print version").set_defaults(func=cmd_version)
+
+    trace_parser = sub.add_parser(
+        "trace",
+        help="run a scenario with tracing and export a Chrome trace + metrics",
+    )
+    trace_parser.add_argument(
+        "--scenario", default="image-segmentation", help="workload scenario name"
+    )
+    trace_parser.add_argument(
+        "--policy", default="couler", help="cache policy (no/all/couler/fifo/lru)"
+    )
+    trace_parser.add_argument(
+        "--cache-gb", type=float, default=30.0, help="cache capacity in GiB"
+    )
+    trace_parser.add_argument(
+        "--iterations", type=int, default=1, help="development iterations to chain"
+    )
+    trace_parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    trace_parser.add_argument(
+        "--out", default="trace.json", help="Chrome trace_event JSON output path"
+    )
+    trace_parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the metrics snapshot here instead of stdout",
+    )
+    trace_parser.set_defaults(func=cmd_trace)
     return parser
 
 

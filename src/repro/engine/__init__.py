@@ -8,7 +8,7 @@ the caching layer, failure injection, retries, and restart-from-failure.
 from .cachehooks import BandwidthModel, CacheManagerProtocol, NullCacheManager
 from .dispatcher import DispatchResult, MultiClusterDispatcher
 from .metrics import UtilizationRecorder, UtilizationSample
-from .operator import WorkflowOperator
+from .operator import WorkflowOperator, validate_when_expr
 from .queue import MultiClusterQueue, QueuedWorkflow, QuotaError, UserQuota
 from .retry import (
     FATAL_PATTERNS,
@@ -61,4 +61,5 @@ __all__ = [
     "is_retryable",
     "parse_argo_manifest",
     "step_profile_annotation",
+    "validate_when_expr",
 ]

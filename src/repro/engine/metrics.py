@@ -4,6 +4,10 @@ Figures 7 and 11–16 plot CPU/GPU utilization over time per caching
 strategy.  :class:`UtilizationRecorder` samples a cluster at a fixed
 virtual-time interval while a simulation runs and exposes the resulting
 series plus summary statistics.
+
+Samples are scheduled as *daemon* events: an active recorder never
+keeps :meth:`SimClock.run` spinning on its own, and :meth:`stop`
+cancels the pending sample instead of leaving it armed in the heap.
 """
 
 from __future__ import annotations
@@ -12,7 +16,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..k8s.cluster import Cluster
-from .simclock import SimClock
+from .simclock import EventHandle, SimClock
 
 
 @dataclass
@@ -29,7 +33,10 @@ class UtilizationRecorder:
     """Periodic sampler of a cluster's utilization.
 
     Call :meth:`start` before running the clock; sampling re-arms itself
-    until :meth:`stop` is called or the clock drains.
+    until :meth:`stop` is called or the clock drains.  ``start`` on an
+    already-active recorder is a no-op (the sampler never double-arms),
+    and ``stop`` cancels the pending sample event so nothing leaks into
+    the heap.
     """
 
     clock: SimClock
@@ -37,13 +44,19 @@ class UtilizationRecorder:
     interval_s: float = 30.0
     samples: List[UtilizationSample] = field(default_factory=list)
     _active: bool = False
+    _handle: Optional[EventHandle] = field(default=None, repr=False)
 
     def start(self) -> None:
+        if self._active:
+            return
         self._active = True
         self._sample()
 
     def stop(self) -> None:
         self._active = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
 
     def _sample(self) -> None:
         if not self._active:
@@ -58,7 +71,7 @@ class UtilizationRecorder:
                 running_pods=len(self.cluster.running_pods()),
             )
         )
-        self.clock.schedule(self.interval_s, self._sample)
+        self._handle = self.clock.schedule(self.interval_s, self._sample, daemon=True)
 
     # ------------------------------------------------------------ summaries
 

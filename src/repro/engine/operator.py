@@ -9,6 +9,13 @@ restart-from-failure path (skipping Succeeded / Skipped / Cached steps).
 
 Multiple workflows may run concurrently; they compete for the same
 cluster resources, which is how the utilization figures are produced.
+
+Observability: the operator emits nested spans (workflow -> step ->
+{queue-wait, attempt -> {cache-fetch, compute}, retry-backoff}) through
+a :class:`repro.obs.trace.Tracer` and counts attempts / retries /
+terminal statuses in a :class:`repro.obs.metrics.MetricsRegistry`.
+Both default to no-op/private instances, so untraced simulations pay
+almost nothing.
 """
 
 from __future__ import annotations
@@ -21,10 +28,12 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..k8s.apiserver import APIServer
 from ..k8s.cluster import Cluster, Scheduler
 from ..k8s.objects import Pod, PodPhase
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import NullTracer
 from .cachehooks import CacheManagerProtocol, NullCacheManager
 from .retry import FailureInjector, RetryPolicy
 from .simclock import SimClock
-from .spec import ExecutableStep, ExecutableWorkflow, parse_argo_manifest
+from .spec import ExecutableStep, ExecutableWorkflow, SpecError, parse_argo_manifest
 from .status import StepStatus, WorkflowPhase, WorkflowRecord
 
 CompletionCallback = Callable[[WorkflowRecord], None]
@@ -33,6 +42,24 @@ CompletionCallback = Callable[[WorkflowRecord], None]
 _CONDITION_RE = re.compile(
     r"\{\{([^.}]+)\.([^}]+)\}\}\s*(==|!=|>=|<=|>|<)\s*(.+?)\s*$"
 )
+
+
+def validate_when_expr(expr: str, step_name: str = "?") -> None:
+    """Reject a ``when`` expression whose clauses don't parse.
+
+    Historically an unparseable clause was silently skipped, which made
+    the guard evaluate true and ran steps whose condition never held.
+    Validation happens at submit time so the author gets a clear error
+    instead of a silently mis-branched workflow.
+    """
+    for clause in expr.split("&&"):
+        if _CONDITION_RE.match(clause.strip()) is None:
+            raise SpecError(
+                f"step {step_name!r}: unparseable `when` clause "
+                f"{clause.strip()!r} in expression {expr!r}; expected "
+                "'{{step.output}} OP value' with OP one of "
+                "== != >= <= > <"
+            )
 
 
 def _compare(left: str, operator: str, right: str) -> bool:
@@ -70,6 +97,14 @@ class _RunState:
     #: Recorded ``result`` values of completed steps (None = no declared
     #: result).  Conditions evaluate against these.
     results: Dict[str, Optional[str]] = field(default_factory=dict)
+    #: Tracing state: the workflow's root span and one span per step.
+    wf_span: Optional[object] = None
+    step_spans: Dict[str, object] = field(default_factory=dict)
+    #: Virtual time each step entered the resource wait queue.
+    queue_since: Dict[str, float] = field(default_factory=dict)
+    #: Input uids already counted in the step record's cache stats — a
+    #: retry must not re-count a fetch the record already accounts for.
+    counted_inputs: Dict[str, set] = field(default_factory=dict)
 
     def all_terminal(self) -> bool:
         return all(
@@ -92,6 +127,8 @@ class WorkflowOperator:
         seed: int = 0,
         skip_cached_steps: bool = False,
         track_pods: bool = False,
+        tracer: Optional[object] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.clock = clock
         self.cluster = cluster
@@ -109,6 +146,30 @@ class WorkflowOperator:
         #: operator's pods are watchable cluster objects).  Off by
         #: default — large simulations don't need the write volume.
         self.track_pods = track_pods and api_server is not None
+        #: Span recorder; :class:`NullTracer` when tracing is off.
+        self.tracer = tracer if tracer is not None else NullTracer()
+        #: Metrics registry — the single source for retry/attempt/waitq
+        #: accounting.  A private registry is created when none is
+        #: shared, so counters are always recorded.
+        self.metrics = metrics or MetricsRegistry()
+        self._m_attempts = self.metrics.counter(
+            "engine_attempts_total", "Step attempts by outcome"
+        )
+        self._m_retries = self.metrics.counter(
+            "engine_retries_total", "Step retries by failure pattern"
+        )
+        self._m_steps = self.metrics.counter(
+            "engine_steps_total", "Terminal step statuses"
+        )
+        self._m_workflows = self.metrics.counter(
+            "engine_workflows_total", "Terminal workflow phases"
+        )
+        self._m_backoff = self.metrics.counter(
+            "engine_backoff_seconds_total", "Total retry backoff delay"
+        )
+        self._m_waitq = self.metrics.gauge(
+            "scheduler_waitq_depth", "Steps waiting for cluster resources"
+        )
         self._states: Dict[str, _RunState] = {}
         self._resource_waitq: List[Tuple[str, str]] = []
         self._rng = random.Random(seed ^ 0x5EED)
@@ -146,6 +207,9 @@ class WorkflowOperator:
         not re-executed, matching the paper's manual-retry flow.
         """
         workflow.validate()
+        for step in workflow.steps.values():
+            if step.when_expr:
+                validate_when_expr(step.when_expr, step.name)
         if workflow.name in self._states:
             raise ValueError(f"workflow {workflow.name} is already running")
         record = record or WorkflowRecord(name=workflow.name)
@@ -153,6 +217,9 @@ class WorkflowOperator:
         record.submit_time = self.clock.now
         record.finish_time = None
         state = _RunState(workflow=workflow, record=record)
+        state.wf_span = self.tracer.begin(
+            workflow.name, "workflow", self.clock.now, workflow=workflow.name
+        )
         if on_complete is not None:
             state.on_complete.append(on_complete)
         self.cache_manager.register_workflow(workflow)
@@ -204,7 +271,10 @@ class WorkflowOperator:
         for clause in expr.split("&&"):
             match = _CONDITION_RE.match(clause.strip())
             if match is None:
-                continue  # unparseable clause: don't block the step
+                # submit() validates every expression, so this is only
+                # reachable through direct misuse — fail loudly rather
+                # than silently treating the guard as satisfied.
+                raise SpecError(f"unparseable `when` clause: {clause.strip()!r}")
             step_name, _output, operator, value = match.groups()
             if step_name not in state.results:
                 return False
@@ -215,6 +285,24 @@ class WorkflowOperator:
                 return False
         return True
 
+    def _step_span(self, state: _RunState, step: ExecutableStep) -> object:
+        """Get-or-open the step's span (opened on first enqueue)."""
+        if step.name not in state.step_spans:
+            state.step_spans[step.name] = self.tracer.begin(
+                step.name,
+                "step",
+                self.clock.now,
+                parent=state.wf_span,
+                step=step.name,
+                deps=list(step.dependencies),
+            )
+        return state.step_spans[step.name]
+
+    def _end_step_span(self, state: _RunState, step_name: str, status: str) -> None:
+        self.tracer.end(
+            state.step_spans.get(step_name), self.clock.now, status=status
+        )
+
     def _enqueue_step(self, state: _RunState, step: ExecutableStep) -> None:
         if state.failed:
             # The workflow already failed (a sibling step hit a fatal
@@ -224,6 +312,8 @@ class WorkflowOperator:
             if not record.status.is_terminal():
                 record.status = StepStatus.FAILED
                 record.finish_time = self.clock.now
+                self._m_steps.inc(status=StepStatus.FAILED.value)
+            self._end_step_span(state, step.name, StepStatus.FAILED.value)
             self.clock.schedule(0.0, lambda: self._maybe_finish(state))
             return
         if step.when_expr and not self._condition_met(state, step.when_expr):
@@ -231,6 +321,9 @@ class WorkflowOperator:
             record.status = StepStatus.SKIPPED
             record.start_time = self.clock.now
             record.finish_time = self.clock.now
+            self._step_span(state, step)
+            self._end_step_span(state, step.name, StepStatus.SKIPPED.value)
+            self._m_steps.inc(status=StepStatus.SKIPPED.value)
             self.clock.schedule(0.0, lambda: self._after_skip(state, step))
             return
         if self._outputs_all_cached(step):
@@ -238,9 +331,15 @@ class WorkflowOperator:
             record.status = StepStatus.CACHED
             record.start_time = self.clock.now
             record.finish_time = self.clock.now
+            self._step_span(state, step)
+            self._end_step_span(state, step.name, StepStatus.CACHED.value)
+            self._m_steps.inc(status=StepStatus.CACHED.value)
             self.clock.schedule(0.0, lambda: self._after_skip(state, step))
             return
+        self._step_span(state, step)
+        state.queue_since[step.name] = self.clock.now
         self._resource_waitq.append((state.workflow.name, step.name))
+        self._m_waitq.set(len(self._resource_waitq))
         self.clock.schedule(0.0, self._drain_waitq)
 
     def _after_skip(self, state: _RunState, step: ExecutableStep) -> None:
@@ -260,11 +359,17 @@ class WorkflowOperator:
                 if not record.status.is_terminal():
                     record.status = StepStatus.FAILED
                     record.finish_time = self.clock.now
+                    self._m_steps.inc(status=StepStatus.FAILED.value)
+                self._end_step_span(state, step_name, StepStatus.FAILED.value)
                 self._maybe_finish(state)
                 continue
             step = state.workflow.steps[step_name]
+            # Attempt numbers are 1-based and incremented by
+            # _run_attempt; the pod for attempt N must carry N, not the
+            # pre-increment count, or pod<->attempt correlation breaks.
+            attempt_number = state.record.step(step_name).attempts + 1
             pod = Pod(
-                name=f"{wf_name}--{step_name}--{state.record.step(step_name).attempts}",
+                name=f"{wf_name}--{step_name}--{attempt_number}",
                 requests=step.requests,
                 labels={"workflow": wf_name, "step": step_name},
             )
@@ -272,8 +377,21 @@ class WorkflowOperator:
             if node is None:
                 still_waiting.append((wf_name, step_name))
             else:
+                queued_at = state.queue_since.pop(step_name, None)
+                if queued_at is not None and self.clock.now > queued_at:
+                    # Zero-length waits (resources were free) add noise,
+                    # not information — only real queueing is recorded.
+                    self.tracer.add_span(
+                        "queue-wait",
+                        "queue",
+                        queued_at,
+                        self.clock.now,
+                        parent=state.step_spans.get(step_name),
+                        pod=pod.metadata.name,
+                    )
                 self._run_attempt(state, step, pod)
         self._resource_waitq = still_waiting
+        self._m_waitq.set(len(self._resource_waitq))
 
     def _run_attempt(self, state: _RunState, step: ExecutableStep, pod: Pod) -> None:
         record = state.record.step(step.name)
@@ -286,31 +404,84 @@ class WorkflowOperator:
         if self.track_pods:
             self.api_server.create(pod)
 
+        now = self.clock.now
         fetch_seconds = 0.0
+        fetches: List[Tuple[str, bool, float]] = []
         for artifact in step.inputs:
-            seconds, hit = self.cache_manager.fetch(artifact, now=self.clock.now)
+            seconds, hit = self.cache_manager.fetch(artifact, now=now)
             fetch_seconds += seconds
-            if hit:
-                record.cache_hits += 1
-            else:
-                record.cache_misses += 1
+            fetches.append((artifact.uid, hit, fetch_seconds))
 
         pattern = self.failure_injector.sample(
             step.name, step.failure.rate, step.failure.pattern
         )
         if pattern is None:
             elapsed = fetch_seconds + step.duration_s
-            record.fetch_seconds += fetch_seconds
-            record.compute_seconds += step.duration_s
+        else:
+            # The attempt dies partway through; charge a random fraction
+            # of the sequential fetch-then-compute timeline.
+            fraction = 0.25 + 0.5 * self._rng.random()
+            elapsed = (fetch_seconds + step.duration_s) * fraction
+        charged_fetch = min(fetch_seconds, elapsed)
+        charged_compute = elapsed - charged_fetch
+        record.fetch_seconds += charged_fetch
+        record.compute_seconds += charged_compute
+
+        # Cache stats count per *completed* fetch, once per input: an
+        # attempt that dies mid-fetch must not count the aborted reads
+        # in full, and a retry must not re-count inputs the record
+        # already accounts for — both inflated hit ratios under failure
+        # injection.
+        counted = state.counted_inputs.setdefault(step.name, set())
+        hits = misses = 0
+        for uid, hit, fetch_end in fetches:
+            if fetch_end > elapsed + 1e-9 or uid in counted:
+                continue
+            counted.add(uid)
+            if hit:
+                hits += 1
+            else:
+                misses += 1
+        record.cache_hits += hits
+        record.cache_misses += misses
+
+        outcome = "success" if pattern is None else "failure"
+        self._m_attempts.inc(outcome=outcome)
+        attempt_args = {"pod": pod.metadata.name, "outcome": outcome}
+        if pattern is not None:
+            attempt_args["pattern"] = pattern
+        attempt_span = self.tracer.add_span(
+            f"attempt-{record.attempts}",
+            "attempt",
+            now,
+            now + elapsed,
+            parent=state.step_spans.get(step.name),
+            **attempt_args,
+        )
+        if charged_fetch > 0.0:
+            self.tracer.add_span(
+                "cache-fetch",
+                "fetch",
+                now,
+                now + charged_fetch,
+                parent=attempt_span,
+                hits=hits,
+                misses=misses,
+            )
+        if charged_compute > 0.0:
+            self.tracer.add_span(
+                "compute",
+                "compute",
+                now + charged_fetch,
+                now + elapsed,
+                parent=attempt_span,
+            )
+
+        if pattern is None:
             self.clock.schedule(
                 elapsed, lambda: self._on_attempt_success(state, step, pod)
             )
         else:
-            # The attempt dies partway through; charge a random fraction.
-            fraction = 0.25 + 0.5 * self._rng.random()
-            elapsed = (fetch_seconds + step.duration_s) * fraction
-            record.fetch_seconds += fetch_seconds * fraction
-            record.compute_seconds += step.duration_s * fraction
             self.clock.schedule(
                 elapsed,
                 lambda: self._on_attempt_failure(state, step, pod, pattern),
@@ -327,6 +498,8 @@ class WorkflowOperator:
         record = state.record.step(step.name)
         record.status = StepStatus.SUCCEEDED
         record.finish_time = self.clock.now
+        self._end_step_span(state, step.name, StepStatus.SUCCEEDED.value)
+        self._m_steps.inc(status=StepStatus.SUCCEEDED.value)
         state.results[step.name] = (
             self._rng.choice(list(step.result_options))
             if step.result_options
@@ -354,11 +527,34 @@ class WorkflowOperator:
         if self.retry_policy.should_retry(
             pattern, record.attempts, limit_override=step.retry_limit
         ):
-            delay = self.retry_policy.backoff(record.attempts)
+            delay = self.retry_policy.backoff(record.attempts, rng=self._rng)
+            step_span = state.step_spans.get(step.name)
+            self.tracer.instant(
+                "retry",
+                "retry",
+                self.clock.now,
+                parent=step_span,
+                pattern=pattern,
+                attempt=record.attempts,
+                delay_s=delay,
+            )
+            self._m_retries.inc(pattern=pattern)
+            self._m_backoff.inc(delay)
+            if delay > 0.0:
+                self.tracer.add_span(
+                    "retry-backoff",
+                    "backoff",
+                    self.clock.now,
+                    self.clock.now + delay,
+                    parent=step_span,
+                    attempt=record.attempts,
+                )
             self.clock.schedule(delay, lambda: self._enqueue_step(state, step))
         else:
             record.status = StepStatus.FAILED
             record.finish_time = self.clock.now
+            self._end_step_span(state, step.name, StepStatus.FAILED.value)
+            self._m_steps.inc(status=StepStatus.FAILED.value)
             state.failed = True
             self._maybe_finish(state)
         self._drain_waitq()
@@ -394,7 +590,14 @@ class WorkflowOperator:
                 if step_record.status == StepStatus.RUNNING:
                     step_record.status = StepStatus.FAILED
                     step_record.finish_time = self.clock.now
+        # Close any span left open (steps aborted mid-retry, etc).
+        for step_name in state.step_spans:
+            self._end_step_span(
+                state, step_name, record.step(step_name).status.value
+            )
         record.finish_time = self.clock.now
+        self.tracer.end(state.wf_span, self.clock.now, phase=record.phase.value)
+        self._m_workflows.inc(phase=record.phase.value)
         self._states.pop(state.workflow.name, None)
         self.completed.append(record)
         for callback in state.on_complete:

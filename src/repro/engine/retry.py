@@ -65,13 +65,18 @@ class RetryPolicy:
 
     ``backoff_base`` and ``backoff_factor`` produce the delay before the
     next attempt: ``base * factor ** (attempt - 1)``, capped by
-    ``backoff_cap``.
+    ``backoff_cap``.  When the caller passes a seeded ``rng``, the delay
+    is jittered by ``±jitter`` (fractionally) so steps that failed on
+    the same tick don't retry in lockstep and hammer the scheduler at
+    the same virtual instant.
     """
 
     limit: int = 3
     backoff_base: float = 10.0
     backoff_factor: float = 2.0
     backoff_cap: float = 300.0
+    #: Fractional symmetric jitter applied when an ``rng`` is supplied.
+    jitter: float = 0.1
 
     def should_retry(
         self, pattern: str, attempts: int, limit_override: Optional[int] = None
@@ -84,9 +89,19 @@ class RetryPolicy:
         effective_limit = self.limit if limit_override is None else limit_override
         return is_retryable(pattern) and attempts <= effective_limit
 
-    def backoff(self, attempts: int) -> float:
+    def backoff(self, attempts: int, rng: Optional[random.Random] = None) -> float:
+        """Delay before the next attempt.
+
+        Without ``rng`` the delay is the exact capped exponential (the
+        deterministic value unit tests and capacity planning reason
+        about); with a seeded ``rng`` the delay is spread uniformly over
+        ``[1 - jitter, 1 + jitter]`` of that value.
+        """
         delay = self.backoff_base * (self.backoff_factor ** max(0, attempts - 1))
-        return min(delay, self.backoff_cap)
+        delay = min(delay, self.backoff_cap)
+        if rng is not None and self.jitter > 0.0:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return max(0.0, delay)
 
 
 @dataclass

@@ -5,6 +5,12 @@ sampling) advances through one :class:`SimClock`.  Events are callbacks
 ordered by ``(time, sequence)`` so simultaneous events fire in
 scheduling order, which keeps every simulation run deterministic for a
 fixed seed.
+
+Events come in two flavours: regular events drive the simulation, while
+*daemon* events (periodic samplers, observability ticks) piggyback on
+it — when only daemon events remain and no ``until`` horizon was given,
+:meth:`SimClock.run` stops instead of letting a self-re-arming sampler
+spin the loop forever.
 """
 
 from __future__ import annotations
@@ -12,7 +18,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional
 
 
 class SimulationError(RuntimeError):
@@ -25,16 +31,26 @@ class _Event:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    daemon: bool = field(default=False, compare=False)
 
 
 class EventHandle:
     """Handle returned by :meth:`SimClock.schedule`; allows cancellation."""
 
-    def __init__(self, event: _Event) -> None:
+    def __init__(self, event: _Event, clock: "SimClock") -> None:
         self._event = event
+        self._clock = clock
 
     def cancel(self) -> None:
+        if self._event.cancelled:
+            return
         self._event.cancelled = True
+        if not self._event.daemon:
+            self._clock._live -= 1
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
 
     @property
     def time(self) -> float:
@@ -48,22 +64,40 @@ class SimClock:
         self._now = 0.0
         self._heap: List[_Event] = []
         self._seq = itertools.count()
+        #: Count of pending non-daemon, non-cancelled events; the run
+        #: loop keeps going only while work (not just sampling) remains.
+        self._live = 0
 
     @property
     def now(self) -> float:
         return self._now
 
-    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
-        """Schedule ``callback`` to run ``delay`` seconds from now."""
+    def schedule(
+        self, delay: float, callback: Callable[[], None], daemon: bool = False
+    ) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` seconds from now.
+
+        ``daemon=True`` marks a background event (e.g. a utilization
+        sample) that should not, by itself, keep :meth:`run` alive.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        event = _Event(time=self._now + delay, seq=next(self._seq), callback=callback)
+        event = _Event(
+            time=self._now + delay,
+            seq=next(self._seq),
+            callback=callback,
+            daemon=daemon,
+        )
         heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        if not daemon:
+            self._live += 1
+        return EventHandle(event, self)
 
-    def schedule_at(self, when: float, callback: Callable[[], None]) -> EventHandle:
+    def schedule_at(
+        self, when: float, callback: Callable[[], None], daemon: bool = False
+    ) -> EventHandle:
         """Schedule ``callback`` at absolute virtual time ``when``."""
-        return self.schedule(when - self._now, callback)
+        return self.schedule(when - self._now, callback, daemon=daemon)
 
     def step(self) -> bool:
         """Fire the next pending event; returns False when none remain."""
@@ -71,19 +105,28 @@ class SimClock:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
+            if not event.daemon:
+                self._live -= 1
             self._now = event.time
             event.callback()
             return True
         return False
 
     def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
-        """Run events until the heap drains or virtual time passes ``until``.
+        """Run events until the work drains or virtual time passes ``until``.
+
+        Without ``until``, the loop stops once only daemon events (if
+        any) remain — a periodic sampler cannot spin the simulation
+        forever.  With ``until``, daemon events fire up to the horizon,
+        which is what utilization sampling over a fixed window wants.
 
         ``max_events`` is a runaway-loop backstop; exceeding it raises
         :class:`SimulationError` rather than hanging the caller.
         """
         fired = 0
         while self._heap:
+            if until is None and self._live <= 0:
+                break
             if until is not None and self._peek_time() > until:
                 self._now = until
                 break
@@ -103,3 +146,7 @@ class SimClock:
 
     def pending(self) -> int:
         return sum(1 for event in self._heap if not event.cancelled)
+
+    def pending_work(self) -> int:
+        """Pending non-daemon events (what keeps :meth:`run` alive)."""
+        return self._live

@@ -19,6 +19,8 @@ from ..engine.operator import WorkflowOperator
 from ..engine.simclock import SimClock
 from ..engine.status import WorkflowPhase
 from ..k8s.cluster import Cluster
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import Tracer
 from ..workloads.scenarios import SCENARIOS, ScenarioSpec
 
 GB = 2**30
@@ -70,12 +72,16 @@ def run_scenario(
     weights: Optional[ScoreWeights] = None,
     sample_interval_s: float = 60.0,
     skip_cached_steps: bool = False,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> ScenarioRunResult:
     """Run one configuration to completion and summarize it.
 
     ``cache_gb=None`` gives an unbounded store (the ALL baseline's
     honest configuration: it shows up in the scatter plot as fast but
-    storage-hungry).
+    storage-hungry).  Pass a ``tracer`` / ``metrics`` registry to record
+    spans and counters for the whole run (``repro trace`` does this);
+    both engine and cache share the one registry.
     """
     spec = SCENARIOS[scenario]
     clock = SimClock()
@@ -85,6 +91,7 @@ def run_scenario(
         policy=policy,
         capacity_bytes=capacity,
         weights=weights or ScoreWeights(alpha=1.5, beta=1.0),
+        metrics=metrics,
     )
     operator = WorkflowOperator(
         clock,
@@ -92,6 +99,8 @@ def run_scenario(
         cache_manager=manager,
         seed=seed,
         skip_cached_steps=skip_cached_steps,
+        tracer=tracer,
+        metrics=manager.metrics,
     )
     recorder = UtilizationRecorder(clock, cluster, interval_s=sample_interval_s)
 

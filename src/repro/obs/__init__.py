@@ -1,0 +1,43 @@
+"""Observability layer: tracing, metrics and span-based analysis.
+
+The paper's entire evaluation (Figs. 5-7, 11-16) is built on *measured*
+engine behavior — utilization over time, cache hit ratios, per-step
+completion breakdowns.  This package is the measurement substrate the
+rest of the system reports through:
+
+- :mod:`repro.obs.trace` — a span/event recorder keyed on the
+  simulation's virtual time, with a Chrome ``trace_event`` JSON
+  exporter (open the file in ``about:tracing`` or Perfetto).
+- :mod:`repro.obs.metrics` — a labeled Counter / Gauge / Histogram
+  registry that backs the engine's and cache's accounting, with a
+  text snapshot exporter.
+- :mod:`repro.obs.critical_path` — per-workflow critical-path and
+  time-breakdown analysis (queue / fetch / compute / backoff) computed
+  from recorded spans.
+
+The engine depends on this package, never the other way around.
+"""
+
+from .critical_path import CriticalPathResult, StepBreakdown, critical_path
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+from .trace import NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "CriticalPathResult",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "NullTracer",
+    "Span",
+    "StepBreakdown",
+    "Tracer",
+    "critical_path",
+]

@@ -1,0 +1,166 @@
+"""Critical-path and time-breakdown analysis over recorded spans.
+
+The paper's Fig. 7 caching comparison implicitly argues about *where a
+workflow's makespan goes*: with caching on, the fetch share of the
+longest dependency chain shrinks and the same compute finishes sooner.
+:func:`critical_path` makes that argument explicit: from a workflow's
+recorded spans it reconstructs the chain of steps that determined the
+finish time and splits the makespan into queue-wait, cache-fetch,
+compute, retry-backoff and other (scheduling gaps / idle).
+
+The breakdown is exhaustive by construction: the ``other`` component
+absorbs whatever the instrumented phases don't cover, so the breakdown
+always sums to the workflow's recorded makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .trace import Span, Tracer
+
+#: Phase categories the operator records inside step spans.
+PHASE_CATEGORIES = ("queue", "fetch", "compute", "backoff")
+
+
+class CriticalPathError(ValueError):
+    """Raised when the trace lacks the spans the analysis needs."""
+
+
+@dataclass
+class StepBreakdown:
+    """Where one critical-path step's wall time went."""
+
+    name: str
+    queue: float = 0.0
+    fetch: float = 0.0
+    compute: float = 0.0
+    backoff: float = 0.0
+    start: float = 0.0
+    end: float = 0.0
+
+    @property
+    def accounted(self) -> float:
+        return self.queue + self.fetch + self.compute + self.backoff
+
+    @property
+    def span_duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class CriticalPathResult:
+    """The longest recorded dependency chain and its time breakdown."""
+
+    workflow: str
+    makespan: float
+    path: List[str]
+    #: queue / fetch / compute / backoff / other; sums to ``makespan``.
+    breakdown: Dict[str, float]
+    per_step: List[StepBreakdown] = field(default_factory=list)
+
+    @property
+    def total(self) -> float:
+        return sum(self.breakdown.values())
+
+    def report(self) -> str:
+        parts = " -> ".join(self.path) or "(empty)"
+        lines = [
+            f"workflow {self.workflow}: makespan {self.makespan:.1f}s, "
+            f"critical path {parts}",
+        ]
+        for category in (*PHASE_CATEGORIES, "other"):
+            seconds = self.breakdown.get(category, 0.0)
+            share = seconds / self.makespan if self.makespan else 0.0
+            lines.append(f"  {category:>8}: {seconds:10.1f}s  ({share:6.1%})")
+        return "\n".join(lines)
+
+
+def _phase_sums(tracer: Tracer, step_span: Span) -> Dict[str, float]:
+    """Sum the durations of phase spans beneath one step span.
+
+    Phase spans are either direct children of the step (queue-wait,
+    retry-backoff) or children of its attempt spans (cache-fetch,
+    compute); all are disjoint in time, so plain summation is exact.
+    """
+    sums = {category: 0.0 for category in PHASE_CATEGORIES}
+    for child in tracer.children(step_span):
+        if child.cat in sums:
+            sums[child.cat] += child.duration or 0.0
+        elif child.cat == "attempt":
+            for grandchild in tracer.children(child):
+                if grandchild.cat in sums:
+                    sums[grandchild.cat] += grandchild.duration or 0.0
+    return sums
+
+
+def critical_path(tracer: Tracer, workflow: str) -> CriticalPathResult:
+    """Compute a workflow's critical path from its recorded spans.
+
+    Walks backwards from the step that finished last, at each hop
+    following the dependency that finished latest (the one that gated
+    the step's start), then charges each phase category along that
+    chain.  Dependencies are read from the ``deps`` arg the operator
+    records on every step span.
+    """
+    wf_span = tracer.find(workflow, cat="workflow")
+    if wf_span is None:
+        raise CriticalPathError(f"no workflow span named {workflow!r} in trace")
+    if wf_span.end is None:
+        raise CriticalPathError(f"workflow span {workflow!r} is still open")
+    makespan = wf_span.end - wf_span.start
+
+    step_spans: Dict[str, Span] = {
+        span.name: span
+        for span in tracer.children(wf_span)
+        if span.cat == "step"
+    }
+    if not step_spans:
+        return CriticalPathResult(
+            workflow=workflow,
+            makespan=makespan,
+            path=[],
+            breakdown={**{c: 0.0 for c in PHASE_CATEGORIES}, "other": makespan},
+        )
+
+    def finish(span: Span) -> float:
+        return span.end if span.end is not None else span.start
+
+    # Backward walk from the last finisher along latest-finishing deps.
+    current: Optional[Span] = max(step_spans.values(), key=finish)
+    path_spans: List[Span] = []
+    visited = set()
+    while current is not None and current.name not in visited:
+        visited.add(current.name)
+        path_spans.append(current)
+        deps = [
+            step_spans[name]
+            for name in current.args.get("deps", ())
+            if name in step_spans
+        ]
+        current = max(deps, key=finish) if deps else None
+    path_spans.reverse()
+
+    per_step: List[StepBreakdown] = []
+    breakdown = {category: 0.0 for category in PHASE_CATEGORIES}
+    for span in path_spans:
+        sums = _phase_sums(tracer, span)
+        per_step.append(
+            StepBreakdown(
+                name=span.name,
+                start=span.start,
+                end=finish(span),
+                **sums,
+            )
+        )
+        for category, seconds in sums.items():
+            breakdown[category] += seconds
+    breakdown["other"] = makespan - sum(breakdown.values())
+    return CriticalPathResult(
+        workflow=workflow,
+        makespan=makespan,
+        path=[span.name for span in path_spans],
+        breakdown=breakdown,
+        per_step=per_step,
+    )

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 
 from ..engine.operator import WorkflowOperator
 from ..engine.status import StepStatus, WorkflowPhase, WorkflowRecord
+from ..obs.metrics import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -39,6 +40,10 @@ class WorkflowMonitor:
     """Aggregates health metrics over observed workflow records."""
 
     thresholds: MonitorThresholds = field(default_factory=MonitorThresholds)
+    #: Shared metrics registry; observed phases, error patterns and
+    #: alerts are counted here so the SRE view and the experiment
+    #: reports read the same numbers.
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
     _records: List[WorkflowRecord] = field(default_factory=list)
     #: Error-pattern occurrence counts (the abnormal-pattern catalogue).
     pattern_counts: Dict[str, int] = field(default_factory=dict)
@@ -46,11 +51,17 @@ class WorkflowMonitor:
     def observe(self, record: WorkflowRecord) -> None:
         """Ingest one (terminal or live) workflow record."""
         self._records.append(record)
+        self.metrics.counter(
+            "monitor_workflows_observed_total", "Workflow records ingested by phase"
+        ).inc(phase=record.phase.value)
         for step in record.steps.values():
             if step.last_error:
                 self.pattern_counts[step.last_error] = (
                     self.pattern_counts.get(step.last_error, 0) + 1
                 )
+                self.metrics.counter(
+                    "monitor_error_patterns_total", "Step error patterns observed"
+                ).inc(pattern=step.last_error)
 
     def observe_operator(self, operator: WorkflowOperator) -> None:
         """Pull the injector-side failure-pattern counters too."""

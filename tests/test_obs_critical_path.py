@@ -1,0 +1,153 @@
+"""Tests for critical-path extraction and makespan breakdown."""
+
+import pytest
+
+from repro.caching.manager import CacheManager
+from repro.engine.operator import WorkflowOperator
+from repro.engine.retry import FailureInjector, RetryPolicy
+from repro.engine.simclock import SimClock
+from repro.engine.spec import (
+    ArtifactSpec,
+    ExecutableStep,
+    ExecutableWorkflow,
+    FailureProfile,
+)
+from repro.engine.status import WorkflowPhase
+from repro.k8s.cluster import Cluster
+from repro.k8s.resources import ResourceQuantity
+from repro.obs.critical_path import CriticalPathError, critical_path
+from repro.obs.trace import Tracer
+
+GB = 2**30
+
+
+def _roomy_cluster() -> Cluster:
+    return Cluster.uniform("t", 4, cpu_per_node=8.0, memory_per_node=32 * GB)
+
+
+def _diamond(name="diamond") -> ExecutableWorkflow:
+    wf = ExecutableWorkflow(name=name)
+    wf.add_step(ExecutableStep(name="a", duration_s=10))
+    wf.add_step(ExecutableStep(name="b", duration_s=10, dependencies=["a"]))
+    wf.add_step(ExecutableStep(name="c", duration_s=20, dependencies=["a"]))
+    wf.add_step(ExecutableStep(name="d", duration_s=10, dependencies=["b", "c"]))
+    return wf
+
+
+def _trace_run(workflow, **operator_kwargs) -> Tracer:
+    tracer = Tracer()
+    clock = SimClock()
+    cluster = operator_kwargs.pop("cluster", None) or _roomy_cluster()
+    operator = WorkflowOperator(clock, cluster, tracer=tracer, **operator_kwargs)
+    record = operator.submit(workflow)
+    operator.run_to_completion()
+    return tracer, record
+
+
+class TestDiamond:
+    def test_path_follows_latest_finishing_dependency(self):
+        tracer, record = _trace_run(_diamond())
+        result = critical_path(tracer, "diamond")
+        assert record.phase == WorkflowPhase.SUCCEEDED
+        # c (20s) gates d, so the chain is a -> c -> d, never through b.
+        assert result.path == ["a", "c", "d"]
+        assert result.makespan == pytest.approx(40.0)
+
+    def test_breakdown_sums_to_makespan(self):
+        tracer, _record = _trace_run(_diamond())
+        result = critical_path(tracer, "diamond")
+        assert result.total == pytest.approx(result.makespan)
+        assert result.breakdown["compute"] == pytest.approx(40.0)
+        assert result.breakdown["queue"] == pytest.approx(0.0)
+        assert result.breakdown["fetch"] == pytest.approx(0.0)
+        assert result.breakdown["backoff"] == pytest.approx(0.0)
+        assert result.breakdown["other"] == pytest.approx(0.0)
+
+    def test_report_renders_every_category(self):
+        tracer, _record = _trace_run(_diamond())
+        text = critical_path(tracer, "diamond").report()
+        assert "a -> c -> d" in text
+        for category in ("queue", "fetch", "compute", "backoff", "other"):
+            assert category in text
+
+
+class TestPhaseAttribution:
+    def test_queue_wait_shows_up_under_contention(self):
+        wf = ExecutableWorkflow(name="serial")
+        for index in range(3):
+            wf.add_step(
+                ExecutableStep(
+                    name=f"s{index}",
+                    duration_s=10,
+                    requests=ResourceQuantity(cpu=1.0),
+                )
+            )
+        tiny = Cluster.uniform("tiny", 1, cpu_per_node=1.0, memory_per_node=4 * GB)
+        tracer, _record = _trace_run(wf, cluster=tiny)
+        result = critical_path(tracer, "serial")
+        assert result.makespan == pytest.approx(30.0)
+        assert result.breakdown["queue"] > 0.0
+        assert result.total == pytest.approx(result.makespan)
+
+    def test_fetch_attribution_with_cache_manager(self):
+        wf = ExecutableWorkflow(name="fetching")
+        wf.add_step(
+            ExecutableStep(
+                name="reader",
+                duration_s=10,
+                inputs=[ArtifactSpec(uid="raw/data", size_bytes=1 * GB)],
+            )
+        )
+        manager = CacheManager(policy="no", capacity_bytes=None)
+        tracer, _record = _trace_run(wf, cache_manager=manager)
+        result = critical_path(tracer, "fetching")
+        assert result.breakdown["fetch"] > 0.0
+        assert result.total == pytest.approx(result.makespan)
+
+    def test_backoff_attribution_under_retries(self):
+        wf = ExecutableWorkflow(name="flaky")
+        wf.add_step(
+            ExecutableStep(
+                name="bad",
+                duration_s=10,
+                failure=FailureProfile(rate=0.7, pattern="PodCrashErr"),
+            )
+        )
+        tracer, record = _trace_run(
+            wf,
+            retry_policy=RetryPolicy(limit=10),
+            failure_injector=FailureInjector(seed=3, retryable_fraction=1.0),
+        )
+        assert record.phase == WorkflowPhase.SUCCEEDED
+        assert record.steps["bad"].attempts > 1, "seed must produce a retry"
+        result = critical_path(tracer, "flaky")
+        assert result.breakdown["backoff"] > 0.0
+        assert result.total == pytest.approx(result.makespan)
+
+
+class TestEdgeCases:
+    def test_missing_workflow_raises(self):
+        with pytest.raises(CriticalPathError):
+            critical_path(Tracer(), "ghost")
+
+    def test_open_workflow_span_raises(self):
+        tracer = Tracer()
+        tracer.begin("wf", "workflow", 0.0)
+        with pytest.raises(CriticalPathError):
+            critical_path(tracer, "wf")
+
+    def test_empty_workflow_is_all_other(self):
+        tracer = Tracer()
+        span = tracer.begin("empty", "workflow", 0.0)
+        tracer.end(span, 5.0)
+        result = critical_path(tracer, "empty")
+        assert result.path == []
+        assert result.breakdown["other"] == pytest.approx(5.0)
+        assert result.total == pytest.approx(result.makespan)
+
+    def test_per_step_breakdowns_cover_the_path(self):
+        tracer, _record = _trace_run(_diamond())
+        result = critical_path(tracer, "diamond")
+        assert [b.name for b in result.per_step] == result.path
+        for step in result.per_step:
+            assert step.accounted <= step.span_duration + 1e-9

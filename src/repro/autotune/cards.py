@@ -11,7 +11,7 @@ builder renders them to text.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict
 
 
 @dataclass(frozen=True)

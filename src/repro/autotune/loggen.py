@@ -11,9 +11,9 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
-from .cards import DataCard, HyperparameterSet, ModelCard
+from .cards import DataCard, ModelCard
 from .surrogate import EpochMetrics, TrainingCurve
 
 _EPOCH_RE = re.compile(

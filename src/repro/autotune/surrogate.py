@@ -25,7 +25,7 @@ from __future__ import annotations
 import math
 import random
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List
 
 from .cards import DataCard, HyperparameterSet, ModelCard

@@ -18,7 +18,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from .cards import DataCard, HyperparameterSet, ModelCard
 from .loggen import parse_training_log, render_training_log
-from .surrogate import NoisyLogPredictor, TrainingCurve, TrainingSurrogate
+from .surrogate import NoisyLogPredictor, TrainingSurrogate
 
 #: Signature of the "LLM" the tuner consults: (data, model, hp) -> log text.
 LogPredictor = Callable[[DataCard, ModelCard, HyperparameterSet], str]

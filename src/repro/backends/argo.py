@@ -11,12 +11,7 @@ from __future__ import annotations
 import json
 from typing import List
 
-from ..engine.spec import (
-    ArtifactSpec,
-    ExecutableStep,
-    FailureProfile,
-    SIM_ANNOTATION,
-)
+from ..engine.spec import SIM_ANNOTATION
 from ..ir.graph import WorkflowIR
 from ..ir.nodes import IRNode, OpKind
 from .base import Backend, BackendInfo, register_backend

@@ -1,0 +1,142 @@
+"""Fault vocabulary for the chaos layer.
+
+A chaos run is described by a :class:`ChaosPlan`: a list of fault events
+pinned to virtual times.  Plans are either hand-built (tests pin exact
+faults to exact instants) or generated from a seed, so the same seed
+always produces the same storm — determinism is what makes a robustness
+experiment comparable across runs and code changes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import ClassVar, List, Sequence, Tuple, Union
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """A node drops dead at ``at`` and recovers ``duration`` later."""
+
+    at: float
+    node: str
+    duration: float = 60.0
+
+    kind: ClassVar[str] = "node-crash"
+
+
+@dataclass(frozen=True)
+class PodEviction:
+    """``count`` running pods are evicted (preemption / node pressure)."""
+
+    at: float
+    count: int = 1
+
+    kind: ClassVar[str] = "pod-eviction"
+
+
+@dataclass(frozen=True)
+class CacheOutage:
+    """The cache tier goes dark: fetches time out for ``duration`` s."""
+
+    at: float
+    duration: float = 30.0
+
+    kind: ClassVar[str] = "cache-outage"
+
+
+@dataclass(frozen=True)
+class OperatorRestart:
+    """The workflow controller dies and resumes ``downtime`` s later."""
+
+    at: float
+    downtime: float = 0.0
+
+    kind: ClassVar[str] = "operator-restart"
+
+
+Fault = Union[NodeCrash, PodEviction, CacheOutage, OperatorRestart]
+
+
+class ChaosPlanError(ValueError):
+    """Raised for malformed plans (negative times, unknown nodes)."""
+
+
+@dataclass
+class ChaosPlan:
+    """An ordered storm of faults to inject into one simulation."""
+
+    faults: List[Fault] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for fault in self.faults:
+            if fault.at < 0:
+                raise ChaosPlanError(f"fault scheduled in the past: {fault}")
+            duration = getattr(fault, "duration", None)
+            if duration is not None and duration <= 0:
+                raise ChaosPlanError(f"non-positive duration: {fault}")
+
+    def ordered(self) -> List[Fault]:
+        """Faults in firing order (time, then kind for stable ties)."""
+        return sorted(self.faults, key=lambda f: (f.at, f.kind))
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        horizon: float,
+        node_names: Sequence[str],
+        node_crashes: int = 1,
+        evictions: int = 2,
+        cache_outages: int = 1,
+        operator_restarts: int = 0,
+        crash_duration: Tuple[float, float] = (30.0, 120.0),
+        outage_duration: Tuple[float, float] = (10.0, 60.0),
+        restart_downtime: Tuple[float, float] = (5.0, 30.0),
+        eviction_count: Tuple[int, int] = (1, 2),
+    ) -> "ChaosPlan":
+        """Build a seeded random storm over ``[5%, 85%]`` of the horizon.
+
+        The window keeps faults away from the very start (nothing is
+        running yet) and the tail (nothing left to hurt), where they
+        would silently no-op and the run would not actually be stressed.
+        """
+        if horizon <= 0:
+            raise ChaosPlanError(f"horizon must be positive, got {horizon}")
+        if node_crashes > 0 and not node_names:
+            raise ChaosPlanError("node crashes requested but no node names given")
+        rng = random.Random(seed)
+
+        def _when() -> float:
+            return round(rng.uniform(0.05 * horizon, 0.85 * horizon), 3)
+
+        faults: List[Fault] = []
+        for _ in range(node_crashes):
+            faults.append(
+                NodeCrash(
+                    at=_when(),
+                    node=rng.choice(list(node_names)),
+                    duration=round(rng.uniform(*crash_duration), 3),
+                )
+            )
+        for _ in range(evictions):
+            faults.append(
+                PodEviction(at=_when(), count=rng.randint(*eviction_count))
+            )
+        for _ in range(cache_outages):
+            faults.append(
+                CacheOutage(
+                    at=_when(), duration=round(rng.uniform(*outage_duration), 3)
+                )
+            )
+        for _ in range(operator_restarts):
+            faults.append(
+                OperatorRestart(
+                    at=_when(),
+                    downtime=round(rng.uniform(*restart_downtime), 3),
+                )
+            )
+        return cls(faults=faults)

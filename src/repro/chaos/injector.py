@@ -1,0 +1,149 @@
+"""Arms a :class:`~repro.chaos.faults.ChaosPlan` on a live simulation.
+
+The injector translates plan entries into clock events that call the
+operator's chaos hooks (``fail_node``, ``evict_pod``,
+``set_cache_outage``, ``simulate_restart``).  Victim selection for
+evictions is seeded and drawn from a name-sorted pod list, so a given
+(plan, seed, workload) triple always displaces the same pods — the
+whole fault storm is replayable.
+
+Chaos events are scheduled as regular (non-daemon) events on purpose: a
+node recovery *must* fire even when every live workflow is stuck
+waiting for capacity, or the simulation would drain into a deadlock
+with work still queued.  Faults that fire after the workload finished
+are harmless no-ops.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..engine.operator import WorkflowOperator
+from ..k8s.objects import Pod
+from .faults import (
+    CacheOutage,
+    ChaosPlan,
+    NodeCrash,
+    OperatorRestart,
+    PodEviction,
+)
+
+
+class ChaosInjector:
+    """Schedules a plan's faults against one operator's clock."""
+
+    def __init__(
+        self, operator: WorkflowOperator, plan: ChaosPlan, seed: int = 0
+    ) -> None:
+        self.operator = operator
+        self.plan = plan
+        self._rng = random.Random(seed ^ 0xC4A05)
+        self.metrics = operator.metrics
+        self.tracer = operator.tracer
+        self._m_faults = self.metrics.counter(
+            "chaos_faults_total", "Faults injected, by kind"
+        )
+        self._m_displaced = self.metrics.counter(
+            "chaos_pods_displaced_total",
+            "Running pods displaced by chaos faults",
+        )
+        #: Chronological record of what actually fired (vs. planned).
+        self.log: List[dict] = []
+        self._armed = False
+
+    def arm(self) -> None:
+        """Schedule every fault on the operator's clock (once)."""
+        if self._armed:
+            raise RuntimeError("chaos plan is already armed")
+        self._armed = True
+        for fault in self.plan.ordered():
+            self.operator.clock.schedule_at(
+                fault.at, lambda f=fault: self._fire(f)
+            )
+
+    # ------------------------------------------------------------------ firing
+
+    def _fire(self, fault) -> None:
+        self._m_faults.inc(kind=fault.kind)
+        entry = {"t": self.operator.clock.now, "kind": fault.kind}
+        if isinstance(fault, NodeCrash):
+            entry.update(self._fire_node_crash(fault))
+        elif isinstance(fault, PodEviction):
+            entry.update(self._fire_eviction(fault))
+        elif isinstance(fault, CacheOutage):
+            entry.update(self._fire_cache_outage(fault))
+        elif isinstance(fault, OperatorRestart):
+            entry.update(self._fire_restart(fault))
+        else:  # pragma: no cover - plan types are closed
+            raise TypeError(f"unknown fault type: {fault!r}")
+        self.log.append(entry)
+
+    def _fire_node_crash(self, fault: NodeCrash) -> dict:
+        now = self.operator.clock.now
+        displaced = self.operator.fail_node(fault.node)
+        if displaced:
+            self._m_displaced.inc(len(displaced), kind=fault.kind)
+        # Root span (no parent): node downtime renders as its own track
+        # in the Chrome trace, next to the workflows it disrupted.
+        self.tracer.add_span(
+            f"node-down:{fault.node}",
+            "chaos",
+            now,
+            now + fault.duration,
+            node=fault.node,
+            displaced=len(displaced),
+        )
+        self.operator.clock.schedule(
+            fault.duration, lambda: self.operator.recover_node(fault.node)
+        )
+        return {
+            "node": fault.node,
+            "displaced": [pod.metadata.name for pod in displaced],
+            "recovers_at": now + fault.duration,
+        }
+
+    def _victims(self, count: int) -> List[Pod]:
+        pods = self.operator.running_attempt_pods()  # name-sorted
+        if not pods:
+            return []
+        return self._rng.sample(pods, min(count, len(pods)))
+
+    def _fire_eviction(self, fault: PodEviction) -> dict:
+        evicted: List[str] = []
+        for pod in self._victims(fault.count):
+            if self.operator.evict_pod(pod):
+                evicted.append(pod.metadata.name)
+                self.tracer.instant(
+                    "pod-evicted",
+                    "chaos",
+                    self.operator.clock.now,
+                    pod=pod.metadata.name,
+                )
+        if evicted:
+            self._m_displaced.inc(len(evicted), kind=fault.kind)
+        return {"evicted": evicted}
+
+    def _fire_cache_outage(self, fault: CacheOutage) -> dict:
+        now = self.operator.clock.now
+        until = now + fault.duration
+        self.operator.set_cache_outage(until)
+        self.tracer.add_span(
+            "cache-outage", "chaos", now, until, duration_s=fault.duration
+        )
+        return {"until": until}
+
+    def _fire_restart(self, fault: OperatorRestart) -> dict:
+        now = self.operator.clock.now
+        interrupted = len(self.operator.running_attempt_pods())
+        resumed = self.operator.simulate_restart(fault.downtime)
+        if interrupted:
+            self._m_displaced.inc(interrupted, kind=fault.kind)
+        self.tracer.add_span(
+            "operator-down",
+            "chaos",
+            now,
+            now + fault.downtime,
+            resumed_workflows=len(resumed),
+        )
+        return {"resumed": resumed, "downtime": fault.downtime}

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from . import __paper__, __version__
 
@@ -39,6 +39,10 @@ EXPERIMENTS: Dict[str, tuple] = {
     "ablation-reuse": (
         "repro.experiments.ablation_reuse",
         "cached-step skipping (reuse of intermediate results)",
+    ),
+    "robustness": (
+        "repro.experiments.robustness_runner",
+        "fault-injected fleet: recovery, determinism, invariants",
     ),
 }
 
@@ -135,6 +139,30 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the fault-injected fleet; optionally export its Chrome trace."""
+    from .experiments import robustness_runner
+    from .obs.trace import Tracer
+
+    tracer = Tracer() if args.trace_out else None
+    results = robustness_runner.run(
+        seed=args.seed, num_workflows=args.workflows, tracer=tracer
+    )
+    print(robustness_runner.report(results))
+    if args.trace_out:
+        tracer.write_chrome(args.trace_out)
+        print(
+            f"\nwrote {len(tracer)} trace events to {args.trace_out} "
+            "(chaos faults appear as their own tracks)"
+        )
+    ok = (
+        results["completed"] == results["total"]
+        and results["deterministic"]
+        and not results["invariant_violations"]
+    )
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -176,6 +204,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the metrics snapshot here instead of stdout",
     )
     trace_parser.set_defaults(func=cmd_trace)
+
+    chaos_parser = sub.add_parser(
+        "chaos",
+        help="run the fault-injected fleet (exit 1 on recovery regression)",
+    )
+    chaos_parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    chaos_parser.add_argument(
+        "--workflows", type=int, default=8, help="fleet size to storm"
+    )
+    chaos_parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="also write a Chrome trace_event JSON of the stormy run",
+    )
+    chaos_parser.set_defaults(func=cmd_chaos)
     return parser
 
 

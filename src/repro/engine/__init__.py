@@ -9,12 +9,20 @@ from .cachehooks import BandwidthModel, CacheManagerProtocol, NullCacheManager
 from .dispatcher import DispatchResult, MultiClusterDispatcher
 from .metrics import UtilizationRecorder, UtilizationSample
 from .operator import WorkflowOperator, validate_when_expr
-from .queue import MultiClusterQueue, QueuedWorkflow, QuotaError, UserQuota
+from .queue import (
+    DeferredDequeue,
+    MultiClusterQueue,
+    QueuedWorkflow,
+    QuotaError,
+    UserQuota,
+)
 from .retry import (
     FATAL_PATTERNS,
+    INFRA_PATTERNS,
     FailureInjector,
     RETRYABLE_PATTERNS,
     RetryPolicy,
+    is_infra,
     is_retryable,
 )
 from .simclock import EventHandle, SimClock, SimulationError
@@ -33,12 +41,14 @@ __all__ = [
     "ArtifactSpec",
     "BandwidthModel",
     "CacheManagerProtocol",
+    "DeferredDequeue",
     "DispatchResult",
     "EventHandle",
     "MultiClusterDispatcher",
     "ExecutableStep",
     "ExecutableWorkflow",
     "FATAL_PATTERNS",
+    "INFRA_PATTERNS",
     "FailureInjector",
     "FailureProfile",
     "MultiClusterQueue",
@@ -58,6 +68,7 @@ __all__ = [
     "WorkflowOperator",
     "WorkflowPhase",
     "WorkflowRecord",
+    "is_infra",
     "is_retryable",
     "parse_argo_manifest",
     "step_profile_annotation",

@@ -10,12 +10,12 @@ a similar capacity and avoids one cluster being overflow[ed]".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..k8s.cluster import Cluster
 from .operator import WorkflowOperator
-from .queue import MultiClusterQueue, QueuedWorkflow, UserQuota
+from .queue import DeferredDequeue, MultiClusterQueue, QueuedWorkflow, UserQuota
 from .simclock import SimClock
 from .spec import ExecutableWorkflow
 from .status import WorkflowRecord
@@ -48,6 +48,9 @@ class MultiClusterDispatcher:
             for cluster in clusters
         }
         self.results: List[DispatchResult] = []
+        #: Workflows whose owners stayed over quota with nothing left
+        #: running to free it — kept, not silently dropped.
+        self.deferred: List[QueuedWorkflow] = []
 
     def enqueue(
         self, workflow: ExecutableWorkflow, user: str = "default", priority: int = 0
@@ -60,27 +63,48 @@ class MultiClusterDispatcher:
         Placement happens up front in priority order (each pop sees the
         cluster loads left by earlier placements, so load spreads);
         execution then proceeds concurrently on the shared clock.
+        Workflows deferred for quota are retried in rounds: each round
+        of completions releases quota, so a deferred workflow runs as
+        soon as its owner is back under limit.  Workflows still deferred
+        when no quota will ever free accumulate in :attr:`deferred`
+        instead of being dropped.
         """
-        placed: List[tuple] = []
+        all_placed: List[tuple] = []
         while True:
-            popped = self.queue.dequeue()
-            if popped is None:
+            placed_this_round: List[tuple] = []
+            deferred_round: List[QueuedWorkflow] = []
+            while True:
+                popped = self.queue.dequeue()
+                if popped is None:
+                    break
+                if isinstance(popped, DeferredDequeue):
+                    deferred_round.append(popped.item)
+                    continue
+                item, cluster = popped
+                operator = self.operators[cluster.name]
+                record = operator.submit(
+                    item.workflow,
+                    on_complete=lambda _rec, queued=item: self.queue.release(queued),
+                )
+                placed_this_round.append((item, cluster, record))
+            self.clock.run()
+            all_placed.extend(placed_this_round)
+            if not deferred_round:
                 break
-            item, cluster = popped
-            operator = self.operators[cluster.name]
-            record = operator.submit(
-                item.workflow,
-                on_complete=lambda _rec, queued=item: self.queue.release(queued),
-            )
-            placed.append((item, cluster, record))
-        self.clock.run()
+            if not placed_this_round:
+                # Nothing ran, so no quota was released: these can never
+                # proceed.  Surface them rather than spinning.
+                self.deferred.extend(deferred_round)
+                break
+            for item in deferred_round:
+                self.queue.enqueue(item)
         batch = [
             DispatchResult(
                 workflow_name=item.workflow.name,
                 cluster_name=cluster.name,
                 record=record,
             )
-            for item, cluster, record in placed
+            for item, cluster, record in all_placed
         ]
         self.results.extend(batch)
         return batch

@@ -32,7 +32,7 @@ from ..obs.metrics import MetricsRegistry
 from ..obs.trace import NullTracer
 from .cachehooks import CacheManagerProtocol, NullCacheManager
 from .retry import FailureInjector, RetryPolicy
-from .simclock import SimClock
+from .simclock import EventHandle, SimClock
 from .spec import ExecutableStep, ExecutableWorkflow, SpecError, parse_argo_manifest
 from .status import StepStatus, WorkflowPhase, WorkflowRecord
 
@@ -84,6 +84,28 @@ def _compare(left: str, operator: str, right: str) -> bool:
 
 
 @dataclass
+class _Attempt:
+    """One in-flight step attempt (needed to undo it on interruption).
+
+    The operator charges an attempt's full timeline to the record the
+    moment it is scheduled (natural in a discrete-event world).  A fault
+    that kills the attempt mid-flight must refund the un-elapsed part of
+    those charges, so everything needed for the refund rides here.
+    """
+
+    pod: Pod
+    handle: EventHandle
+    start: float
+    elapsed: float
+    charged_fetch: float
+    charged_compute: float
+    #: Input fetches newly counted in cache stats by this attempt, as
+    #: (uid, hit, fetch_end_offset) — uncounted again if interrupted
+    #: before fetch_end_offset.
+    newly_counted: List[Tuple[str, bool, float]] = field(default_factory=list)
+
+
+@dataclass
 class _RunState:
     """Mutable per-workflow bookkeeping inside the operator."""
 
@@ -94,6 +116,11 @@ class _RunState:
     on_complete: List[CompletionCallback] = field(default_factory=list)
     failed: bool = False
     in_flight: int = 0
+    #: Step name -> its currently running attempt (chaos interrupts these).
+    active_attempts: Dict[str, "_Attempt"] = field(default_factory=dict)
+    #: Deferred work scheduled on this workflow's behalf (retry backoffs,
+    #: finish checks); cancelled wholesale on an operator restart.
+    pending_handles: List[EventHandle] = field(default_factory=list)
     #: Recorded ``result`` values of completed steps (None = no declared
     #: result).  Conditions evaluate against these.
     results: Dict[str, Optional[str]] = field(default_factory=dict)
@@ -170,10 +197,18 @@ class WorkflowOperator:
         self._m_waitq = self.metrics.gauge(
             "scheduler_waitq_depth", "Steps waiting for cluster resources"
         )
+        self._m_infra = self.metrics.counter(
+            "engine_infra_retries_total",
+            "Attempts requeued after infrastructure faults (budget-free)",
+        )
         self._states: Dict[str, _RunState] = {}
         self._resource_waitq: List[Tuple[str, str]] = []
         self._rng = random.Random(seed ^ 0x5EED)
         self.completed: List[WorkflowRecord] = []
+        #: Virtual time until which cache fetches fail (chaos outage).
+        self._cache_outage_until = float("-inf")
+        #: How long an attempt waits on a dead cache before giving up.
+        self.cache_timeout_s = 30.0
 
     # ------------------------------------------------------------- submission
 
@@ -247,7 +282,7 @@ class WorkflowOperator:
                 launched_any = True
         if not launched_any and state.all_terminal():
             # Nothing to do (empty workflow or everything already done).
-            self.clock.schedule(0.0, lambda: self._finish_workflow(state))
+            self._schedule_state(state, 0.0, lambda: self._maybe_finish(state))
         return record
 
     # ------------------------------------------------------------- execution
@@ -303,7 +338,27 @@ class WorkflowOperator:
             state.step_spans.get(step_name), self.clock.now, status=status
         )
 
+    def _is_live(self, state: _RunState) -> bool:
+        """False when ``state`` was superseded (operator restart): events
+        scheduled against a dead incarnation must become no-ops, or a
+        stale callback would double-drive the resumed workflow."""
+        return self._states.get(state.workflow.name) is state
+
+    def _schedule_state(
+        self, state: _RunState, delay: float, callback: Callable[[], None]
+    ) -> EventHandle:
+        """Schedule work on a workflow's behalf, tracked for cancellation."""
+        handle = self.clock.schedule(delay, callback)
+        state.pending_handles.append(handle)
+        if len(state.pending_handles) > 32:
+            state.pending_handles = [
+                h for h in state.pending_handles if not (h.cancelled or h.fired)
+            ]
+        return handle
+
     def _enqueue_step(self, state: _RunState, step: ExecutableStep) -> None:
+        if not self._is_live(state):
+            return
         if state.failed:
             # The workflow already failed (a sibling step hit a fatal
             # error): a pending retry is aborted, not dropped, so the
@@ -314,7 +369,7 @@ class WorkflowOperator:
                 record.finish_time = self.clock.now
                 self._m_steps.inc(status=StepStatus.FAILED.value)
             self._end_step_span(state, step.name, StepStatus.FAILED.value)
-            self.clock.schedule(0.0, lambda: self._maybe_finish(state))
+            self._schedule_state(state, 0.0, lambda: self._maybe_finish(state))
             return
         if step.when_expr and not self._condition_met(state, step.when_expr):
             record = state.record.step(step.name)
@@ -324,7 +379,7 @@ class WorkflowOperator:
             self._step_span(state, step)
             self._end_step_span(state, step.name, StepStatus.SKIPPED.value)
             self._m_steps.inc(status=StepStatus.SKIPPED.value)
-            self.clock.schedule(0.0, lambda: self._after_skip(state, step))
+            self._schedule_state(state, 0.0, lambda: self._after_skip(state, step))
             return
         if self._outputs_all_cached(step):
             record = state.record.step(step.name)
@@ -334,7 +389,7 @@ class WorkflowOperator:
             self._step_span(state, step)
             self._end_step_span(state, step.name, StepStatus.CACHED.value)
             self._m_steps.inc(status=StepStatus.CACHED.value)
-            self.clock.schedule(0.0, lambda: self._after_skip(state, step))
+            self._schedule_state(state, 0.0, lambda: self._after_skip(state, step))
             return
         self._step_span(state, step)
         state.queue_since[step.name] = self.clock.now
@@ -405,25 +460,36 @@ class WorkflowOperator:
             self.api_server.create(pod)
 
         now = self.clock.now
+        outage = bool(step.inputs) and now < self._cache_outage_until
         fetch_seconds = 0.0
         fetches: List[Tuple[str, bool, float]] = []
-        for artifact in step.inputs:
-            seconds, hit = self.cache_manager.fetch(artifact, now=now)
-            fetch_seconds += seconds
-            fetches.append((artifact.uid, hit, fetch_seconds))
+        if not outage:
+            for artifact in step.inputs:
+                seconds, hit = self.cache_manager.fetch(artifact, now=now)
+                fetch_seconds += seconds
+                fetches.append((artifact.uid, hit, fetch_seconds))
 
-        pattern = self.failure_injector.sample(
-            step.name, step.failure.rate, step.failure.pattern
-        )
-        if pattern is None:
-            elapsed = fetch_seconds + step.duration_s
+        if outage:
+            # The cache tier is dark (injected transient outage): the
+            # attempt blocks on its first read and times out.  This is an
+            # infrastructure fault — it must not consume the step's
+            # application retry budget.
+            pattern: Optional[str] = "CacheFetchTimeoutErr"
+            elapsed = self.cache_timeout_s
+            charged_fetch, charged_compute = elapsed, 0.0
         else:
-            # The attempt dies partway through; charge a random fraction
-            # of the sequential fetch-then-compute timeline.
-            fraction = 0.25 + 0.5 * self._rng.random()
-            elapsed = (fetch_seconds + step.duration_s) * fraction
-        charged_fetch = min(fetch_seconds, elapsed)
-        charged_compute = elapsed - charged_fetch
+            pattern = self.failure_injector.sample(
+                step.name, step.failure.rate, step.failure.pattern
+            )
+            if pattern is None:
+                elapsed = fetch_seconds + step.duration_s
+            else:
+                # The attempt dies partway through; charge a random fraction
+                # of the sequential fetch-then-compute timeline.
+                fraction = 0.25 + 0.5 * self._rng.random()
+                elapsed = (fetch_seconds + step.duration_s) * fraction
+            charged_fetch = min(fetch_seconds, elapsed)
+            charged_compute = elapsed - charged_fetch
         record.fetch_seconds += charged_fetch
         record.compute_seconds += charged_compute
 
@@ -433,11 +499,13 @@ class WorkflowOperator:
         # already accounts for — both inflated hit ratios under failure
         # injection.
         counted = state.counted_inputs.setdefault(step.name, set())
+        newly_counted: List[Tuple[str, bool, float]] = []
         hits = misses = 0
         for uid, hit, fetch_end in fetches:
             if fetch_end > elapsed + 1e-9 or uid in counted:
                 continue
             counted.add(uid)
+            newly_counted.append((uid, hit, fetch_end))
             if hit:
                 hits += 1
             else:
@@ -478,18 +546,34 @@ class WorkflowOperator:
             )
 
         if pattern is None:
-            self.clock.schedule(
+            handle = self.clock.schedule(
                 elapsed, lambda: self._on_attempt_success(state, step, pod)
             )
         else:
-            self.clock.schedule(
+            # Only the outage path is an infrastructure fault here; a
+            # sampled pattern is the step's own failure profile even when
+            # it resembles one (e.g. sampled PodEvictedErr), so legacy
+            # no-retry baselines keep their semantics.
+            handle = self.clock.schedule(
                 elapsed,
-                lambda: self._on_attempt_failure(state, step, pod, pattern),
+                lambda: self._on_attempt_failure(
+                    state, step, pod, pattern, infra=outage
+                ),
             )
+        state.active_attempts[step.name] = _Attempt(
+            pod=pod,
+            handle=handle,
+            start=now,
+            elapsed=elapsed,
+            charged_fetch=charged_fetch,
+            charged_compute=charged_compute,
+            newly_counted=newly_counted,
+        )
 
     def _on_attempt_success(
         self, state: _RunState, step: ExecutableStep, pod: Pod
     ) -> None:
+        state.active_attempts.pop(step.name, None)
         pod.phase = PodPhase.SUCCEEDED
         if self.track_pods:
             self.api_server.update_status(pod)
@@ -515,20 +599,60 @@ class WorkflowOperator:
         self._drain_waitq()
 
     def _on_attempt_failure(
-        self, state: _RunState, step: ExecutableStep, pod: Pod, pattern: str
+        self,
+        state: _RunState,
+        step: ExecutableStep,
+        pod: Pod,
+        pattern: str,
+        infra: bool = False,
     ) -> None:
+        state.active_attempts.pop(step.name, None)
         pod.phase = PodPhase.FAILED
         if self.track_pods:
             self.api_server.update_status(pod)
         self.scheduler.release(pod)
         state.in_flight -= 1
+        self._route_failure(state, step, pattern, infra=infra)
+        self._drain_waitq()
+
+    def _route_failure(
+        self, state: _RunState, step: ExecutableStep, pattern: str, infra: bool = False
+    ) -> None:
+        """Decide what a failed/interrupted attempt becomes.
+
+        ``infra=True`` marks a fault that originated in the
+        infrastructure layer (chaos-injected node loss, eviction, cache
+        outage, operator restart) rather than in the step itself: it is
+        requeued on the policy's separate infra budget with a flat short
+        delay and never charges the step's application retry budget.
+        Sampled per-attempt failures keep the usual backoff-limited
+        path, with infra interruptions refunded from the attempt count.
+        """
         record = state.record.step(step.name)
         record.last_error = pattern
-        if self.retry_policy.should_retry(
-            pattern, record.attempts, limit_override=step.retry_limit
+        step_span = state.step_spans.get(step.name)
+        if infra:
+            record.infra_failures += 1
+        app_attempts = record.attempts - record.infra_failures
+        if infra and self.retry_policy.infra_retry(pattern, record.infra_failures):
+            delay = self.retry_policy.infra_backoff
+            self.tracer.instant(
+                "infra-retry",
+                "retry",
+                self.clock.now,
+                parent=step_span,
+                pattern=pattern,
+                attempt=record.attempts,
+                delay_s=delay,
+            )
+            self._m_infra.inc(pattern=pattern)
+            self._schedule_state(
+                state, delay, lambda: self._enqueue_step(state, step)
+            )
+        elif self.retry_policy.should_retry(
+            pattern, app_attempts, limit_override=step.retry_limit
         ):
-            delay = self.retry_policy.backoff(record.attempts, rng=self._rng)
-            step_span = state.step_spans.get(step.name)
+            delay = self.retry_policy.backoff(app_attempts, rng=self._rng)
             self.tracer.instant(
                 "retry",
                 "retry",
@@ -549,7 +673,9 @@ class WorkflowOperator:
                     parent=step_span,
                     attempt=record.attempts,
                 )
-            self.clock.schedule(delay, lambda: self._enqueue_step(state, step))
+            self._schedule_state(
+                state, delay, lambda: self._enqueue_step(state, step)
+            )
         else:
             record.status = StepStatus.FAILED
             record.finish_time = self.clock.now
@@ -557,7 +683,6 @@ class WorkflowOperator:
             self._m_steps.inc(status=StepStatus.FAILED.value)
             state.failed = True
             self._maybe_finish(state)
-        self._drain_waitq()
 
     def _advance_children(self, state: _RunState, step: ExecutableStep) -> None:
         for child_name in state.children.get(step.name, []):
@@ -566,6 +691,8 @@ class WorkflowOperator:
                 self._enqueue_step(state, state.workflow.steps[child_name])
 
     def _maybe_finish(self, state: _RunState) -> None:
+        if not self._is_live(state):
+            return
         if state.in_flight > 0:
             return
         if state.failed:
@@ -603,10 +730,206 @@ class WorkflowOperator:
         for callback in state.on_complete:
             callback(record)
 
+    # ----------------------------------------------------------- chaos hooks
+    #
+    # Entry points for the fault-injection layer (repro.chaos).  Every
+    # hook routes the interruption through the *infra* retry path, so a
+    # step killed by the environment is requeued without consuming its
+    # application retry budget.
+
+    def _refund_attempt(
+        self, state: _RunState, step_name: str, attempt: _Attempt
+    ) -> None:
+        """Undo the un-elapsed part of an interrupted attempt's charges.
+
+        Attempts pre-charge their full fetch/compute timeline and cache
+        stats at schedule time; killing one at ``now`` means only the
+        work up to ``now`` really happened.
+        """
+        attempt.handle.cancel()
+        record = state.record.step(step_name)
+        actual = max(0.0, self.clock.now - attempt.start)
+        fetch_done = min(attempt.charged_fetch, actual)
+        compute_done = min(
+            attempt.charged_compute, max(0.0, actual - attempt.charged_fetch)
+        )
+        record.fetch_seconds -= attempt.charged_fetch - fetch_done
+        record.compute_seconds -= attempt.charged_compute - compute_done
+        counted = state.counted_inputs.get(step_name, set())
+        for uid, hit, fetch_end in attempt.newly_counted:
+            if fetch_end > actual + 1e-9:
+                # This fetch never finished: a future attempt may count it.
+                counted.discard(uid)
+                if hit:
+                    record.cache_hits = max(0, record.cache_hits - 1)
+                else:
+                    record.cache_misses = max(0, record.cache_misses - 1)
+
+    def _interrupt_attempt(
+        self,
+        state: _RunState,
+        step_name: str,
+        pattern: str,
+        release_pod: bool = True,
+    ) -> bool:
+        """Kill a running attempt mid-flight with an infra fault.
+
+        ``release_pod=False`` is for faults where the node itself already
+        dropped the binding (node crash).  Returns False when the step
+        has no attempt in flight.
+        """
+        attempt = state.active_attempts.pop(step_name, None)
+        if attempt is None:
+            return False
+        self._refund_attempt(state, step_name, attempt)
+        pod = attempt.pod
+        pod.phase = PodPhase.FAILED
+        if release_pod:
+            self.scheduler.release(pod)
+        if self.track_pods:
+            self.api_server.update_status(pod)
+        state.in_flight -= 1
+        self._route_failure(
+            state, state.workflow.steps[step_name], pattern, infra=True
+        )
+        return True
+
+    def fail_node(self, node_name: str) -> List[Pod]:
+        """Crash a node; its running attempts requeue on the infra budget."""
+        node = self.cluster.node(node_name)
+        if node is None or not node.ready:
+            return []
+        displaced = node.fail()
+        for pod in displaced:
+            wf_name = pod.metadata.labels.get("workflow")
+            step_name = pod.metadata.labels.get("step")
+            state = self._states.get(wf_name) if wf_name else None
+            if state is None or step_name is None:
+                continue
+            attempt = state.active_attempts.get(step_name)
+            if attempt is None or attempt.pod is not pod:
+                continue
+            # The node already dropped the binding and its allocation.
+            self._interrupt_attempt(
+                state, step_name, "NodeLostErr", release_pod=False
+            )
+        self.clock.schedule(0.0, self._drain_waitq)
+        return displaced
+
+    def recover_node(self, node_name: str) -> None:
+        """Bring a crashed node back and let waiting steps bind onto it."""
+        node = self.cluster.node(node_name)
+        if node is None or node.ready:
+            return
+        node.recover()
+        self.clock.schedule(0.0, self._drain_waitq)
+
+    def evict_pod(self, pod: Pod) -> bool:
+        """Evict one running pod (preemption / node-pressure eviction).
+
+        The carried attempt requeues on the infra budget; usually it
+        lands on a different node.  Returns False when the pod is not a
+        currently running attempt of this operator.
+        """
+        wf_name = pod.metadata.labels.get("workflow")
+        step_name = pod.metadata.labels.get("step")
+        state = self._states.get(wf_name) if wf_name else None
+        if state is None or step_name is None:
+            return False
+        attempt = state.active_attempts.get(step_name)
+        if attempt is None or attempt.pod is not pod:
+            return False
+        node = self.cluster.node(pod.node_name) if pod.node_name else None
+        if node is not None:
+            node.evict(pod)
+        interrupted = self._interrupt_attempt(
+            state, step_name, "PodEvictedErr", release_pod=node is None
+        )
+        self.clock.schedule(0.0, self._drain_waitq)
+        return interrupted
+
+    def set_cache_outage(self, until: float) -> None:
+        """Make cache fetches time out until virtual time ``until``."""
+        self._cache_outage_until = max(self._cache_outage_until, until)
+
+    def running_attempt_pods(self) -> List[Pod]:
+        """Pods of in-flight attempts, sorted by name (deterministic)."""
+        pods = [
+            attempt.pod
+            for state in self._states.values()
+            for attempt in state.active_attempts.values()
+        ]
+        return sorted(pods, key=lambda pod: pod.metadata.name)
+
+    def simulate_restart(self, downtime: float = 0.0) -> List[str]:
+        """Kill the controller and resume from records ``downtime`` later.
+
+        Everything in flight dies with the controller: attempts are
+        interrupted (charges refunded, pods released, one infra failure
+        recorded per step so the lost attempt is not billed to the app
+        budget), scheduled callbacks are cancelled, and the in-memory
+        run states are dropped.  After ``downtime`` seconds, each
+        workflow is resubmitted from its surviving
+        :class:`~repro.engine.status.WorkflowRecord` snapshot, which
+        skips already-done steps — the paper's restart-from-failure
+        path, exercised by the controller itself.  Returns the names of
+        the workflows that will resume.
+        """
+        states = list(self._states.values())
+        for state in states:
+            for handle in state.pending_handles:
+                handle.cancel()
+            state.pending_handles.clear()
+            for step_name in sorted(state.active_attempts):
+                attempt = state.active_attempts[step_name]
+                self._refund_attempt(state, step_name, attempt)
+                pod = attempt.pod
+                pod.phase = PodPhase.FAILED
+                pod.reason = "OperatorRestart"
+                self.scheduler.release(pod)
+                if self.track_pods:
+                    self.api_server.update_status(pod)
+                record = state.record.step(step_name)
+                record.infra_failures += 1
+                record.last_error = "OperatorRestartErr"
+                self._m_infra.inc(pattern="OperatorRestartErr")
+            state.active_attempts.clear()
+            state.in_flight = 0
+            # The snapshot a restarted controller reads has no Running
+            # steps — they died with it.
+            for step_name in state.workflow.steps:
+                step_record = state.record.step(step_name)
+                if step_record.status == StepStatus.RUNNING:
+                    step_record.status = StepStatus.PENDING
+            for step_name in state.step_spans:
+                self._end_step_span(state, step_name, "operator-restart")
+            self.tracer.end(
+                state.wf_span, self.clock.now, phase="operator-restart"
+            )
+        self._states.clear()
+        self._resource_waitq = []
+        self._m_waitq.set(0)
+        resumed = [state.workflow.name for state in states]
+
+        def _resume() -> None:
+            for state in states:
+                # Resumes in place: callers keep holding the same record.
+                self.submit(state.workflow, record=state.record)
+                self._states[state.workflow.name].on_complete.extend(
+                    state.on_complete
+                )
+
+        self.clock.schedule(downtime, _resume)
+        return resumed
+
     # ------------------------------------------------------------ inspection
 
     def active_workflows(self) -> List[str]:
         return sorted(self._states)
+
+    def waiting_steps(self) -> List[Tuple[str, str]]:
+        """(workflow, step) pairs currently queued for cluster resources."""
+        return list(self._resource_waitq)
 
     def run_to_completion(self, until: Optional[float] = None) -> None:
         """Advance the clock until all submitted workflows settle."""

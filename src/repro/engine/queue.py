@@ -15,7 +15,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..k8s.cluster import Cluster
 from ..k8s.resources import ResourceQuantity
@@ -38,21 +38,31 @@ class UserQuota:
     memory_used: int = 0
     gpu_used: int = 0
 
+    @staticmethod
+    def _fraction(used: float, limit: float) -> float:
+        # A zero limit means the user has no grant at all: 0 remaining.
+        # (It used to read as 100% remaining — `1.0 - 0.0` — which made
+        # placement scoring favour exactly the users who are exhausted.)
+        if limit <= 0:
+            return 0.0
+        return max(0.0, 1.0 - used / limit)
+
     def remaining_fraction(self) -> Tuple[float, float]:
         """(cpu+mem fraction remaining, gpu fraction remaining)."""
-        cpu_frac = 1.0 - (self.cpu_used / self.cpu_limit if self.cpu_limit else 0.0)
-        mem_frac = 1.0 - (
-            self.memory_used / self.memory_limit if self.memory_limit else 0.0
-        )
-        gpu_frac = 1.0 - (self.gpu_used / self.gpu_limit if self.gpu_limit else 0.0)
+        cpu_frac = self._fraction(self.cpu_used, self.cpu_limit)
+        mem_frac = self._fraction(self.memory_used, self.memory_limit)
+        gpu_frac = self._fraction(self.gpu_used, self.gpu_limit)
         return (cpu_frac + mem_frac) / 2.0, gpu_frac
 
-    def charge(self, demand: ResourceQuantity) -> None:
-        if (
+    def can_charge(self, demand: ResourceQuantity) -> bool:
+        return not (
             self.cpu_used + demand.cpu > self.cpu_limit
             or self.memory_used + demand.memory > self.memory_limit
             or self.gpu_used + demand.gpu > self.gpu_limit
-        ):
+        )
+
+    def charge(self, demand: ResourceQuantity) -> None:
+        if not self.can_charge(demand):
             raise QuotaError(f"user {self.user} quota exceeded by {demand}")
         self.cpu_used += demand.cpu
         self.memory_used += demand.memory
@@ -62,6 +72,20 @@ class UserQuota:
         self.cpu_used = max(0.0, self.cpu_used - demand.cpu)
         self.memory_used = max(0, self.memory_used - demand.memory)
         self.gpu_used = max(0, self.gpu_used - demand.gpu)
+
+
+@dataclass
+class DeferredDequeue:
+    """Signal that the head workflow cannot run *right now*.
+
+    Returned by :meth:`MultiClusterQueue.dequeue` instead of silently
+    dropping an over-quota workflow (the item used to be popped before
+    ``charge()`` raised, so it vanished from the heap).  The item is
+    handed back to the caller, who re-enqueues it once quota frees up.
+    """
+
+    item: "QueuedWorkflow"
+    reason: str
 
 
 @dataclass
@@ -102,6 +126,9 @@ class MultiClusterQueue:
     _reserved: Dict[str, ResourceQuantity] = field(default_factory=dict)
     #: Which cluster each placed workflow reserved (for release()).
     _placements: Dict[str, str] = field(default_factory=dict)
+    #: Times a release would have driven a reservation negative (a
+    #: double-release or lost-placement symptom; clamped, but flagged).
+    reservation_underflows: int = 0
 
     def enqueue(self, item: QueuedWorkflow) -> None:
         # Negative priority: heapq is a min-heap, higher priority first.
@@ -137,15 +164,30 @@ class MultiClusterQueue:
             + self.gpu_quota_weight * (gpu_frac if needs_gpu else 0.0)
         )
 
-    def dequeue(self) -> Optional[Tuple[QueuedWorkflow, Cluster]]:
+    def dequeue(self) -> Union[None, DeferredDequeue, Tuple[QueuedWorkflow, Cluster]]:
         """Pop the highest-priority workflow and pick its cluster.
 
-        Returns ``None`` when the queue is empty.  The user's quota is
-        charged for the workflow's peak demand; call
-        :meth:`release` when the workflow finishes.
+        Returns ``None`` when the queue is empty, or a
+        :class:`DeferredDequeue` carrying the item when the user's quota
+        cannot absorb its peak demand right now — the workflow is handed
+        back instead of lost, and the caller re-enqueues it after quota
+        frees up.  On success the user's quota is charged for the peak
+        demand; call :meth:`release` when the workflow finishes.
         """
         if not self._heap:
             return None
+        demand_probe = self._heap[0][2]
+        demand = demand_probe.peak_demand()
+        quota = self._quota_for(demand_probe.user)
+        if not quota.can_charge(demand):
+            # Quota checked *before* the pop commits to placement: an
+            # over-quota workflow used to be popped first and then lost
+            # when charge() raised.
+            _, _, item = heapq.heappop(self._heap)
+            return DeferredDequeue(
+                item=item,
+                reason=f"user {item.user} quota cannot absorb {demand}",
+            )
         _, _, item = heapq.heappop(self._heap)
         scored = [
             (score, cluster)
@@ -153,26 +195,53 @@ class MultiClusterQueue:
             if (score := self._score(item, cluster)) is not None
         ]
         if not scored:
+            # Permanent infeasibility (e.g. a GPU workflow with no GPU
+            # cluster attached): surface it, but put the item back so
+            # the queue never swallows a workflow.
+            self.enqueue(item)
             raise QuotaError(
                 f"workflow {item.workflow.name}: no cluster can host its demand"
             )
         scored.sort(key=lambda pair: (-pair[0], pair[1].name))
         best_cluster = scored[0][1]
-        demand = item.peak_demand()
-        self._quota_for(item.user).charge(demand)
+        quota.charge(demand)
         current = self._reserved.get(best_cluster.name, ResourceQuantity())
         self._reserved[best_cluster.name] = current + demand
         self._placements[item.workflow.name] = best_cluster.name
         return item, best_cluster
 
     def release(self, item: QueuedWorkflow) -> None:
-        """Return the quota charge and reservation when it completes."""
+        """Return the quota charge and reservation when it completes.
+
+        Idempotent: releasing a workflow that holds no placement (double
+        release, or one that was deferred and never charged) is a no-op
+        — blindly refunding quota here would erase *other* workflows'
+        legitimate charges.  A reservation that would go negative is
+        clamped and counted in :attr:`reservation_underflows`.
+        """
+        cluster_name = self._placements.pop(item.workflow.name, None)
+        if cluster_name is None:
+            return
         demand = item.peak_demand()
         self._quota_for(item.user).release(demand)
-        cluster_name = self._placements.pop(item.workflow.name, None)
-        if cluster_name is not None:
-            current = self._reserved.get(cluster_name, ResourceQuantity())
-            self._reserved[cluster_name] = current - demand
+        current = self._reserved.get(cluster_name, ResourceQuantity())
+        if (
+            demand.cpu > current.cpu + 1e-9
+            or demand.memory > current.memory
+            or demand.gpu > current.gpu
+        ):
+            # Accounting drift: more released than was ever reserved.
+            self.reservation_underflows += 1
+        self._reserved[cluster_name] = current - demand  # subtraction clamps at 0
+
+    def requeue(self, item: QueuedWorkflow) -> None:
+        """Re-place a displaced workflow (its cluster died mid-run).
+
+        Releases the old charge/reservation and puts the workflow back
+        in priority order for a fresh placement decision.
+        """
+        self.release(item)
+        self.enqueue(item)
 
     def balance_report(self) -> Dict[str, float]:
         """CPU-allocation fraction per cluster (load-balance check)."""

@@ -54,9 +54,28 @@ FATAL_PATTERNS = frozenset(
     }
 )
 
+#: Infrastructure faults: the cluster, not the step, is at fault.  These
+#: are what the chaos layer injects (node loss, eviction/preemption,
+#: cache-fetch outages, controller restarts) and they are retried on a
+#: separate budget — an eviction storm must not exhaust a step's
+#: application retry limit (``infra_retry`` path, see RetryPolicy).
+INFRA_PATTERNS = frozenset(
+    {
+        "NodeLostErr",
+        "PodEvictedErr",
+        "SchedulerPreemptedErr",
+        "CacheFetchTimeoutErr",
+        "OperatorRestartErr",
+    }
+)
+
 
 def is_retryable(pattern: str) -> bool:
-    return pattern in RETRYABLE_PATTERNS
+    return pattern in RETRYABLE_PATTERNS or pattern in INFRA_PATTERNS
+
+
+def is_infra(pattern: str) -> bool:
+    return pattern in INFRA_PATTERNS
 
 
 @dataclass
@@ -77,6 +96,13 @@ class RetryPolicy:
     backoff_cap: float = 300.0
     #: Fractional symmetric jitter applied when an ``rng`` is supplied.
     jitter: float = 0.1
+    #: Separate budget for infrastructure faults (node loss, eviction,
+    #: controller restart): generous, because none of them indicate the
+    #: step itself is broken.
+    infra_limit: int = 32
+    #: Flat requeue delay after an infra fault — the work just needs to
+    #: land elsewhere; exponential backoff would punish the victim.
+    infra_backoff: float = 5.0
 
     def should_retry(
         self, pattern: str, attempts: int, limit_override: Optional[int] = None
@@ -85,9 +111,19 @@ class RetryPolicy:
 
         ``limit_override`` is a per-step retry budget (Argo's
         ``retryStrategy.limit``); None uses the policy's global limit.
+        ``attempts`` must count application attempts only — callers
+        subtract the infra interruptions recorded on the step, so that
+        a displaced pod never burns the step's own retry budget.
         """
         effective_limit = self.limit if limit_override is None else limit_override
         return is_retryable(pattern) and attempts <= effective_limit
+
+    def is_infra(self, pattern: str) -> bool:
+        return is_infra(pattern)
+
+    def infra_retry(self, pattern: str, infra_failures: int) -> bool:
+        """The infra path: requeue displaced work on its own budget."""
+        return is_infra(pattern) and infra_failures <= self.infra_limit
 
     def backoff(self, attempts: int, rng: Optional[random.Random] = None) -> float:
         """Delay before the next attempt.

@@ -32,6 +32,7 @@ class _Event:
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
     daemon: bool = field(default=False, compare=False)
+    fired: bool = field(default=False, compare=False)
 
 
 class EventHandle:
@@ -42,7 +43,10 @@ class EventHandle:
         self._clock = clock
 
     def cancel(self) -> None:
-        if self._event.cancelled:
+        # Cancelling an event that already ran (or was already cancelled)
+        # must be a no-op — a second live-count decrement here would make
+        # the run loop believe work drained while events still pend.
+        if self._event.cancelled or self._event.fired:
             return
         self._event.cancelled = True
         if not self._event.daemon:
@@ -51,6 +55,10 @@ class EventHandle:
     @property
     def cancelled(self) -> bool:
         return self._event.cancelled
+
+    @property
+    def fired(self) -> bool:
+        return self._event.fired
 
     @property
     def time(self) -> float:
@@ -107,6 +115,7 @@ class SimClock:
                 continue
             if not event.daemon:
                 self._live -= 1
+            event.fired = True
             self._now = event.time
             event.callback()
             return True

@@ -52,6 +52,10 @@ class StepRecord:
     start_time: Optional[float] = None
     finish_time: Optional[float] = None
     attempts: int = 0
+    #: Attempts lost to infrastructure faults (node loss, eviction,
+    #: operator restart).  These count in ``attempts`` but are refunded
+    #: when the retry policy sizes the step's application budget.
+    infra_failures: int = 0
     #: Seconds spent fetching input artifacts (remote + local reads).
     fetch_seconds: float = 0.0
     #: Seconds of pure compute.

@@ -10,7 +10,7 @@ variant; results are not hypersensitive to alpha/beta near the default.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 from ..caching.score import ScoreWeights
 from .caching_runner import ScenarioRunResult, run_scenario

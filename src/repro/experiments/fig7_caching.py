@@ -11,7 +11,7 @@ storage-hungry.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from ..caching.score import ScoreWeights
 from .caching_runner import ScenarioRunResult, run_scenario

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..ir.graph import WorkflowIR
 from ..ir.nodes import ArtifactDecl, ArtifactStorage, IRNode, OpKind, SimHint

@@ -14,7 +14,7 @@ instantiates them into IR nodes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 
 class ModelZooError(KeyError):

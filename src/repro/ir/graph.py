@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..engine.spec import ArtifactSpec, ExecutableStep, ExecutableWorkflow, FailureProfile
-from .nodes import ArtifactDecl, IRError, IRNode, validate_name
+from .nodes import IRError, IRNode, validate_name
 
 
 @dataclass

@@ -9,7 +9,6 @@ that, plus JSON helpers.
 from __future__ import annotations
 
 import json
-from typing import Dict
 
 from ..k8s.resources import ResourceQuantity
 from .graph import WorkflowIR

@@ -24,21 +24,28 @@ class SchedulingError(RuntimeError):
 
 @dataclass
 class Node:
-    """A schedulable machine with fixed capacity."""
+    """A schedulable machine with fixed capacity and a lifecycle.
+
+    ``ready`` is the node's health: the chaos layer flips it on injected
+    crashes and the scheduler never binds onto a not-ready node.
+    """
 
     name: str
     capacity: ResourceQuantity
     allocated: ResourceQuantity = field(default_factory=ResourceQuantity)
     pods: Dict[str, Pod] = field(default_factory=dict)
+    ready: bool = True
 
     @property
     def free(self) -> ResourceQuantity:
         return self.capacity - self.allocated
 
     def can_fit(self, requests: ResourceQuantity) -> bool:
-        return requests.fits_within(self.free)
+        return self.ready and requests.fits_within(self.free)
 
     def bind(self, pod: Pod) -> None:
+        if not self.ready:
+            raise SchedulingError(f"node {self.name} is not ready")
         if not self.can_fit(pod.requests):
             raise SchedulingError(f"pod {pod.metadata.name} does not fit on {self.name}")
         self.allocated = self.allocated + pod.requests
@@ -46,10 +53,40 @@ class Node:
         pod.node_name = self.name
 
     def release(self, pod: Pod) -> None:
-        if pod.metadata.name not in self.pods:
-            return
-        del self.pods[pod.metadata.name]
-        self.allocated = self.allocated - pod.requests
+        if pod.metadata.name in self.pods:
+            del self.pods[pod.metadata.name]
+            self.allocated = self.allocated - pod.requests
+        # Always clear the pod-side pointer: a binding that survives
+        # release is how stale-node reads (and double releases against
+        # the wrong node) start.
+        if pod.node_name == self.name:
+            pod.node_name = None
+
+    def evict(self, pod: Pod) -> None:
+        """Remove a pod (preemption / node-pressure eviction)."""
+        self.release(pod)
+        pod.phase = PodPhase.FAILED
+        pod.reason = "Evicted"
+
+    def fail(self) -> List[Pod]:
+        """Crash the node: mark not-ready and displace every pod.
+
+        Returns the displaced pods (bindings cleared, phase Failed) so
+        the operator can requeue the work they carried.
+        """
+        self.ready = False
+        displaced = list(self.pods.values())
+        self.pods.clear()
+        self.allocated = ResourceQuantity()
+        for pod in displaced:
+            pod.node_name = None
+            pod.phase = PodPhase.FAILED
+            pod.reason = "NodeLost"
+        return displaced
+
+    def recover(self) -> None:
+        """Bring a crashed node back, empty and schedulable."""
+        self.ready = True
 
 
 @dataclass
@@ -66,6 +103,20 @@ class Cluster:
     #: Relative network distance to the storage cluster; scales remote
     #: read latency in the data-caching experiments (Appendix D.C).
     storage_distance: float = 1.0
+    #: Lazily built name -> Node index (release/lookup used to scan the
+    #: node list linearly, which is O(n) per released pod).
+    _by_name: Optional[Dict[str, Node]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def node(self, name: str) -> Optional[Node]:
+        """O(1) node lookup by name."""
+        if self._by_name is None or len(self._by_name) != len(self.nodes):
+            self._by_name = {node.name: node for node in self.nodes}
+        return self._by_name.get(name)
+
+    def ready_nodes(self) -> List[Node]:
+        return [node for node in self.nodes if node.ready]
 
     @classmethod
     def uniform(
@@ -135,9 +186,11 @@ class Scheduler:
         """Bind ``pod`` to the node with the least leftover CPU that fits.
 
         Returns the chosen node, or ``None`` if no node currently has
-        room (the pod stays Pending).  Raises :class:`SchedulingError`
-        when the request exceeds every node's total capacity, since such
-        a pod would pend forever.
+        room (the pod stays Pending).  Not-ready (crashed) nodes are
+        never candidates, but still count toward :meth:`feasible` — a
+        pod that only pends because of an outage must wait, not error.
+        Raises :class:`SchedulingError` when the request exceeds every
+        node's total capacity, since such a pod would pend forever.
         """
         if not self.feasible(pod.requests):
             raise SchedulingError(
@@ -159,7 +212,9 @@ class Scheduler:
         node_name = pod.node_name
         if node_name is None:
             return
-        for node in self.cluster.nodes:
-            if node.name == node_name:
-                node.release(pod)
-                return
+        node = self.cluster.node(node_name)
+        if node is not None:
+            node.release(pod)
+        # A binding onto a node the cluster no longer knows is stale by
+        # definition; clear it so the pod cannot be "released" twice.
+        pod.node_name = None

@@ -15,7 +15,7 @@ import copy
 import json
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Optional
+from typing import Optional
 
 from .resources import ResourceQuantity
 
@@ -157,8 +157,24 @@ class Pod(APIObject):
         return self.spec.get("nodeName")
 
     @node_name.setter
-    def node_name(self, value: str) -> None:
-        self.spec["nodeName"] = value
+    def node_name(self, value: Optional[str]) -> None:
+        if value is None:
+            self.spec.pop("nodeName", None)
+        else:
+            self.spec["nodeName"] = value
+
+    @property
+    def reason(self) -> Optional[str]:
+        """Machine-readable cause of the current phase (e.g. ``Evicted``,
+        ``NodeLost``), mirroring ``status.reason`` on real pods."""
+        return self.status.get("reason")
+
+    @reason.setter
+    def reason(self, value: Optional[str]) -> None:
+        if value is None:
+            self.status.pop("reason", None)
+        else:
+            self.status["reason"] = value
 
 
 def make_crd(

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import ast
 import re
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional
 
 from ..llm.simulated import SubtaskSpec
 

@@ -13,10 +13,9 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Sequence
 
-from ..llm.codelake import CodeLake
 from ..llm.simulated import PROFILES, SimulatedLLM
 from .corpus import NLTask
-from .pipeline import ConversionResult, NLToWorkflow
+from .pipeline import NLToWorkflow
 
 DEFAULT_TEMPERATURES = (0.2, 0.6, 0.8)
 DEFAULT_KS = (1, 3, 5)

@@ -225,6 +225,18 @@ class MetricsRegistry:
     def get(self, name: str) -> Optional[_Metric]:
         return self._metrics.get(name)
 
+    def counters_with_prefix(self, prefix: str) -> Dict[str, float]:
+        """Totals of every counter whose name starts with ``prefix``.
+
+        Handy for reporting a subsystem's footprint at a glance, e.g.
+        ``counters_with_prefix("chaos_")`` after a fault-injected run.
+        """
+        return {
+            name: metric.total()
+            for name, metric in sorted(self._metrics.items())
+            if name.startswith(prefix) and isinstance(metric, Counter)
+        }
+
     def names(self) -> List[str]:
         return sorted(self._metrics)
 

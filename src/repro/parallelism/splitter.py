@@ -20,7 +20,6 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Set, Tuple
 
 from ..ir.graph import WorkflowIR
-from ..ir.nodes import IRError
 from .budget import BudgetCost, BudgetModel
 
 

@@ -12,7 +12,6 @@ from the failure point — possibly by a different server process.
 
 from __future__ import annotations
 
-import json
 import sqlite3
 from dataclasses import dataclass
 from typing import List, Optional

@@ -10,10 +10,10 @@ abnormal behaviors of the workflow at the first time."
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..engine.operator import WorkflowOperator
-from ..engine.status import StepStatus, WorkflowPhase, WorkflowRecord
+from ..engine.status import WorkflowPhase, WorkflowRecord
 from ..obs.metrics import MetricsRegistry
 
 

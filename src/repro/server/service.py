@@ -28,7 +28,7 @@ from ..ir.passes import PassManager
 from ..parallelism.budget import BudgetModel
 from ..parallelism.splitter import WorkflowSplitter
 from ..parallelism.stitch import StagedSubmitter
-from .database import WorkflowDatabase, WorkflowNotFoundError
+from .database import WorkflowDatabase
 from .monitor import WorkflowMonitor
 
 

@@ -14,7 +14,7 @@ from repro.backends import (
     make_backend,
 )
 from repro.ir.graph import WorkflowIR
-from repro.ir.nodes import ArtifactDecl, IRNode, OpKind, SimHint
+from repro.ir.nodes import IRNode, OpKind, SimHint
 from repro.k8s.resources import ResourceQuantity
 
 

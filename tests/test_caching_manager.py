@@ -1,6 +1,5 @@
 """Unit tests for the runtime cache manager."""
 
-import pytest
 
 from repro.caching.manager import CacheManager
 from repro.engine.spec import ArtifactSpec, ExecutableStep, ExecutableWorkflow

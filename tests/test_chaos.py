@@ -1,0 +1,245 @@
+"""Fault injection & recovery tests (the chaos subsystem)."""
+
+import pytest
+
+from repro.chaos import (
+    CacheOutage,
+    ChaosInjector,
+    ChaosPlan,
+    ChaosPlanError,
+    NodeCrash,
+    check_cluster,
+    full_check,
+)
+from repro.engine.operator import WorkflowOperator
+from repro.engine.retry import RetryPolicy
+from repro.engine.simclock import SimClock
+from repro.engine.spec import ArtifactSpec, ExecutableStep, ExecutableWorkflow
+from repro.engine.status import StepStatus, WorkflowPhase
+from repro.k8s.cluster import Cluster
+from repro.k8s.resources import ResourceQuantity
+
+pytestmark = pytest.mark.chaos
+
+GB = 2**30
+
+
+def _operator(num_nodes: int = 2, cpu: float = 8.0, **kwargs) -> WorkflowOperator:
+    clock = SimClock()
+    cluster = Cluster.uniform(
+        "chaos", num_nodes, cpu_per_node=cpu, memory_per_node=32 * GB
+    )
+    return WorkflowOperator(clock, cluster, seed=0, **kwargs)
+
+
+def _chain(name: str = "wf", steps: int = 2, duration: float = 60.0) -> ExecutableWorkflow:
+    wf = ExecutableWorkflow(name=name)
+    previous = None
+    for index in range(steps):
+        step_name = f"s{index}"
+        wf.add_step(
+            ExecutableStep(
+                name=step_name,
+                duration_s=duration,
+                requests=ResourceQuantity(cpu=4, memory=GB),
+                dependencies=[previous] if previous else [],
+            )
+        )
+        previous = step_name
+    return wf
+
+
+class TestNodeCrashRecovery:
+    def test_crash_requeues_without_charging_app_budget(self):
+        operator = _operator(num_nodes=2)
+        record = operator.submit(_chain(steps=1))
+        operator.clock.run(until=10.0)
+        node_name = operator.running_attempt_pods()[0].node_name
+        displaced = operator.fail_node(node_name)
+        assert len(displaced) == 1
+        operator.clock.run()
+        step = record.step("s0")
+        assert record.phase == WorkflowPhase.SUCCEEDED
+        assert step.attempts == 2
+        assert step.infra_failures == 1  # the crash is not an app failure
+        assert check_cluster(operator.cluster) == []
+
+    def test_single_node_outage_pends_until_recovery(self):
+        operator = _operator(num_nodes=1)
+        record = operator.submit(_chain(steps=1))
+        operator.clock.run(until=10.0)
+        operator.fail_node("chaos-node-0")
+        # Recovery is a scheduled event, exactly as the injector arms it.
+        operator.clock.schedule(
+            90.0, lambda: operator.recover_node("chaos-node-0")
+        )
+        operator.clock.run()
+        assert record.phase == WorkflowPhase.SUCCEEDED
+        # Requeued at ~15s (flat infra backoff), bound again at 100s.
+        assert record.step("s0").finish_time >= 100.0
+
+    def test_recovered_node_is_schedulable_again(self):
+        operator = _operator(num_nodes=1)
+        operator.fail_node("chaos-node-0")
+        assert operator.cluster.ready_nodes() == []
+        operator.recover_node("chaos-node-0")
+        assert len(operator.cluster.ready_nodes()) == 1
+
+
+class TestEviction:
+    def test_evicted_pod_requeues_and_completes(self):
+        operator = _operator(num_nodes=2)
+        record = operator.submit(_chain(steps=1))
+        operator.clock.run(until=10.0)
+        pod = operator.running_attempt_pods()[0]
+        assert operator.evict_pod(pod)
+        assert pod.reason == "Evicted"
+        assert pod.node_name is None  # binding cleared at eviction time
+        operator.clock.run()
+        step = record.step("s0")
+        assert record.phase == WorkflowPhase.SUCCEEDED
+        assert step.attempts == 2
+        assert step.infra_failures == 1
+
+    def test_eviction_survives_zero_retry_policy(self):
+        # The legacy no-retry policy must not turn an infra eviction
+        # into a terminal workflow failure: infra requeues ride their
+        # own budget.
+        operator = _operator(num_nodes=2, retry_policy=RetryPolicy(limit=0))
+        record = operator.submit(_chain(steps=1))
+        operator.clock.run(until=10.0)
+        operator.evict_pod(operator.running_attempt_pods()[0])
+        operator.clock.run()
+        assert record.phase == WorkflowPhase.SUCCEEDED
+
+    def test_evicting_unknown_pod_is_refused(self):
+        operator = _operator()
+        from repro.k8s.objects import Pod
+
+        assert not operator.evict_pod(Pod("stranger"))
+
+
+class TestOperatorRestart:
+    def test_restart_resumes_from_record_snapshot(self):
+        operator = _operator(num_nodes=2)
+        record = operator.submit(_chain(steps=2, duration=60.0))
+        # Let s0 finish (t=60), interrupt s1 mid-flight.
+        operator.clock.run(until=90.0)
+        assert record.step("s0").status == StepStatus.SUCCEEDED
+        resumed = operator.simulate_restart(downtime=30.0)
+        assert resumed == ["wf"]
+        assert record.step("s1").status == StepStatus.PENDING
+        operator.clock.run()
+        assert record.phase == WorkflowPhase.SUCCEEDED
+        # s0 was not re-executed: the resumed controller skipped it.
+        assert record.step("s0").attempts == 1
+        assert record.step("s1").attempts == 2
+        assert record.step("s1").infra_failures == 1
+        # Downtime is real: nothing finished before restart + downtime.
+        assert record.finish_time >= 120.0
+
+    def test_restart_keeps_completion_callbacks(self):
+        operator = _operator(num_nodes=2)
+        seen = []
+        operator.submit(_chain(steps=1), on_complete=seen.append)
+        operator.clock.run(until=10.0)
+        operator.simulate_restart(downtime=5.0)
+        operator.clock.run()
+        assert len(seen) == 1
+        assert seen[0].phase == WorkflowPhase.SUCCEEDED
+
+    def test_restart_refunds_partial_charges(self):
+        operator = _operator(num_nodes=2)
+        record = operator.submit(_chain(steps=1, duration=100.0))
+        operator.clock.run(until=40.0)
+        operator.simulate_restart()
+        # Only the 40 elapsed seconds stay charged; the un-run tail of
+        # the interrupted attempt is refunded.
+        assert record.step("s0").compute_seconds == pytest.approx(40.0)
+        operator.clock.run()
+        assert record.step("s0").compute_seconds == pytest.approx(140.0)
+
+
+class TestCacheOutage:
+    def test_outage_times_out_then_recovers(self):
+        operator = _operator(num_nodes=2)
+        wf = ExecutableWorkflow(name="reader")
+        wf.add_step(
+            ExecutableStep(
+                name="ingest",
+                duration_s=20.0,
+                requests=ResourceQuantity(cpu=2, memory=GB),
+                inputs=[ArtifactSpec(uid="raw/table", size_bytes=GB)],
+            )
+        )
+        record = operator.submit(wf)
+        operator.set_cache_outage(until=50.0)
+        operator.clock.run()
+        step = record.step("ingest")
+        assert record.phase == WorkflowPhase.SUCCEEDED
+        assert step.infra_failures >= 1
+        assert step.last_error == "CacheFetchTimeoutErr"
+        assert record.finish_time > 50.0  # could not finish inside the outage
+
+    def test_stepless_fetch_unaffected(self):
+        operator = _operator(num_nodes=2)
+        record = operator.submit(_chain(steps=1, duration=10.0))
+        operator.set_cache_outage(until=50.0)  # no inputs: nothing to stall
+        operator.clock.run()
+        assert record.step("s0").infra_failures == 0
+        assert record.finish_time == pytest.approx(10.0)
+
+
+class TestChaosPlan:
+    def test_generate_is_deterministic(self):
+        nodes = [f"n{i}" for i in range(4)]
+        first = ChaosPlan.generate(7, 600.0, nodes, operator_restarts=1)
+        second = ChaosPlan.generate(7, 600.0, nodes, operator_restarts=1)
+        assert first.ordered() == second.ordered()
+        different = ChaosPlan.generate(8, 600.0, nodes, operator_restarts=1)
+        assert first.ordered() != different.ordered()
+
+    def test_rejects_bad_plans(self):
+        with pytest.raises(ChaosPlanError):
+            ChaosPlan([NodeCrash(at=-1.0, node="n")])
+        with pytest.raises(ChaosPlanError):
+            ChaosPlan([CacheOutage(at=0.0, duration=0.0)])
+        with pytest.raises(ChaosPlanError):
+            ChaosPlan.generate(0, 100.0, node_names=[], node_crashes=1)
+
+    def test_injector_arms_once(self):
+        operator = _operator()
+        injector = ChaosInjector(operator, ChaosPlan(), seed=0)
+        injector.arm()
+        with pytest.raises(RuntimeError):
+            injector.arm()
+
+
+class TestAcceptanceStorm:
+    def test_storm_is_deterministic_and_leak_free(self):
+        from repro.experiments.robustness_runner import run
+
+        results = run(seed=3, num_workflows=4)
+        assert results["completed"] == results["total"]
+        assert results["deterministic"]
+        assert results["invariant_violations"] == []
+        # The storm actually fired every fault kind.
+        kinds = {entry["kind"] for entry in results["fault_log"]}
+        assert kinds == {
+            "node-crash",
+            "pod-eviction",
+            "cache-outage",
+            "operator-restart",
+        }
+
+    def test_invariant_checker_detects_seeded_leak(self):
+        operator = _operator()
+        record = operator.submit(_chain(steps=1))
+        operator.clock.run()
+        assert record.phase == WorkflowPhase.SUCCEEDED
+        assert full_check(operators=[operator]).ok
+        # Corrupt the books the way a lost release would.
+        operator.cluster.nodes[0].allocated = ResourceQuantity(cpu=1)
+        report = full_check(operators=[operator])
+        assert not report.ok
+        assert any("allocated" in violation for violation in report.violations)

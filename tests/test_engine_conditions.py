@@ -6,7 +6,6 @@ is Skipped, exactly as a real workflow engine resolves paper Code 3's
 coin flip and Code 5's recursion.
 """
 
-import pytest
 
 from repro import core as couler
 from repro.core.submitter import ArgoSubmitter, default_environment

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.engine.queue import MultiClusterQueue, QueuedWorkflow, QuotaError, UserQuota
+from repro.engine.queue import (
+    DeferredDequeue,
+    MultiClusterQueue,
+    QueuedWorkflow,
+    QuotaError,
+    UserQuota,
+)
 from repro.engine.spec import ExecutableStep, ExecutableWorkflow
 from repro.k8s.cluster import Cluster
 from repro.k8s.resources import ResourceQuantity
@@ -81,14 +87,33 @@ class TestQuota:
         queue.release(item)
         assert queue.quotas["alice"].cpu_used == 0.0
 
-    def test_quota_exceeded_raises(self):
+    def test_over_quota_defers_instead_of_dropping(self):
         queue = MultiClusterQueue(clusters=_clusters())
         queue.quotas["bob"] = UserQuota(
             user="bob", cpu_limit=2, memory_limit=GB // 2, gpu_limit=0
         )
-        queue.enqueue(QueuedWorkflow(_wf("big", cpu=4.0), user="bob"))
+        item = QueuedWorkflow(_wf("big", cpu=4.0), user="bob")
+        queue.enqueue(item)
+        popped = queue.dequeue()
+        assert isinstance(popped, DeferredDequeue)
+        assert popped.item is item  # handed back, not lost
+        assert queue.quotas["bob"].cpu_used == 0.0  # nothing charged
+        # The caller can re-enqueue once quota frees; the workflow then
+        # dequeues normally.
+        queue.quotas["bob"].cpu_limit = 8
+        queue.quotas["bob"].memory_limit = 2 * GB
+        queue.enqueue(popped.item)
+        dequeued, cluster = queue.dequeue()
+        assert dequeued is item
+        assert cluster is not None
+
+    def test_infeasible_workflow_raises_but_stays_queued(self):
+        cpu_only = [Cluster.uniform("cpu", 2, cpu_per_node=8, memory_per_node=8 * GB)]
+        queue = MultiClusterQueue(clusters=cpu_only)
+        queue.enqueue(QueuedWorkflow(_wf("needs-gpu", gpu=1), user="u"))
         with pytest.raises(QuotaError):
             queue.dequeue()
+        assert len(queue) == 1
 
     def test_remaining_fraction(self):
         quota = UserQuota(user="u", cpu_limit=10, memory_limit=100, gpu_limit=4)

@@ -5,7 +5,6 @@ simulated operator; NL -> generated code -> executed workflow; split ->
 staged execution equivalence; caching wired through a real run.
 """
 
-import pytest
 
 from repro import core as couler
 from repro.caching.manager import CacheManager

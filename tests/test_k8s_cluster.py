@@ -33,6 +33,53 @@ class TestNode:
         node = Node("n1", capacity=ResourceQuantity(cpu=1, memory=GB))
         node.release(_pod("ghost"))
 
+    def test_release_clears_stale_binding(self):
+        # A pod the node no longer tracks but that still points at the
+        # node must have its binding cleared, or it can be "released"
+        # against the wrong node later.
+        node = Node("n1", capacity=ResourceQuantity(cpu=4, memory=8 * GB))
+        pod = _pod("p1", cpu=2)
+        node.bind(pod)
+        del node.pods[pod.metadata.name]  # simulate drifted bookkeeping
+        node.release(pod)
+        assert pod.node_name is None
+
+    def test_fail_displaces_all_pods(self):
+        node = Node("n1", capacity=ResourceQuantity(cpu=4, memory=8 * GB))
+        first, second = _pod("p1", cpu=2), _pod("p2", cpu=1)
+        node.bind(first)
+        node.bind(second)
+        displaced = node.fail()
+        assert {pod.metadata.name for pod in displaced} == {"p1", "p2"}
+        assert not node.ready
+        assert node.pods == {}
+        assert node.allocated.is_zero()
+        for pod in displaced:
+            assert pod.node_name is None
+            assert pod.reason == "NodeLost"
+
+    def test_failed_node_rejects_binds_until_recovery(self):
+        node = Node("n1", capacity=ResourceQuantity(cpu=4, memory=8 * GB))
+        node.fail()
+        assert not node.can_fit(ResourceQuantity(cpu=1))
+        with pytest.raises(SchedulingError):
+            node.bind(_pod("p"))
+        node.recover()
+        node.bind(_pod("p", cpu=1))
+        assert node.allocated.cpu == 1
+
+    def test_evict_clears_binding_and_marks_pod(self):
+        from repro.k8s.objects import PodPhase
+
+        node = Node("n1", capacity=ResourceQuantity(cpu=4, memory=8 * GB))
+        pod = _pod("p1", cpu=2)
+        node.bind(pod)
+        node.evict(pod)
+        assert node.allocated.is_zero()
+        assert pod.node_name is None
+        assert pod.phase == PodPhase.FAILED
+        assert pod.reason == "Evicted"
+
 
 class TestCluster:
     def test_uniform_capacity(self):
@@ -47,6 +94,21 @@ class TestCluster:
         assert util["cpu"] == pytest.approx(0.25)
         assert util["memory"] == pytest.approx(0.25)
         assert util["gpu"] == 0.0
+
+    def test_node_lookup_tracks_membership(self):
+        cluster = Cluster.uniform("c", 2, cpu_per_node=4, memory_per_node=4 * GB)
+        assert cluster.node("c-node-1").name == "c-node-1"
+        assert cluster.node("nope") is None
+        # The lazy index rebuilds when the node list changes.
+        cluster.nodes.append(
+            Node("late", capacity=ResourceQuantity(cpu=1, memory=GB))
+        )
+        assert cluster.node("late") is cluster.nodes[-1]
+
+    def test_ready_nodes_excludes_failed(self):
+        cluster = Cluster.uniform("c", 3, cpu_per_node=4, memory_per_node=4 * GB)
+        cluster.node("c-node-1").fail()
+        assert [n.name for n in cluster.ready_nodes()] == ["c-node-0", "c-node-2"]
 
 
 class TestScheduler:
@@ -75,3 +137,27 @@ class TestScheduler:
         scheduler.try_schedule(pod)
         scheduler.release(pod)
         assert cluster.allocated.is_zero()
+
+    def test_double_release_does_not_underflow(self):
+        cluster = Cluster.uniform("c", 2, cpu_per_node=4, memory_per_node=4 * GB)
+        scheduler = Scheduler(cluster)
+        pod = _pod("p", cpu=3)
+        scheduler.try_schedule(pod)
+        scheduler.release(pod)
+        assert pod.node_name is None
+        scheduler.release(pod)  # second release: binding gone, no-op
+        assert cluster.allocated.is_zero()
+        # Another pod's allocation must survive the double release.
+        other = _pod("q", cpu=2)
+        scheduler.try_schedule(other)
+        scheduler.release(pod)
+        assert cluster.allocated.cpu == 2
+
+    def test_not_ready_nodes_pend_instead_of_error(self):
+        cluster = Cluster.uniform("c", 1, cpu_per_node=4, memory_per_node=4 * GB)
+        scheduler = Scheduler(cluster)
+        cluster.node("c-node-0").fail()
+        # Capacity-feasible but currently down: the pod waits.
+        assert scheduler.try_schedule(_pod("p", cpu=2)) is None
+        cluster.node("c-node-0").recover()
+        assert scheduler.try_schedule(_pod("p", cpu=2)) is not None

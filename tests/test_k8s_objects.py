@@ -1,6 +1,5 @@
 """Unit tests for API objects, pods and CRD helpers."""
 
-import pytest
 
 from repro.k8s.objects import (
     APIObject,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.llm.simulated import GPT4_PROFILE, SimulatedLLM
-from repro.nl2wf.corpus import NLTask, build_corpus
+from repro.nl2wf.corpus import build_corpus
 from repro.nl2wf.executor import CodeExecutionError, execute_couler_code
 from repro.nl2wf.passk import pass_at_k
 from repro.nl2wf.pipeline import NLToWorkflow

@@ -105,6 +105,54 @@ class TestSplitter:
         for src, dst in plan.cross_edges:
             assert src < dst  # chunks cut along a topological order
 
+    def test_halving_fallback_rescues_bad_estimates(self):
+        # estimate_margin=0 collapses every estimate to zero bytes, so
+        # the greedy pass packs the whole DAG into one "fitting" chunk.
+        # Exact verification must catch the lie and halve until every
+        # part genuinely compiles within the budget.
+        ir = _layered_ir()
+        budget = BudgetModel(max_yaml_bytes=20_000, estimate_margin=0.0)
+        assert budget.needs_split(ir)
+        plan = WorkflowSplitter(budget).split(ir)
+        assert plan.num_parts > 1  # only the fallback could have split
+        for cost in plan.costs:
+            assert budget.within(cost)
+        all_nodes = set()
+        for part in plan.parts:
+            all_nodes |= set(part.nodes)
+        assert all_nodes == set(ir.nodes)
+
+    def test_halving_fallback_preserves_topological_cuts(self):
+        ir = _layered_ir(layers=6, width=8, seed=5)
+        budget = BudgetModel(max_yaml_bytes=15_000, estimate_margin=0.0)
+        plan = WorkflowSplitter(budget).split(ir)
+        assert plan.num_parts > 1
+        order = plan.topological_part_order()
+        assert sorted(order) == list(range(plan.num_parts))
+        for src, dst in plan.cross_edges:
+            assert src < dst
+
+    def test_cut_edge_accounting_is_exact(self):
+        ir = _layered_ir()
+        budget = BudgetModel(max_yaml_bytes=20_000, max_steps=25)
+        plan = WorkflowSplitter(budget).split(ir)
+        kept = set()
+        for part in plan.parts:
+            kept |= part.edges
+        # Partition of the edge set: kept and cut are disjoint and
+        # together reconstruct the original DAG exactly.
+        assert kept & plan.cut_edges == set()
+        assert kept | plan.cut_edges == ir.edges
+        for parent, child in plan.cut_edges:
+            assert plan.assignment[parent] != plan.assignment[child]
+        # cross_edges is exactly the part-level image of cut_edges.
+        assert plan.cross_edges == {
+            (plan.assignment[parent], plan.assignment[child])
+            for parent, child in plan.cut_edges
+        }
+        for parent, child in kept:
+            assert plan.assignment[parent] == plan.assignment[child]
+
     def test_single_oversized_node_rejected(self):
         ir = WorkflowIR(name="fat")
         ir.add_node(

@@ -9,16 +9,10 @@ estimator bounds; resource arithmetic laws.
 
 from __future__ import annotations
 
-import math
-
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.caching.artifact_store import (
-    ArtifactStore,
-    ArtifactTooLargeError,
-    InsufficientSpaceError,
-)
+from repro.caching.artifact_store import ArtifactStore
 from repro.caching.policy import FIFOCachePolicy, LRUCachePolicy
 from repro.engine.operator import WorkflowOperator
 from repro.engine.simclock import SimClock

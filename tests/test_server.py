@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.submitter import default_environment
 from repro.engine.retry import FailureInjector, RetryPolicy
 from repro.engine.operator import WorkflowOperator
 from repro.engine.simclock import SimClock

@@ -1,0 +1,198 @@
+"""Dispatch-throughput benchmark for the event-driven admission pipeline.
+
+Drives an open-loop Poisson fleet (default 500 workflows, override with
+``BENCH_DISPATCH_WORKFLOWS`` for CI smoke runs) from four tenants with
+uneven quotas and priorities across a three-cluster fleet, and records
+the service-level quantities the online scheduler exists for:
+
+* **throughput** — completed workflows per virtual second, against the
+  virtual makespan (wall time is reported for context but excluded
+  from the compared payload, keeping the benchmark deterministic);
+* **queue latency** — p50/p99 arrival-to-placement wait;
+* **scheduler events** — arrivals, admissions, passes, deferrals,
+  placements, completions, rejections from the metrics registry;
+* **starvation gap** — the single worst queue wait (priority aging is
+  on, so this stays bounded even for the low-priority tenant).
+
+The same seeded run executes twice; the payloads must be identical, and
+the result lands in ``benchmarks/results/BENCH_dispatch.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+
+from bench_utils import run_once
+
+from repro.engine.admission import AdmissionPipeline
+from repro.engine.queue import UserQuota
+from repro.engine.spec import ExecutableStep, ExecutableWorkflow
+from repro.engine.status import WorkflowPhase
+from repro.k8s.cluster import Cluster
+from repro.k8s.resources import ResourceQuantity
+from repro.workloads.arrivals import PoissonArrivalProcess
+
+GB = 2**30
+
+NUM_WORKFLOWS = int(os.environ.get("BENCH_DISPATCH_WORKFLOWS", "500"))
+SEED = 2024
+#: Mean arrival gap of 8 virtual seconds keeps the fleet contended
+#: (several workflows in flight per cluster) without unbounded backlog.
+ARRIVAL_RATE_PER_S = 0.125
+
+#: (name, priority, cpu quota) — tenant "batch" is the aging test case:
+#: lowest priority, must still be served within the starvation bound.
+TENANTS = [
+    ("research", 8, 96.0),
+    ("serving", 6, 96.0),
+    ("etl", 3, 64.0),
+    ("batch", 1, 48.0),
+]
+
+
+def _clusters():
+    return [
+        Cluster.uniform("gpu", 2, cpu_per_node=32.0, memory_per_node=128 * GB, gpu_per_node=4),
+        Cluster.uniform("cpu-a", 4, cpu_per_node=32.0, memory_per_node=128 * GB),
+        Cluster.uniform("cpu-b", 4, cpu_per_node=32.0, memory_per_node=128 * GB),
+    ]
+
+
+def _fleet(count: int, seed: int):
+    """Seeded two-step pipelines: mixed sizes, ~10% GPU work."""
+    rng = random.Random(seed)
+    fleet = []
+    for index in range(count):
+        tenant, priority, _ = TENANTS[index % len(TENANTS)]
+        gpu = 1 if rng.random() < 0.1 else 0
+        cpu = rng.choice([2.0, 4.0, 8.0, 16.0])
+        workflow = ExecutableWorkflow(name=f"wf-{index}")
+        workflow.add_step(
+            ExecutableStep(
+                name="prep",
+                duration_s=20 + rng.random() * 40,
+                requests=ResourceQuantity(cpu=cpu / 2, memory=2 * GB),
+            )
+        )
+        workflow.add_step(
+            ExecutableStep(
+                name="main",
+                duration_s=60 + rng.random() * 120,
+                requests=ResourceQuantity(cpu=cpu, memory=4 * GB, gpu=gpu),
+                dependencies=["prep"],
+            )
+        )
+        fleet.append((workflow, tenant, priority))
+    return fleet
+
+
+def _percentile(values, q):
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _run(seed: int) -> dict:
+    quotas = {
+        name: UserQuota(user=name, cpu_limit=limit, memory_limit=512 * GB, gpu_limit=8)
+        for name, _, limit in TENANTS
+    }
+    pipeline = AdmissionPipeline(
+        _clusters(),
+        quotas=quotas,
+        seed=seed,
+        aging_rate=0.02,
+        max_pending=4 * NUM_WORKFLOWS,
+    )
+    arrivals = PoissonArrivalProcess(rate_per_s=ARRIVAL_RATE_PER_S, seed=seed).times(
+        NUM_WORKFLOWS
+    )
+    fleet = _fleet(NUM_WORKFLOWS, seed)
+    for at, (workflow, tenant, priority) in zip(arrivals, fleet):
+        pipeline.submit_at(at, workflow, user=tenant, priority=priority)
+    makespan = pipeline.run()
+
+    latencies = pipeline.queue_latencies()
+    completed = sum(
+        1
+        for record in pipeline.completed_records()
+        if record.phase == WorkflowPhase.SUCCEEDED
+    )
+    events = {
+        dict(labels)["event"]: value
+        for labels, value in pipeline.metrics.counter(
+            "admission_events_total"
+        ).series().items()
+    }
+    per_tenant_worst = {
+        tenant: max(
+            (
+                a.queue_latency
+                for a in pipeline.placed
+                if a.user == tenant and a.queue_latency is not None
+            ),
+            default=0.0,
+        )
+        for tenant, _, _ in TENANTS
+    }
+    return {
+        "workflows": NUM_WORKFLOWS,
+        "seed": seed,
+        "completed": completed,
+        "rejected": len(pipeline.rejected()),
+        "makespan_s": makespan,
+        "workflows_per_sec": completed / makespan if makespan else 0.0,
+        "queue_latency_p50_s": _percentile(latencies, 0.50),
+        "queue_latency_p99_s": _percentile(latencies, 0.99),
+        "starvation_gap_s": pipeline.starvation_gap(),
+        "starvation_gap_by_tenant_s": per_tenant_worst,
+        "scheduler_events": {name: int(value) for name, value in sorted(events.items())},
+    }
+
+
+def test_dispatch_throughput(benchmark, results_dir, save_report):
+    started = time.perf_counter()
+    payload = run_once(benchmark, _run, SEED)
+    wall_s = time.perf_counter() - started
+    replay = _run(SEED)
+
+    # Determinism is an acceptance criterion: every compared field is
+    # virtual-time-derived, so a same-seed replay must match exactly.
+    assert payload == replay, "same-seed dispatch runs diverged"
+
+    assert payload["completed"] + payload["rejected"] == NUM_WORKFLOWS
+    assert payload["completed"] >= 0.95 * NUM_WORKFLOWS
+    assert payload["workflows_per_sec"] > 0
+    assert payload["queue_latency_p50_s"] <= payload["queue_latency_p99_s"]
+    assert payload["queue_latency_p99_s"] <= payload["starvation_gap_s"] + 1e-9
+    events = payload["scheduler_events"]
+    assert events["placement"] == payload["completed"]
+    assert events["completion"] == payload["completed"]
+    assert events["arrival"] == NUM_WORKFLOWS
+    # Aging keeps the low-priority tenant's worst wait within an order
+    # of magnitude of the fleet-wide p99 (no unbounded starvation).
+    assert payload["starvation_gap_by_tenant_s"]["batch"] <= max(
+        10 * payload["queue_latency_p99_s"], 600.0
+    )
+
+    out = results_dir / "BENCH_dispatch.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    save_report(
+        "bench_dispatch_throughput",
+        "dispatch throughput benchmark (event-driven admission pipeline)\n"
+        f"  workflows: {payload['completed']}/{NUM_WORKFLOWS} completed, "
+        f"{payload['rejected']} shed\n"
+        f"  virtual makespan: {payload['makespan_s']:.0f}s  "
+        f"throughput: {payload['workflows_per_sec']:.3f} wf/s (virtual)\n"
+        f"  queue latency p50/p99: {payload['queue_latency_p50_s']:.1f}s / "
+        f"{payload['queue_latency_p99_s']:.1f}s  "
+        f"starvation gap: {payload['starvation_gap_s']:.1f}s\n"
+        f"  scheduler events: {payload['scheduler_events']}\n"
+        f"  harness wall time: {wall_s:.2f}s (not part of the compared payload)\n"
+        f"  [payload saved to {out}]",
+    )

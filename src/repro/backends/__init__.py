@@ -2,7 +2,15 @@
 
 from .airflow import AirflowBackend
 from .argo import ArgoBackend
-from .base import Backend, BackendInfo, available_backends, make_backend, register_backend
+from .base import (
+    Backend,
+    BackendInfo,
+    Submitter,
+    available_backends,
+    make_backend,
+    register_backend,
+    submission_record,
+)
 from .tekton import TektonBackend
 
 __all__ = [
@@ -10,8 +18,10 @@ __all__ = [
     "ArgoBackend",
     "Backend",
     "BackendInfo",
+    "Submitter",
     "TektonBackend",
     "available_backends",
     "make_backend",
     "register_backend",
+    "submission_record",
 ]

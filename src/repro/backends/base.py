@@ -11,9 +11,44 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Protocol, runtime_checkable
 
 from ..ir.graph import WorkflowIR
+
+
+@runtime_checkable
+class Submitter(Protocol):
+    """The one submission contract every execution frontend honours.
+
+    ``submit(ir)`` takes a finalized :class:`WorkflowIR` and returns a
+    *record-shaped* result: either a
+    :class:`~repro.engine.status.WorkflowRecord` itself or an object
+    exposing one as ``.record`` (service handles, code-generating
+    submitter results).  ``couler.run(submitter=...)`` accepts anything
+    conforming — the local single-tenant submitter, the Couler service
+    facade, the event-driven admission pipeline, or the Airflow/Tekton
+    generators — interchangeably.  Use :func:`submission_record` to
+    normalize the result back to a record.
+    """
+
+    def submit(self, ir: WorkflowIR):  # pragma: no cover - protocol stub
+        """Run (or hand off) the workflow; return a record-shaped result."""
+        ...
+
+
+def submission_record(result):
+    """Extract the :class:`WorkflowRecord` from any Submitter result.
+
+    Returns the result itself when it already is a record, its
+    ``.record`` attribute when present (service handles, simulated
+    code-generation previews), or ``None`` for generate-only
+    submissions that never executed.
+    """
+    from ..engine.status import WorkflowRecord
+
+    if isinstance(result, WorkflowRecord):
+        return result
+    return getattr(result, "record", None)
 
 
 @dataclass(frozen=True)

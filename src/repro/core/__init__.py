@@ -1,9 +1,13 @@
 """The Couler unified programming interface (paper Sec. II.B, Appendix A).
 
+Prefer the stable v1 facade :mod:`repro.couler` for new code; this
+package remains the implementation home and re-exports the same
+surface for backward compatibility.
+
 Use this package the way the paper's listings use the ``couler``
 module::
 
-    from repro import core as couler
+    from repro import couler
 
     def job(name):
         couler.run_container(image="whalesay:latest", command=["cowsay"],
@@ -48,15 +52,18 @@ from .artifacts import (
 from .conditions import Condition, OutputRef
 from .context import WorkflowContext, get_context, reset_context, workflow
 from .submitter import (
+    AdmissionSubmitter,
     AirflowSubmitter,
     ArgoSubmitter,
     LocalSubmitter,
     SubmissionResult,
     TektonSubmitter,
     default_environment,
+    default_multicluster,
 )
 
 __all__ = [
+    "AdmissionSubmitter",
     "AirflowSubmitter",
     "ArgoSubmitter",
     "Condition",
@@ -78,6 +85,7 @@ __all__ = [
     "create_s3_artifact",
     "dag",
     "default_environment",
+    "default_multicluster",
     "equal",
     "exec_while",
     "get_context",

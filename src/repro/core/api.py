@@ -232,6 +232,7 @@ def _find_producer(ir: WorkflowIR, artifact: ArtifactDecl) -> Optional[str]:
 
 def run_container(
     image: str,
+    *,
     command: Optional[Sequence[str]] = None,
     args: Optional[Sequence[ArgLike]] = None,
     step_name: Optional[str] = None,
@@ -240,7 +241,12 @@ def run_container(
     input=None,  # noqa: A002 - matches the paper's API
     sim: Optional[SimHint] = None,
 ) -> StepOutput:
-    """Start a container as one workflow step (paper Table V)."""
+    """Start a container as one workflow step (paper Table V).
+
+    Only ``image`` is positional; every optional parameter is
+    keyword-only (stable v1 API contract — new options can be added
+    without shifting argument positions).
+    """
     ctx = get_context()
     return _add_step(
         ctx, OpKind.CONTAINER, image, command, args, step_name, resources,
@@ -251,6 +257,7 @@ def run_container(
 def run_script(
     image: str,
     source: "Callable | str",
+    *,
     step_name: Optional[str] = None,
     args: Optional[Sequence[ArgLike]] = None,
     resources: Optional[ResourceQuantity] = None,
@@ -290,6 +297,7 @@ def _normalize_or_default(output, default: ArtifactDecl):
 def run_job(
     image: str,
     command: "Sequence[str] | str",
+    *,
     kind: str = "TFJob",
     num_ps: int = 0,
     num_workers: int = 1,
@@ -386,6 +394,28 @@ def exec_while(
 # ------------------------------------------------------------- explicit DAG
 
 
+def _require_step(ctx: WorkflowContext, name: Optional[str], where: str) -> str:
+    """Resolve an edge endpoint to a defined step or fail loudly.
+
+    A mistyped (or never-defined) step name in an explicit dependency
+    used to surface later as an opaque IR error; naming the offending
+    step at the definition site is part of the v1 API contract.
+    """
+    from ..engine.spec import SpecError
+
+    if name is None:
+        raise SpecError(
+            f"{where} references a thunk that defined no step; every "
+            "element must call a run_* function"
+        )
+    if name not in ctx.ir.nodes:
+        known = ", ".join(sorted(ctx.ir.nodes)) or "<none>"
+        raise SpecError(
+            f"{where} references undefined step {name!r}; defined steps: {known}"
+        )
+    return name
+
+
 def dag(dependency_lists: Sequence[Sequence[Callable[[], object]]]) -> None:
     """Explicitly define the DAG (paper Code 1 / Code 4).
 
@@ -403,10 +433,13 @@ def dag(dependency_lists: Sequence[Sequence[Callable[[], object]]]) -> None:
                 continue
             touched: List[str] = []
             for thunk in thunks:
+                ctx.last_touched = None  # type: ignore[attr-defined]
                 thunk()
-                touched.append(getattr(ctx, "last_touched", None))
+                touched.append(
+                    _require_step(ctx, getattr(ctx, "last_touched", None), "dag() edge")
+                )
             for parent, child in zip(touched, touched[1:]):
-                if parent and child and parent != child:
+                if parent != child:
                     ctx.ir.add_edge(parent, child)
     finally:
         ctx.reuse_existing = False
@@ -420,17 +453,20 @@ def set_dependencies(
 
     ``dependencies`` is a list of ``[upstream, downstream]`` name pairs
     (single-element lists declare an isolated step and are ignored for
-    edges).
+    edges).  A pair naming a step ``fn`` never defined raises
+    :class:`~repro.engine.spec.SpecError` identifying that step.
     """
     ctx = get_context()
     ctx.explicit_mode = True
     fn()
     for pair in dependencies:
         names = list(pair)
+        if len(names) > 2:
+            raise ValueError(f"dependency element must have <= 2 names: {names}")
+        for name in names:
+            _require_step(ctx, name, "set_dependencies()")
         if len(names) == 2:
             ctx.ir.add_edge(names[0], names[1])
-        elif len(names) > 2:
-            raise ValueError(f"dependency element must have <= 2 names: {names}")
 
 
 # --------------------------------------------------------------- finalizing
@@ -455,9 +491,21 @@ def run(submitter=None, optimize: bool = True):
     submitter: the workflow's :class:`~repro.engine.status.WorkflowRecord`).
     The definition context is reset afterwards, so the next ``run_*``
     call starts a fresh workflow.
+
+    ``submitter`` may be anything conforming to the
+    :class:`~repro.backends.base.Submitter` protocol — the default
+    local submitter, the Couler service, the event-driven admission
+    pipeline, or a code-generating submitter — interchangeably.
     """
+    from ..backends.base import Submitter
     from .submitter import LocalSubmitter
 
+    if submitter is not None and not isinstance(submitter, Submitter):
+        raise TypeError(
+            f"submitter {submitter!r} does not conform to the Submitter "
+            "protocol: it must define submit(ir) returning a "
+            "record-shaped result"
+        )
     ir = workflow_ir(optimize=optimize)
     submitter = submitter or LocalSubmitter()
     try:

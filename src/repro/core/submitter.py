@@ -1,13 +1,17 @@
 """Submitters: take an optimized IR and run it on a workflow engine.
 
 ``couler.run(submitter=ArgoSubmitter())`` is the paper's submission
-idiom (Code 1 lines 20–22).  :class:`ArgoSubmitter` compiles the IR to
-an Argo manifest and drives it through the simulated operator;
+idiom (Code 1 lines 20–22).  Every submitter here conforms to the
+:class:`~repro.backends.base.Submitter` protocol (``submit(ir)`` →
+record-shaped result): :class:`ArgoSubmitter` compiles the IR to an
+Argo manifest and drives it through the simulated operator;
 :class:`LocalSubmitter` is the convenience wrapper that builds its own
-single-tenant environment.  :class:`AirflowSubmitter` and
-:class:`TektonSubmitter` generate engine-native definitions (and can
-optionally preview-execute the IR on the local engine, since no real
-Airflow/Tekton deployment exists in this environment).
+single-tenant environment; :class:`AdmissionSubmitter` routes the IR
+through the event-driven multi-cluster admission pipeline; and
+:class:`AirflowSubmitter` / :class:`TektonSubmitter` generate
+engine-native definitions (optionally preview-executing the IR on the
+local engine, since no real Airflow/Tekton deployment exists in this
+environment).
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ from typing import Optional
 from ..backends.airflow import AirflowBackend
 from ..backends.argo import ArgoBackend
 from ..backends.tekton import TektonBackend
+from ..engine.admission import AdmissionError, AdmissionPipeline
 from ..engine.operator import WorkflowOperator
 from ..engine.simclock import SimClock
 from ..engine.status import WorkflowRecord
@@ -93,6 +98,63 @@ class LocalSubmitter(ArgoSubmitter):
 
     def __init__(self, seed: int = 0) -> None:
         super().__init__(operator=default_environment(seed=seed))
+
+
+def default_multicluster(seed: int = 0) -> AdmissionPipeline:
+    """A small heterogeneous fleet for admission-pipeline submissions."""
+    gb = 2**30
+    clusters = [
+        Cluster.uniform(
+            "gpu", 2, cpu_per_node=16.0, memory_per_node=64 * gb, gpu_per_node=2
+        ),
+        Cluster.uniform("cpu-a", 4, cpu_per_node=16.0, memory_per_node=64 * gb),
+        Cluster.uniform("cpu-b", 4, cpu_per_node=16.0, memory_per_node=64 * gb),
+    ]
+    return AdmissionPipeline(clusters, seed=seed)
+
+
+class AdmissionSubmitter:
+    """Submit through the event-driven admission pipeline.
+
+    The service-grade submission path: the workflow *arrives* at the
+    pipeline (admission control, bounded queue, aged-priority
+    placement) instead of being executed on a private single-tenant
+    environment.  Pass an existing ``pipeline`` to share one fleet
+    across submissions — quota contention and queueing then behave
+    exactly as they would for concurrent tenants.
+    """
+
+    def __init__(
+        self,
+        pipeline: Optional[AdmissionPipeline] = None,
+        user: str = "default",
+        priority: int = 0,
+        run_to_completion: bool = True,
+        seed: int = 0,
+    ) -> None:
+        self.pipeline = pipeline or default_multicluster(seed=seed)
+        self.user = user
+        self.priority = priority
+        self.run_to_completion = run_to_completion
+        self.last_admission = None
+
+    def submit(self, ir: WorkflowIR) -> WorkflowRecord:
+        admission = self.pipeline.submit(
+            ir.to_executable(), user=self.user, priority=self.priority
+        )
+        self.last_admission = admission
+        if self.run_to_completion:
+            self.pipeline.run()
+        if admission.admitted is False:
+            raise AdmissionError(
+                f"workflow {ir.name!r} rejected at admission: "
+                f"{admission.reject_reason}"
+            )
+        if admission.record is None:
+            # Still queued (caller drives the clock): hand back a live
+            # pending record that fills in once placement happens.
+            return WorkflowRecord(name=ir.name)
+        return admission.record
 
 
 @dataclass

@@ -1,0 +1,115 @@
+"""Stable v1 Couler API facade.
+
+This module is the supported import surface for user code::
+
+    from repro import couler
+
+    couler.run_container(image="whalesay:latest", command=["cowsay"],
+                         args=["hello"], step_name="A")
+    record = couler.run(submitter=couler.ArgoSubmitter())
+
+Everything listed in ``__all__`` here is covered by the v1 stability
+contract: names are not removed or re-ordered, optional parameters on
+the ``run_*`` step constructors are keyword-only so new options never
+shift call sites, and any submitter conforming to the
+:class:`~repro.backends.base.Submitter` protocol plugs into
+:func:`run` interchangeably.
+
+``repro.core`` remains as the historical import path and re-exports
+the same names; new code should import :mod:`repro.couler`.
+"""
+
+from .backends.base import Submitter, submission_record
+from .core.api import (
+    PENDING,
+    StepOutput,
+    bigger,
+    bigger_equal,
+    concurrent,
+    dag,
+    equal,
+    exec_while,
+    map,  # noqa: A004 - matches the paper's couler.map
+    not_equal,
+    run,
+    run_container,
+    run_job,
+    run_script,
+    set_dependencies,
+    smaller,
+    smaller_equal,
+    when,
+    workflow_ir,
+)
+from .core.artifacts import (
+    create_gcs_artifact,
+    create_git_artifact,
+    create_hdfs_artifact,
+    create_oss_artifact,
+    create_parameter_artifact,
+    create_s3_artifact,
+)
+from .core.conditions import Condition, OutputRef
+from .core.context import WorkflowContext, get_context, reset_context, workflow
+from .core.submitter import (
+    AdmissionSubmitter,
+    AirflowSubmitter,
+    ArgoSubmitter,
+    LocalSubmitter,
+    SubmissionResult,
+    TektonSubmitter,
+    default_environment,
+    default_multicluster,
+)
+
+__all__ = [
+    # submission contract
+    "Submitter",
+    "submission_record",
+    # submitters
+    "AdmissionSubmitter",
+    "AirflowSubmitter",
+    "ArgoSubmitter",
+    "LocalSubmitter",
+    "SubmissionResult",
+    "TektonSubmitter",
+    "default_environment",
+    "default_multicluster",
+    # step definition
+    "PENDING",
+    "StepOutput",
+    "run_container",
+    "run_job",
+    "run_script",
+    # control flow
+    "concurrent",
+    "exec_while",
+    "map",
+    "when",
+    # explicit DAG structure
+    "dag",
+    "set_dependencies",
+    # conditions
+    "Condition",
+    "OutputRef",
+    "bigger",
+    "bigger_equal",
+    "equal",
+    "not_equal",
+    "smaller",
+    "smaller_equal",
+    # artifacts
+    "create_gcs_artifact",
+    "create_git_artifact",
+    "create_hdfs_artifact",
+    "create_oss_artifact",
+    "create_parameter_artifact",
+    "create_s3_artifact",
+    # workflow context & finalization
+    "WorkflowContext",
+    "get_context",
+    "reset_context",
+    "run",
+    "workflow",
+    "workflow_ir",
+]

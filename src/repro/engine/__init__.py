@@ -5,6 +5,7 @@ simulated cluster with resource contention, input-fetch modelling via
 the caching layer, failure injection, retries, and restart-from-failure.
 """
 
+from .admission import AdmissionError, AdmissionPipeline, AdmissionRecord
 from .cachehooks import BandwidthModel, CacheManagerProtocol, NullCacheManager
 from .dispatcher import DispatchResult, MultiClusterDispatcher
 from .metrics import UtilizationRecorder, UtilizationSample
@@ -38,6 +39,9 @@ from .spec import (
 from .status import StepRecord, StepStatus, WorkflowPhase, WorkflowRecord
 
 __all__ = [
+    "AdmissionError",
+    "AdmissionPipeline",
+    "AdmissionRecord",
     "ArtifactSpec",
     "BandwidthModel",
     "CacheManagerProtocol",

@@ -1,11 +1,18 @@
-"""Multi-cluster dispatch: queue + per-cluster operators (Appendix B.A).
+"""Multi-cluster batch dispatch — compat facade over the online pipeline.
 
-Ties the :class:`~repro.engine.queue.MultiClusterQueue` to live
-per-cluster operators on one shared clock: workflows are enqueued with a
-priority and an owner, popped in weighted order, placed on the
-best-scoring cluster, executed there, and their quota charge released on
-completion.  This is the component that "guarantees each cluster shares
-a similar capacity and avoids one cluster being overflow[ed]".
+Historically this module owned the scheduling loop: place everything up
+front, run the clock to quiescence, retry quota-deferred work in coarse
+rounds.  That loop is gone — scheduling now lives in the event-driven
+:class:`~repro.engine.admission.AdmissionPipeline`, where placement is
+triggered incrementally by arrival and completion events.
+
+:class:`MultiClusterDispatcher` remains as the stable batch API: it
+preserves the legacy contract (same placements and records on batch
+workloads) by submitting every enqueued workflow as a simultaneous
+arrival with aging disabled and no admission capacity gate, so the
+aged-priority placement pass degenerates to exactly the old
+priority-ordered sweep — while quota-deferred work now re-places on
+each completion event instead of waiting for a global round.
 """
 
 from __future__ import annotations
@@ -14,9 +21,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..k8s.cluster import Cluster
-from .operator import WorkflowOperator
-from .queue import DeferredDequeue, MultiClusterQueue, QueuedWorkflow, UserQuota
-from .simclock import SimClock
+from .admission import AdmissionPipeline, AdmissionRecord
+from .queue import QueuedWorkflow, UserQuota
 from .spec import ExecutableWorkflow
 from .status import WorkflowRecord
 
@@ -31,7 +37,7 @@ class DispatchResult:
 
 
 class MultiClusterDispatcher:
-    """Drains a workflow queue onto per-cluster operators."""
+    """Batch-submits a workflow fleet through the admission pipeline."""
 
     def __init__(
         self,
@@ -41,73 +47,63 @@ class MultiClusterDispatcher:
     ) -> None:
         if not clusters:
             raise ValueError("dispatcher needs at least one cluster")
-        self.clock = SimClock()
-        self.queue = MultiClusterQueue(clusters=clusters, quotas=dict(quotas or {}))
-        self.operators: Dict[str, WorkflowOperator] = {
-            cluster.name: WorkflowOperator(self.clock, cluster, seed=seed)
-            for cluster in clusters
-        }
+        # Legacy-equivalent knobs: no aging (batch priority order is the
+        # contract), no admission capacity gate (operator wait queues
+        # absorb overflow, as the batch path always did), no queue bound.
+        self.pipeline = AdmissionPipeline(
+            clusters,
+            quotas=quotas,
+            seed=seed,
+            aging_rate=0.0,
+            require_capacity=False,
+            max_pending=None,
+        )
+        self.clock = self.pipeline.clock
+        self.queue = self.pipeline.queue
+        self.operators = self.pipeline.operators
         self.results: List[DispatchResult] = []
         #: Workflows whose owners stayed over quota with nothing left
         #: running to free it — kept, not silently dropped.
         self.deferred: List[QueuedWorkflow] = []
+        self._batch: List[tuple] = []
 
     def enqueue(
         self, workflow: ExecutableWorkflow, user: str = "default", priority: int = 0
     ) -> None:
-        self.queue.enqueue(QueuedWorkflow(workflow=workflow, user=user, priority=priority))
+        self._batch.append((workflow, user, priority))
 
     def dispatch_all(self) -> List[DispatchResult]:
-        """Pop every queued workflow onto its cluster, then run them all.
+        """Submit every enqueued workflow as a simultaneous arrival and
+        run the pipeline until the batch settles.
 
-        Placement happens up front in priority order (each pop sees the
-        cluster loads left by earlier placements, so load spreads);
-        execution then proceeds concurrently on the shared clock.
-        Workflows deferred for quota are retried in rounds: each round
-        of completions releases quota, so a deferred workflow runs as
-        soon as its owner is back under limit.  Workflows still deferred
-        when no quota will ever free accumulate in :attr:`deferred`
-        instead of being dropped.
+        All arrivals land at the current virtual time; the pipeline's
+        coalesced placement pass then places them in priority order
+        (each placement sees the reservations left by earlier ones, so
+        load spreads), and quota-deferred workflows re-place as soon as
+        a completion frees their owner's quota.  Workflows still
+        deferred once the clock drains — no quota will ever free —
+        accumulate in :attr:`deferred` instead of being dropped.
         """
-        all_placed: List[tuple] = []
-        while True:
-            placed_this_round: List[tuple] = []
-            deferred_round: List[QueuedWorkflow] = []
-            while True:
-                popped = self.queue.dequeue()
-                if popped is None:
-                    break
-                if isinstance(popped, DeferredDequeue):
-                    deferred_round.append(popped.item)
-                    continue
-                item, cluster = popped
-                operator = self.operators[cluster.name]
-                record = operator.submit(
-                    item.workflow,
-                    on_complete=lambda _rec, queued=item: self.queue.release(queued),
-                )
-                placed_this_round.append((item, cluster, record))
-            self.clock.run()
-            all_placed.extend(placed_this_round)
-            if not deferred_round:
-                break
-            if not placed_this_round:
-                # Nothing ran, so no quota was released: these can never
-                # proceed.  Surface them rather than spinning.
-                self.deferred.extend(deferred_round)
-                break
-            for item in deferred_round:
-                self.queue.enqueue(item)
+        placed_before = len(self.pipeline.placed)
+        for workflow, user, priority in self._batch:
+            self.pipeline.submit(workflow, user=user, priority=priority)
+        self._batch.clear()
+        self.pipeline.run()
+        self.deferred.extend(self.pipeline.cancel_pending())
         batch = [
             DispatchResult(
-                workflow_name=item.workflow.name,
-                cluster_name=cluster.name,
-                record=record,
+                workflow_name=admission.workflow_name,
+                cluster_name=admission.cluster_name,
+                record=admission.record,
             )
-            for item, cluster, record in all_placed
+            for admission in self.pipeline.placed[placed_before:]
         ]
         self.results.extend(batch)
         return batch
+
+    def admission_records(self) -> List[AdmissionRecord]:
+        """Per-submission admission lifecycles (arrival/queue/placement)."""
+        return list(self.pipeline.records)
 
     def placements(self) -> Dict[str, int]:
         """Workflow counts per cluster (load-balance evidence)."""

@@ -164,6 +164,70 @@ class MultiClusterQueue:
             + self.gpu_quota_weight * (gpu_frac if needs_gpu else 0.0)
         )
 
+    def _admission_headroom(self, cluster: Cluster) -> ResourceQuantity:
+        """Capacity left for new placements at the admission level.
+
+        Deliberately measured against the cluster's *total* capacity
+        minus this queue's own reservations — not the operator's live
+        step allocations, which rise and fall with every step.  Workflow
+        completions are the only events that free this headroom, so an
+        admission controller gating on it never misses a wakeup.
+        """
+        reserved = self._reserved.get(cluster.name, ResourceQuantity())
+        return cluster.capacity - reserved
+
+    def try_place(
+        self, item: QueuedWorkflow, require_capacity: bool = False
+    ) -> Union[DeferredDequeue, Tuple[QueuedWorkflow, Cluster]]:
+        """Quota-charge ``item`` and pick its cluster, without the heap.
+
+        The placement half of :meth:`dequeue`, exposed so an
+        event-driven admission pipeline can order candidates itself
+        (e.g. with priority aging) and still share this queue's quota
+        accounting, reservations and scoring.  Returns a
+        :class:`DeferredDequeue` when the user's quota cannot absorb the
+        item's peak demand right now, or — with ``require_capacity`` —
+        when no feasible cluster has admission headroom for it.  Raises
+        :class:`QuotaError` for permanent infeasibility (a GPU workflow
+        with no GPU cluster attached).  On success the quota is charged
+        and the chosen cluster's reservation recorded; call
+        :meth:`release` when the workflow finishes.
+        """
+        demand = item.peak_demand()
+        quota = self._quota_for(item.user)
+        if not quota.can_charge(demand):
+            return DeferredDequeue(
+                item=item,
+                reason=f"user {item.user} quota cannot absorb {demand}",
+            )
+        scored = [
+            (score, cluster)
+            for cluster in self.clusters
+            if (score := self._score(item, cluster)) is not None
+        ]
+        if not scored:
+            raise QuotaError(
+                f"workflow {item.workflow.name}: no cluster can host its demand"
+            )
+        if require_capacity:
+            scored = [
+                (score, cluster)
+                for score, cluster in scored
+                if demand.fits_within(self._admission_headroom(cluster))
+            ]
+            if not scored:
+                return DeferredDequeue(
+                    item=item,
+                    reason=f"no cluster has admission headroom for {demand}",
+                )
+        scored.sort(key=lambda pair: (-pair[0], pair[1].name))
+        best_cluster = scored[0][1]
+        quota.charge(demand)
+        current = self._reserved.get(best_cluster.name, ResourceQuantity())
+        self._reserved[best_cluster.name] = current + demand
+        self._placements[item.workflow.name] = best_cluster.name
+        return item, best_cluster
+
     def dequeue(self) -> Union[None, DeferredDequeue, Tuple[QueuedWorkflow, Cluster]]:
         """Pop the highest-priority workflow and pick its cluster.
 
@@ -176,39 +240,21 @@ class MultiClusterQueue:
         """
         if not self._heap:
             return None
-        demand_probe = self._heap[0][2]
-        demand = demand_probe.peak_demand()
-        quota = self._quota_for(demand_probe.user)
-        if not quota.can_charge(demand):
-            # Quota checked *before* the pop commits to placement: an
-            # over-quota workflow used to be popped first and then lost
-            # when charge() raised.
-            _, _, item = heapq.heappop(self._heap)
-            return DeferredDequeue(
-                item=item,
-                reason=f"user {item.user} quota cannot absorb {demand}",
-            )
-        _, _, item = heapq.heappop(self._heap)
-        scored = [
-            (score, cluster)
-            for cluster in self.clusters
-            if (score := self._score(item, cluster)) is not None
-        ]
-        if not scored:
+        # Placement decided *before* the pop commits: an over-quota
+        # workflow used to be popped first and then lost when charge()
+        # raised.
+        probe = self._heap[0][2]
+        try:
+            placed = self.try_place(probe)
+        except QuotaError:
             # Permanent infeasibility (e.g. a GPU workflow with no GPU
-            # cluster attached): surface it, but put the item back so
+            # cluster attached): surface it, but re-enqueue the item so
             # the queue never swallows a workflow.
-            self.enqueue(item)
-            raise QuotaError(
-                f"workflow {item.workflow.name}: no cluster can host its demand"
-            )
-        scored.sort(key=lambda pair: (-pair[0], pair[1].name))
-        best_cluster = scored[0][1]
-        quota.charge(demand)
-        current = self._reserved.get(best_cluster.name, ResourceQuantity())
-        self._reserved[best_cluster.name] = current + demand
-        self._placements[item.workflow.name] = best_cluster.name
-        return item, best_cluster
+            heapq.heappop(self._heap)
+            self.enqueue(probe)
+            raise
+        heapq.heappop(self._heap)
+        return placed
 
     def release(self, item: QueuedWorkflow) -> None:
         """Return the quota charge and reservation when it completes.

@@ -31,12 +31,13 @@ from ..chaos import (
     PodEviction,
     full_check,
 )
+from ..engine.admission import AdmissionPipeline
 from ..engine.operator import WorkflowOperator
-from ..engine.simclock import SimClock
 from ..engine.spec import ArtifactSpec, ExecutableStep, ExecutableWorkflow
 from ..engine.status import WorkflowPhase, WorkflowRecord
 from ..k8s.cluster import Cluster
 from ..k8s.resources import ResourceQuantity
+from ..workloads.arrivals import PoissonArrivalProcess
 from .reporting import format_table
 
 GB = 2**30
@@ -101,6 +102,7 @@ class RobustnessRun:
     records: List[WorkflowRecord]
     injector: ChaosInjector
     makespan: float
+    pipeline: Optional[AdmissionPipeline] = None
     fingerprints: List[Fingerprint] = field(default_factory=list)
 
     def __post_init__(self) -> None:
@@ -122,6 +124,26 @@ class RobustnessRun:
             )
             for record in self.records
         ]
+        if self.pipeline is not None:
+            # Admission decisions are part of the replayable surface:
+            # a regression that re-orders placements or shifts queue
+            # waits must show up as a fingerprint diff.
+            self.fingerprints.append(
+                (
+                    "__admission__",
+                    "placements",
+                    None,
+                    tuple(
+                        (
+                            admission.workflow_name,
+                            admission.cluster_name,
+                            admission.place_time,
+                            admission.deferrals,
+                        )
+                        for admission in self.pipeline.placed
+                    ),
+                )
+            )
 
 
 def _run_once(
@@ -130,17 +152,37 @@ def _run_once(
     chaos: bool,
     tracer: Optional[object] = None,
 ) -> RobustnessRun:
-    clock = SimClock()
+    """One storm against the event-driven admission pipeline.
+
+    The fleet arrives over time (seeded Poisson, open loop) while the
+    chaos plan fires, so faults hit workflows in every lifecycle stage:
+    still pending admission, queued for placement, and mid-execution.
+    """
     cluster = Cluster.uniform(
         "chaos", 4, cpu_per_node=8.0, memory_per_node=32 * GB
     )
-    operator = WorkflowOperator(clock, cluster, seed=seed, tracer=tracer)
-    records = [operator.submit(wf) for wf in _fleet(num_workflows, seed)]
+    pipeline = AdmissionPipeline(
+        [cluster], seed=seed, aging_rate=0.01, tracer=tracer
+    )
+    arrivals = PoissonArrivalProcess(rate_per_s=0.08, seed=seed).times(num_workflows)
+    handles = [
+        pipeline.submit_at(at, workflow)
+        for at, workflow in zip(arrivals, _fleet(num_workflows, seed))
+    ]
+    operator = pipeline.operators[cluster.name]
     injector = ChaosInjector(operator, storm_plan() if chaos else ChaosPlan(), seed=seed)
     injector.arm()
-    clock.run()
+    pipeline.run()
+    records = [
+        handle.record if handle.record is not None else WorkflowRecord(handle.workflow_name)
+        for handle in handles
+    ]
     return RobustnessRun(
-        operator=operator, records=records, injector=injector, makespan=clock.now
+        operator=operator,
+        records=records,
+        injector=injector,
+        makespan=pipeline.clock.now,
+        pipeline=pipeline,
     )
 
 
@@ -152,7 +194,12 @@ def run(
     replay = _run_once(seed, num_workflows, chaos=True)
     calm = _run_once(seed, num_workflows, chaos=False)
 
-    invariants = full_check(operators=[stormy.operator])
+    # Conservation sweep covers the operator *and* the admission
+    # pipeline's quota/reservation books — after the storm, nothing may
+    # remain allocated, reserved, or charged anywhere.
+    invariants = full_check(
+        operators=[stormy.operator], queue=stormy.pipeline.queue
+    )
     completed = sum(
         1 for r in stormy.records if r.phase == WorkflowPhase.SUCCEEDED
     )
@@ -165,6 +212,7 @@ def run(
         "invariant_violations": invariants.violations,
         "makespan_chaos": stormy.makespan,
         "makespan_calm": calm.makespan,
+        "queue_latency_worst": stormy.pipeline.starvation_gap(),
         "chaos_counters": metrics.counters_with_prefix("chaos_"),
         "infra_retries": {
             dict(key).get("pattern", "?"): value
@@ -212,6 +260,8 @@ def report(results: Dict[str, object]) -> str:
             else "; ".join(results["invariant_violations"])
         ),
         f"infra retries (budget-free): {retries or 'none'}",
+        f"worst admission-queue wait: {results['queue_latency_worst']:.0f}s "
+        "(event-driven placement, arrival-staggered fleet)",
     ]
     return table + "\n\n" + "\n".join(lines)
 

@@ -47,7 +47,13 @@ class SubmissionHandle:
 
 @dataclass
 class CoulerService:
-    """The server facade over one simulated environment."""
+    """The server facade over one simulated environment.
+
+    Conforms to the :class:`~repro.backends.base.Submitter` protocol —
+    ``submit(ir)`` returns a :class:`SubmissionHandle` whose ``record``
+    attribute is the workflow record, so ``couler.run(submitter=service)``
+    works directly.
+    """
 
     operator: WorkflowOperator
     database: WorkflowDatabase = field(default_factory=WorkflowDatabase)

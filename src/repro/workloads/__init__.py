@@ -1,6 +1,12 @@
 """Workload generators for the evaluation: production traces, the three
 caching scenarios, and the data-read datasets."""
 
+from .arrivals import (
+    ArrivalError,
+    PRODUCTION_RATE_PER_S,
+    PoissonArrivalProcess,
+    TraceArrivalProcess,
+)
 from .datagen import ads_tables, all_datasets, big_files_dataset, small_files_dataset
 from .scenarios import (
     SCENARIOS,
@@ -21,7 +27,11 @@ from .traces import (
 )
 
 __all__ = [
+    "ArrivalError",
     "DailyActivity",
+    "PRODUCTION_RATE_PER_S",
+    "PoissonArrivalProcess",
+    "TraceArrivalProcess",
     "MEAN_CPU_CORES",
     "MEAN_DAILY_WORKFLOWS",
     "MEAN_LIFESPAN_HOURS",

@@ -1,0 +1,120 @@
+"""Open-loop arrival processes for the event-driven scheduling pipeline.
+
+The paper's production service sees workflows *arrive over time* (~22k
+per day at Ant Group), not as a pre-loaded batch — throughput and queue
+latency only exist against an arrival process.  This module provides
+the two standard open-loop sources:
+
+* :class:`PoissonArrivalProcess` — seeded exponential inter-arrival
+  gaps, the memoryless baseline for service benchmarks.
+* :class:`TraceArrivalProcess` — replay of explicit timestamps, either
+  handed in directly or loaded from a trace file (one arrival offset
+  per line, or a JSON array), so recorded production rhythms can be
+  driven through the simulator verbatim.
+
+Both yield plain sorted floats (virtual seconds); the admission
+pipeline schedules one arrival event per timestamp on the shared
+:class:`~repro.engine.simclock.SimClock`.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Sequence
+
+from .traces import MEAN_DAILY_WORKFLOWS
+
+
+class ArrivalError(ValueError):
+    """Raised for malformed arrival specifications or trace files."""
+
+
+#: The production mean arrival rate implied by the paper's summary
+#: statistics (~22k workflows/day), in workflows per virtual second.
+PRODUCTION_RATE_PER_S = MEAN_DAILY_WORKFLOWS / 86_400.0
+
+
+@dataclass(frozen=True)
+class PoissonArrivalProcess:
+    """Seeded Poisson process: exponential gaps at ``rate_per_s``."""
+
+    rate_per_s: float
+    seed: int = 0
+    start: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s <= 0:
+            raise ArrivalError(f"arrival rate must be > 0: {self.rate_per_s}")
+
+    def times(self, count: int) -> List[float]:
+        """The first ``count`` arrival times (virtual seconds, sorted)."""
+        if count < 0:
+            raise ArrivalError(f"arrival count must be >= 0: {count}")
+        rng = random.Random(self.seed)
+        now = self.start
+        out: List[float] = []
+        for _ in range(count):
+            now += rng.expovariate(self.rate_per_s)
+            out.append(now)
+        return out
+
+
+@dataclass(frozen=True)
+class TraceArrivalProcess:
+    """Replay of explicit arrival offsets (a recorded trace)."""
+
+    offsets: Sequence[float]
+    start: float = 0.0
+
+    def __post_init__(self) -> None:
+        for offset in self.offsets:
+            if offset < 0:
+                raise ArrivalError(f"arrival offsets must be >= 0: {offset}")
+
+    @classmethod
+    def from_file(cls, path: "str | Path", start: float = 0.0) -> "TraceArrivalProcess":
+        """Load offsets from a trace file.
+
+        Accepts either a JSON array of numbers or a plain text file
+        with one offset per line (blank lines and ``#`` comments are
+        ignored) — the two formats arrival dumps actually come in.
+        """
+        text = Path(path).read_text(encoding="utf-8").strip()
+        if not text:
+            return cls(offsets=(), start=start)
+        if text.startswith("["):
+            try:
+                values = json.loads(text)
+            except json.JSONDecodeError as exc:
+                raise ArrivalError(f"{path}: invalid JSON arrival trace: {exc}") from exc
+            if not isinstance(values, list):
+                raise ArrivalError(f"{path}: JSON trace must be an array")
+        else:
+            values = []
+            for lineno, line in enumerate(text.splitlines(), start=1):
+                line = line.split("#", 1)[0].strip()
+                if not line:
+                    continue
+                try:
+                    values.append(float(line))
+                except ValueError as exc:
+                    raise ArrivalError(
+                        f"{path}:{lineno}: unparseable arrival offset {line!r}"
+                    ) from exc
+        try:
+            offsets = tuple(float(value) for value in values)
+        except (TypeError, ValueError) as exc:
+            raise ArrivalError(f"{path}: non-numeric arrival offset") from exc
+        return cls(offsets=offsets, start=start)
+
+    def times(self, count: "int | None" = None) -> List[float]:
+        """Arrival times (sorted); ``count`` truncates the replay."""
+        out = sorted(self.start + offset for offset in self.offsets)
+        if count is not None:
+            if count < 0:
+                raise ArrivalError(f"arrival count must be >= 0: {count}")
+            out = out[:count]
+        return out

@@ -223,3 +223,84 @@ class TestRunSubmitsAndResets:
         assert record.phase == WorkflowPhase.SUCCEEDED
         # Context reset: the next IR is empty.
         assert len(couler.workflow_ir(optimize=False).nodes) == 0
+
+
+class TestExplicitDagValidation:
+    def test_set_dependencies_names_unknown_step(self):
+        from repro.engine.spec import SpecError
+
+        couler.reset_context("edges")
+
+        def define():
+            _job("a")
+            _job("b")
+
+        with pytest.raises(SpecError, match="undefined step 'ghost'"):
+            couler.set_dependencies(define, [["a", "ghost"]])
+        couler.reset_context()
+
+    def test_set_dependencies_valid_edges_still_wire(self):
+        couler.reset_context("edges-ok")
+
+        def define():
+            _job("a")
+            _job("b")
+
+        couler.set_dependencies(define, [["a", "b"]])
+        ir = couler.workflow_ir(optimize=False)
+        assert ("a", "b") in ir.edges
+        couler.reset_context()
+
+    def test_dag_thunk_without_step_raises(self):
+        from repro.engine.spec import SpecError
+
+        couler.reset_context("dag-bad")
+        with pytest.raises(SpecError, match="defined no step"):
+            couler.dag([[lambda: _job("a"), lambda: None]])
+        couler.reset_context()
+
+
+class TestKeywordOnlyContract:
+    """Optional run_* parameters are keyword-only in the v1 API."""
+
+    def test_run_container_rejects_positional_options(self):
+        couler.reset_context("kwonly")
+        with pytest.raises(TypeError):
+            couler.run_container("img:v1", ["cmd"])
+        couler.reset_context()
+
+    def test_run_script_rejects_positional_options(self):
+        couler.reset_context("kwonly2")
+        with pytest.raises(TypeError):
+            couler.run_script("img:v1", "print(1)", "stepname")
+        couler.reset_context()
+
+    def test_run_job_rejects_positional_options(self):
+        couler.reset_context("kwonly3")
+        with pytest.raises(TypeError):
+            couler.run_job("img:v1", ["cmd"], "TFJob")
+        couler.reset_context()
+
+
+class TestSubmitterValidation:
+    def test_run_rejects_non_submitter(self):
+        couler.reset_context("badsub")
+        couler.run_container(image="a", step_name="only")
+        with pytest.raises(TypeError, match="Submitter"):
+            couler.run(submitter=object())
+        couler.reset_context()
+
+
+class TestFacade:
+    def test_couler_facade_exports_everything_it_promises(self):
+        from repro import couler as facade
+
+        missing = [name for name in facade.__all__ if not hasattr(facade, name)]
+        assert missing == []
+
+    def test_facade_and_core_share_the_dsl(self):
+        from repro import couler as facade
+
+        assert facade.run_container is couler.run_container
+        assert facade.run is couler.run
+        assert facade.dag is couler.dag

@@ -58,3 +58,73 @@ class TestCodeGeneratingSubmitters:
         assert result.engine == "tekton"
         assert result.payload["pipeline"]["kind"] == "Pipeline"
         assert result.payload["pipelineRun"]["kind"] == "PipelineRun"
+
+
+class TestSubmitterProtocol:
+    def test_every_frontend_conforms(self):
+        from repro.backends.base import Submitter
+        from repro.core.submitter import AdmissionSubmitter, LocalSubmitter
+        from repro.server.service import CoulerService
+
+        assert isinstance(ArgoSubmitter(), Submitter)
+        assert isinstance(LocalSubmitter(), Submitter)
+        assert isinstance(AdmissionSubmitter(), Submitter)
+        assert isinstance(AirflowSubmitter(), Submitter)
+        assert isinstance(TektonSubmitter(), Submitter)
+        assert isinstance(CoulerService(operator=default_environment()), Submitter)
+
+    def test_submission_record_normalizes_every_result_shape(self):
+        from repro.backends.base import submission_record
+
+        record = ArgoSubmitter().submit(_define_workflow())
+        assert submission_record(record) is record
+
+        generated = AirflowSubmitter().submit(_define_workflow("gen-only"))
+        assert submission_record(generated) is None
+
+        simulated = TektonSubmitter(simulate=True).submit(_define_workflow("sim"))
+        assert submission_record(simulated) is simulated.record
+
+
+class TestAdmissionSubmitter:
+    def test_submit_through_admission_pipeline(self):
+        from repro.core.submitter import AdmissionSubmitter
+
+        submitter = AdmissionSubmitter()
+        record = submitter.submit(_define_workflow("adm"))
+        assert record.phase == WorkflowPhase.SUCCEEDED
+        assert submitter.last_admission.admitted is True
+        assert submitter.last_admission.cluster_name is not None
+
+    def test_rejection_surfaces_as_admission_error(self):
+        import pytest
+
+        from repro.core.submitter import AdmissionSubmitter
+        from repro.engine.admission import AdmissionError, AdmissionPipeline
+        from repro.engine.queue import UserQuota
+        from repro.k8s.cluster import Cluster
+
+        pipeline = AdmissionPipeline(
+            [Cluster.uniform("tiny", 1, cpu_per_node=4.0, memory_per_node=8 * 2**30)],
+            quotas={"u": UserQuota(user="u", cpu_limit=0.5, memory_limit=2**30)},
+        )
+        submitter = AdmissionSubmitter(pipeline=pipeline, user="u")
+        with pytest.raises(AdmissionError, match="rejected at admission"):
+            submitter.submit(_define_workflow("too-big"))
+
+    def test_shared_pipeline_accumulates_submissions(self):
+        from repro.core.submitter import AdmissionSubmitter, default_multicluster
+
+        pipeline = default_multicluster()
+        submitter = AdmissionSubmitter(pipeline=pipeline)
+        submitter.submit(_define_workflow("one"))
+        submitter.submit(_define_workflow("two"))
+        assert [a.workflow_name for a in pipeline.placed] == ["one", "two"]
+
+    def test_couler_run_accepts_admission_submitter(self):
+        from repro.core.submitter import AdmissionSubmitter
+
+        couler.reset_context("via-run")
+        couler.run_container(image="a:v1", step_name="only")
+        record = couler.run(submitter=AdmissionSubmitter())
+        assert record.phase == WorkflowPhase.SUCCEEDED

@@ -1,0 +1,82 @@
+"""Tests for the open-loop arrival processes feeding the admission pipeline."""
+
+import json
+
+import pytest
+
+from repro.workloads.arrivals import (
+    ArrivalError,
+    PRODUCTION_RATE_PER_S,
+    PoissonArrivalProcess,
+    TraceArrivalProcess,
+)
+
+
+class TestPoisson:
+    def test_deterministic_for_seed(self):
+        a = PoissonArrivalProcess(rate_per_s=0.5, seed=42).times(20)
+        b = PoissonArrivalProcess(rate_per_s=0.5, seed=42).times(20)
+        assert a == b
+
+    def test_seed_changes_schedule(self):
+        a = PoissonArrivalProcess(rate_per_s=0.5, seed=1).times(20)
+        b = PoissonArrivalProcess(rate_per_s=0.5, seed=2).times(20)
+        assert a != b
+
+    def test_monotone_and_offset_by_start(self):
+        times = PoissonArrivalProcess(rate_per_s=1.0, seed=0, start=100.0).times(50)
+        assert len(times) == 50
+        assert all(t >= 100.0 for t in times)
+        assert times == sorted(times)
+
+    def test_mean_gap_tracks_rate(self):
+        times = PoissonArrivalProcess(rate_per_s=0.1, seed=3).times(2000)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        mean_gap = sum(gaps) / len(gaps)
+        assert mean_gap == pytest.approx(10.0, rel=0.1)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ArrivalError):
+            PoissonArrivalProcess(rate_per_s=0.0).times(1)
+
+    def test_production_rate_constant(self):
+        from repro.workloads.traces import MEAN_DAILY_WORKFLOWS
+
+        # The paper's daily volume expressed per virtual second.
+        assert PRODUCTION_RATE_PER_S == pytest.approx(MEAN_DAILY_WORKFLOWS / 86_400)
+        assert PRODUCTION_RATE_PER_S > 0
+
+
+class TestTrace:
+    def test_offsets_shifted_by_start(self):
+        process = TraceArrivalProcess(offsets=(0.0, 5.0, 12.0), start=50.0)
+        assert process.times() == [50.0, 55.0, 62.0]
+
+    def test_count_truncates(self):
+        process = TraceArrivalProcess(offsets=(0.0, 1.0, 2.0, 3.0))
+        assert process.times(count=2) == [0.0, 1.0]
+
+    def test_unsorted_offsets_replayed_in_time_order(self):
+        assert TraceArrivalProcess(offsets=(5.0, 1.0)).times() == [1.0, 5.0]
+
+    def test_rejects_negative_offsets(self):
+        with pytest.raises(ArrivalError):
+            TraceArrivalProcess(offsets=(-1.0, 1.0))
+
+    def test_from_json_file(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps([0.0, 2.5, 7.0]))
+        process = TraceArrivalProcess.from_file(path)
+        assert process.times() == [0.0, 2.5, 7.0]
+
+    def test_from_line_file_with_comments(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("# production sample\n0\n3.5\n\n9\n")
+        process = TraceArrivalProcess.from_file(path)
+        assert process.times() == [0.0, 3.5, 9.0]
+
+    def test_from_file_rejects_garbage(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("zero\none\n")
+        with pytest.raises(ArrivalError):
+            TraceArrivalProcess.from_file(path)

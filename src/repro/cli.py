@@ -163,6 +163,64 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Sweep seeds through the differential oracles (CI gate).
+
+    Prints per-oracle pass counts and one aggregate fingerprint digest;
+    the digest is identical across runs of the same sweep, which is how
+    CI asserts determinism (run twice, diff the digest lines).  On
+    failure, the first failing workflow is shrunk by node deletion to a
+    minimal repro and printed as IR JSON.
+    """
+    from .ir.serialize import ir_to_json
+    from .verify import run_suite
+    from .verify.oracles import ORACLES
+    from .verify.shrink import shrink_failure
+
+    oracle_names = args.oracles.split(",") if args.oracles else None
+    if oracle_names:
+        unknown = [name for name in oracle_names if name not in ORACLES]
+        if unknown:
+            print(
+                f"unknown oracle(s): {', '.join(unknown)}; "
+                f"choose from {', '.join(sorted(ORACLES))}",
+                file=sys.stderr,
+            )
+            return 2
+    seeds = range(args.seed_base, args.seed_base + args.seeds)
+    report = run_suite(seeds, oracle_names)
+    for oracle, (passed, total) in sorted(report.counts().items()):
+        print(f"{oracle:12s} {passed}/{total}")
+    print(f"aggregate fingerprint digest: {report.aggregate_digest()}")
+    if report.ok:
+        print(f"verify: all oracles passed over {args.seeds} seed(s)")
+        return 0
+    for outcome in report.failures[:5]:
+        print(
+            f"FAIL {outcome.oracle} seed={outcome.seed}: {outcome.detail}",
+            file=sys.stderr,
+        )
+    if len(report.failures) > 5:
+        print(f"... and {len(report.failures) - 5} more", file=sys.stderr)
+    if not args.no_shrink:
+        first = report.failures[0]
+        shrunk = shrink_failure(first)
+        if shrunk is None:
+            print(
+                f"shrink: failure of {first.oracle} seed={first.seed} "
+                "did not reproduce on regeneration",
+                file=sys.stderr,
+            )
+        else:
+            minimal, on_minimal = shrunk
+            print(
+                f"minimal repro for {first.oracle} seed={first.seed} "
+                f"({len(minimal.nodes)} node(s)): {on_minimal.detail}"
+            )
+            print(ir_to_json(minimal))
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -219,6 +277,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write a Chrome trace_event JSON of the stormy run",
     )
     chaos_parser.set_defaults(func=cmd_chaos)
+
+    verify_parser = sub.add_parser(
+        "verify",
+        help="sweep seeds through the differential oracles "
+        "(exit 1 on any inequivalence, printing a shrunk repro)",
+    )
+    verify_parser.add_argument(
+        "--seeds", type=int, default=25, help="number of seeds to sweep"
+    )
+    verify_parser.add_argument(
+        "--seed-base", type=int, default=0, help="first seed of the sweep"
+    )
+    verify_parser.add_argument(
+        "--oracles",
+        default=None,
+        help="comma-separated subset "
+        "(backends,cache,replay,split,submitters); default all",
+    )
+    verify_parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="skip shrinking the first failing workflow",
+    )
+    verify_parser.set_defaults(func=cmd_verify)
     return parser
 
 

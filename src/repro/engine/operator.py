@@ -216,6 +216,7 @@ class WorkflowOperator:
         self,
         manifest: dict,
         on_complete: Optional[CompletionCallback] = None,
+        initial_results: Optional[Dict[str, Optional[str]]] = None,
     ) -> WorkflowRecord:
         """Submit an Argo-style Workflow manifest.
 
@@ -227,19 +228,27 @@ class WorkflowOperator:
 
             self.api_server.create(APIObject.from_dict(manifest))
         workflow = parse_argo_manifest(manifest)
-        return self.submit(workflow, on_complete=on_complete)
+        return self.submit(
+            workflow, on_complete=on_complete, initial_results=initial_results
+        )
 
     def submit(
         self,
         workflow: ExecutableWorkflow,
         record: Optional[WorkflowRecord] = None,
         on_complete: Optional[CompletionCallback] = None,
+        initial_results: Optional[Dict[str, Optional[str]]] = None,
     ) -> WorkflowRecord:
         """Submit an executable workflow; returns its (live) record.
 
         Passing an existing ``record`` resubmits after failure: steps
         whose status counts as done (Succeeded / Skipped / Cached) are
         not re-executed, matching the paper's manual-retry flow.
+
+        ``initial_results`` pre-seeds recorded step results from outside
+        this workflow (staged split execution passes the results of
+        already-completed parts so ``when`` guards that reference steps
+        in other parts keep their monolithic semantics).
         """
         workflow.validate()
         for step in workflow.steps.values():
@@ -252,6 +261,16 @@ class WorkflowOperator:
         record.submit_time = self.clock.now
         record.finish_time = None
         state = _RunState(workflow=workflow, record=record)
+        if initial_results:
+            state.results.update(initial_results)
+        # Resubmission: results of already-done steps survived on the
+        # record snapshot; guards referencing them must still evaluate.
+        for step_name, value in record.results.items():
+            if (
+                step_name in workflow.steps
+                and record.step(step_name).status.counts_as_done()
+            ):
+                state.results[step_name] = value
         state.wf_span = self.tracer.begin(
             workflow.name, "workflow", self.clock.now, workflow=workflow.name
         )
@@ -584,11 +603,13 @@ class WorkflowOperator:
         record.finish_time = self.clock.now
         self._end_step_span(state, step.name, StepStatus.SUCCEEDED.value)
         self._m_steps.inc(status=StepStatus.SUCCEEDED.value)
-        state.results[step.name] = (
+        value = (
             self._rng.choice(list(step.result_options))
             if step.result_options
             else None
         )
+        state.results[step.name] = value
+        state.record.results[step.name] = value
         for artifact in step.outputs:
             self.cache_manager.on_artifact_produced(artifact, self.clock.now)
         on_step_finished = getattr(self.cache_manager, "on_step_finished", None)

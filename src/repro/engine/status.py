@@ -81,6 +81,10 @@ class WorkflowRecord:
     steps: Dict[str, StepRecord] = field(default_factory=dict)
     submit_time: Optional[float] = None
     finish_time: Optional[float] = None
+    #: ``result`` values of succeeded steps (None = no declared result).
+    #: Persisted on the record so restart-from-failure and staged split
+    #: execution can re-evaluate ``when`` guards against completed steps.
+    results: Dict[str, Optional[str]] = field(default_factory=dict)
 
     @property
     def makespan(self) -> Optional[float]:

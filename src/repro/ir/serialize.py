@@ -48,7 +48,15 @@ def node_to_dict(node: IRNode) -> dict:
         "args": list(node.args),
         "source": node.source,
         "job_params": dict(node.job_params),
-        "resources": node.resources.to_dict(),
+        # Raw numbers, not Kubernetes quantity strings: "3.00Gi"-style
+        # rendering rounds to two decimals and sub-millicore CPUs
+        # collapse to "0", so string forms don't round-trip.  parse()
+        # accepts numerics exactly (and still reads old string payloads).
+        "resources": {
+            "cpu": node.resources.cpu,
+            "memory": node.resources.memory,
+            "gpu": node.resources.gpu,
+        },
         "inputs": [artifact_to_dict(a) for a in node.inputs],
         "outputs": [artifact_to_dict(a) for a in node.outputs],
         "when": node.when,

@@ -65,6 +65,11 @@ class StagedSubmitter:
         for src, dst in plan.cross_edges:
             dependents[src].append(dst)
         failed = {"flag": False}
+        #: Step results accumulated across completed parts.  A ``when``
+        #: guard may reference a step that landed in an upstream part;
+        #: without forwarding these, such guards would see "never ran"
+        #: and silently skip — diverging from monolithic execution.
+        known_results: Dict[str, Optional[str]] = {}
 
         def submit_part(index: int) -> None:
             if failed["flag"]:
@@ -74,6 +79,7 @@ class StagedSubmitter:
 
             def on_complete(record: WorkflowRecord) -> None:
                 result.records[index] = record
+                known_results.update(record.results)
                 if record.phase != WorkflowPhase.SUCCEEDED:
                     failed["flag"] = True
                     return
@@ -84,9 +90,17 @@ class StagedSubmitter:
 
             if self.use_manifests:
                 manifest = self._backend.compile(part)
-                self.operator.submit_manifest(manifest, on_complete=on_complete)
+                self.operator.submit_manifest(
+                    manifest,
+                    on_complete=on_complete,
+                    initial_results=dict(known_results),
+                )
             else:
-                self.operator.submit(part.to_executable(), on_complete=on_complete)
+                self.operator.submit(
+                    part.to_executable(),
+                    on_complete=on_complete,
+                    initial_results=dict(known_results),
+                )
 
         for index in range(plan.num_parts):
             if remaining_deps[index] == 0:

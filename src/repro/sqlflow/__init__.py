@@ -6,9 +6,16 @@ from .parser import (
     Statement,
     TrainStatement,
     parse,
+    parse_many,
     tokenize,
 )
-from .translate import sql_to_ir, translate_predict, translate_train
+from .translate import (
+    sql_script_to_irs,
+    sql_to_ir,
+    statement_to_ir,
+    translate_predict,
+    translate_train,
+)
 
 __all__ = [
     "PredictStatement",
@@ -16,7 +23,10 @@ __all__ = [
     "Statement",
     "TrainStatement",
     "parse",
+    "parse_many",
+    "sql_script_to_irs",
     "sql_to_ir",
+    "statement_to_ir",
     "tokenize",
     "translate_predict",
     "translate_train",

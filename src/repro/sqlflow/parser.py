@@ -129,6 +129,10 @@ def _parse_value(cursor: _Cursor) -> ScalarValue:
     raise SQLFlowSyntaxError(f"cannot parse value {value!r}")
 
 
+def _unquote(value: str) -> str:
+    return value[1:-1]
+
+
 def _parse_column_list(cursor: _Cursor, stop_keywords: Tuple[str, ...]) -> List[str]:
     columns: List[str] = []
     while True:
@@ -143,18 +147,34 @@ def _parse_column_list(cursor: _Cursor, stop_keywords: Tuple[str, ...]) -> List[
         cursor.next()
         if kind == "punct" and value == ",":
             continue
-        if kind in ("ident", "punct") and value != ",":
+        if kind == "string":
+            # Quoted identifiers ("order", 'select') are legal column
+            # names; keep them, minus the quotes.
+            columns.append(_unquote(value))
+        elif kind == "ident" or (kind == "punct" and value == "*"):
             columns.append(value)
+        else:
+            raise SQLFlowSyntaxError(
+                f"unexpected {value!r} in column list"
+            )
     return columns
 
 
-def parse(text: str) -> Statement:
-    """Parse one SQLFlow statement (TRAIN or PREDICT)."""
-    cursor = _Cursor(tokenize(text))
+def _parse_name(cursor: _Cursor, what: str) -> str:
+    """A table/model/column name: an identifier or a quoted string."""
+    kind, value = cursor.next()
+    if kind == "ident":
+        return value
+    if kind == "string":
+        return _unquote(value)
+    raise SQLFlowSyntaxError(f"expected {what}, found {value!r}")
+
+
+def _parse_statement(cursor: _Cursor) -> Statement:
     cursor.expect_keyword("SELECT")
     select_columns = _parse_column_list(cursor, ("FROM",))
     cursor.expect_keyword("FROM")
-    _, table = cursor.next()
+    table = _parse_name(cursor, "table name")
     cursor.expect_keyword("TO")
     action = cursor.expect_keyword("TRAIN", "PREDICT")
     if action == "TRAIN":
@@ -162,8 +182,43 @@ def parse(text: str) -> Statement:
     return _parse_predict(cursor, select_columns, table)
 
 
+def _finish_statement(cursor: _Cursor) -> None:
+    """Consume one optional terminating ``;``."""
+    token = cursor.peek()
+    if token is not None and token == ("punct", ";"):
+        cursor.next()
+
+
+def parse(text: str) -> Statement:
+    """Parse exactly one SQLFlow statement (TRAIN or PREDICT).
+
+    One trailing ``;`` is allowed; anything after it is an error — a
+    second statement must go through :func:`parse_many`.
+    """
+    cursor = _Cursor(tokenize(text))
+    statement = _parse_statement(cursor)
+    _finish_statement(cursor)
+    leftover = cursor.peek()
+    if leftover is not None:
+        raise SQLFlowSyntaxError(
+            f"unexpected trailing input starting at {leftover[1]!r}; "
+            "use parse_many() for multi-statement scripts"
+        )
+    return statement
+
+
+def parse_many(text: str) -> List[Statement]:
+    """Parse a ``;``-separated script of SQLFlow statements."""
+    cursor = _Cursor(tokenize(text))
+    statements: List[Statement] = []
+    while cursor.peek() is not None:
+        statements.append(_parse_statement(cursor))
+        _finish_statement(cursor)
+    return statements
+
+
 def _parse_train(cursor: _Cursor, select_columns: List[str], table: str) -> TrainStatement:
-    _, estimator = cursor.next()
+    estimator = _parse_name(cursor, "estimator name")
     statement = TrainStatement(
         select_columns=select_columns, table=table, estimator=estimator
     )
@@ -187,19 +242,19 @@ def _parse_train(cursor: _Cursor, select_columns: List[str], table: str) -> Trai
         statement.feature_columns = _parse_column_list(cursor, ("LABEL", "INTO"))
     if cursor.at_keyword("LABEL"):
         cursor.next()
-        _, statement.label = cursor.next()
+        statement.label = _parse_name(cursor, "label column")
     if cursor.at_keyword("INTO"):
         cursor.next()
-        _, statement.into = cursor.next()
+        statement.into = _parse_name(cursor, "model table")
     return statement
 
 
 def _parse_predict(
     cursor: _Cursor, select_columns: List[str], table: str
 ) -> PredictStatement:
-    _, result_table = cursor.next()
+    result_table = _parse_name(cursor, "result table")
     cursor.expect_keyword("USING")
-    _, model = cursor.next()
+    model = _parse_name(cursor, "model table")
     return PredictStatement(
         select_columns=select_columns,
         table=table,

@@ -15,7 +15,9 @@ from .. import core as couler
 from ..ir.graph import WorkflowIR
 from ..ir.nodes import ArtifactDecl, ArtifactStorage, SimHint
 from ..k8s.resources import ResourceQuantity
-from .parser import PredictStatement, Statement, TrainStatement, parse
+from typing import List
+
+from .parser import PredictStatement, Statement, TrainStatement, parse, parse_many
 
 
 def _extract_step(table: str, columns, size_bytes: int) -> couler.StepOutput:
@@ -99,7 +101,19 @@ def translate_predict(statement: PredictStatement) -> couler.StepOutput:
 
 def sql_to_ir(sql: str, workflow_name: Optional[str] = None) -> WorkflowIR:
     """Parse one SQLFlow statement and return the compiled workflow IR."""
-    statement: Statement = parse(sql)
+    return statement_to_ir(parse(sql), workflow_name)
+
+
+def sql_script_to_irs(script: str) -> List[WorkflowIR]:
+    """Translate a ``;``-separated SQLFlow script, one workflow per
+    statement (the paper's train-then-predict pipelines)."""
+    return [statement_to_ir(statement) for statement in parse_many(script)]
+
+
+def statement_to_ir(
+    statement: Statement, workflow_name: Optional[str] = None
+) -> WorkflowIR:
+    """Lower one parsed statement to a workflow IR."""
     name = workflow_name or (
         f"sqlflow-train-{statement.estimator.lower()}"
         if isinstance(statement, TrainStatement)

@@ -1,0 +1,349 @@
+"""Differential oracles: the equivalences the engine advertises.
+
+Per seed, the suite asserts:
+
+* **submitters** — the single-tenant local submitter (Argo-manifest
+  path) and the event-driven admission pipeline execute the same
+  workflow to the same outcome, including virtual-time makespan.
+* **split** — Algorithm 3 split+stitch preserves monolithic output
+  semantics across several splitter budgets.
+* **cache** — every cache policy (and the cached-step-skip flag) is
+  output-transparent: caching changes timings, never results.
+* **replay** — the same seed replays to a byte-identical full
+  fingerprint (statuses, attempts, results, makespan), with failure
+  injection and multi-valued results enabled.
+* **backends** — compiled Argo/Airflow/Tekton output is structurally
+  valid and the IR round-trips through its dict form unchanged.
+
+Every oracle has the shape ``check(ir, seed) -> OracleOutcome`` so the
+shrinker can re-run it against reduced candidate workflows.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..caching.manager import CacheManager
+from ..caching.policy import POLICY_REGISTRY
+from ..core.submitter import AdmissionSubmitter, ArgoSubmitter
+from ..engine.admission import AdmissionError, AdmissionPipeline
+from ..engine.operator import WorkflowOperator
+from ..engine.simclock import SimClock
+from ..ir.graph import WorkflowIR
+from ..ir.serialize import ir_to_dict
+from ..k8s.apiserver import APIServer
+from ..k8s.cluster import Cluster
+from ..parallelism.budget import BudgetModel
+from ..parallelism.splitter import SplitError, WorkflowSplitter
+from ..parallelism.stitch import StagedSubmitter
+from .backends_conformance import conformance_problems
+from .fingerprint import (
+    Fingerprint,
+    describe_difference,
+    fingerprint_record,
+    fingerprint_staged,
+)
+from .generator import GeneratorConfig, generate_ir
+
+_GB = 2**30
+
+#: Forced-outcome workflows for cross-configuration comparison.
+DETERMINISTIC_CONFIG = GeneratorConfig(deterministic=True)
+#: Full-surface workflows (failures, multi-valued results) for replay.
+STOCHASTIC_CONFIG = GeneratorConfig(deterministic=False)
+
+
+def _cluster() -> Cluster:
+    """A generous uniform cluster every generated workflow fits on."""
+    return Cluster.uniform(
+        "verify",
+        num_nodes=4,
+        cpu_per_node=32.0,
+        memory_per_node=128 * _GB,
+        gpu_per_node=4,
+    )
+
+
+def _operator(seed: int, **kwargs) -> WorkflowOperator:
+    return WorkflowOperator(
+        SimClock(), _cluster(), api_server=APIServer(), seed=seed, **kwargs
+    )
+
+
+def _execute(ir: WorkflowIR, seed: int, **kwargs) -> Fingerprint:
+    operator = _operator(seed, **kwargs)
+    record = operator.submit(ir.to_executable())
+    operator.run_to_completion()
+    return fingerprint_record(ir, record)
+
+
+@dataclass(frozen=True)
+class OracleOutcome:
+    """Verdict of one oracle on one seed."""
+
+    oracle: str
+    seed: int
+    ok: bool
+    detail: str = ""
+    digests: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class Oracle:
+    """A named differential check over a generated workflow."""
+
+    name: str
+    #: Which generator mode this oracle's workflow uses.
+    config: GeneratorConfig
+    check: Callable[[WorkflowIR, int], OracleOutcome]
+
+    def run(self, seed: int) -> OracleOutcome:
+        return self.check(generate_ir(seed, self.config), seed)
+
+
+# ------------------------------------------------------------------ oracles
+
+
+def check_submitters(ir: WorkflowIR, seed: int) -> OracleOutcome:
+    """LocalSubmitter (manifest path) ≡ AdmissionSubmitter (pipeline)."""
+    local = ArgoSubmitter(operator=_operator(seed))
+    local_fp = fingerprint_record(ir, local.submit(ir))
+    pipeline = AdmissionPipeline([_cluster()], seed=seed)
+    try:
+        record = AdmissionSubmitter(pipeline=pipeline).submit(ir)
+    except AdmissionError as exc:
+        return OracleOutcome(
+            "submitters", seed, False, f"admission rejected: {exc}",
+            digests=(local_fp.digest(),),
+        )
+    admission_fp = fingerprint_record(ir, record)
+    digests = (local_fp.digest(), admission_fp.digest())
+    diff = describe_difference(local_fp, admission_fp, view="outputs")
+    if diff is not None:
+        return OracleOutcome(
+            "submitters", seed, False, f"local != admission: {diff}", digests
+        )
+    if local_fp.data["makespan"] != admission_fp.data["makespan"]:
+        return OracleOutcome(
+            "submitters",
+            seed,
+            False,
+            f"makespan diverged: local {local_fp.data['makespan']} != "
+            f"admission {admission_fp.data['makespan']}",
+            digests,
+        )
+    return OracleOutcome("submitters", seed, True, digests=digests)
+
+
+def _split_budgets(ir: WorkflowIR) -> List[BudgetModel]:
+    """Budgets that force the splitter to actually cut this workflow."""
+    whole = BudgetModel().exact_cost(ir)
+    return [
+        BudgetModel(max_yaml_bytes=max(1024, int(whole.yaml_bytes * 0.6))),
+        BudgetModel(max_yaml_bytes=max(1024, int(whole.yaml_bytes * 0.35))),
+        BudgetModel(max_steps=max(1, (whole.steps + 1) // 2)),
+    ]
+
+
+def check_split(ir: WorkflowIR, seed: int) -> OracleOutcome:
+    """Monolithic ≡ split+stitch across splitter budgets."""
+    mono = ArgoSubmitter(operator=_operator(seed))
+    mono_fp = fingerprint_record(ir, mono.submit(ir))
+    digests = [mono_fp.digest()]
+    for budget in _split_budgets(ir):
+        try:
+            plan = WorkflowSplitter(budget).split(ir)
+        except SplitError:
+            # A lone node can exceed an aggressive byte budget; that is
+            # the splitter refusing, not an inequivalence.
+            continue
+        staged = StagedSubmitter(_operator(seed)).execute(plan)
+        staged_fp = fingerprint_staged(ir, staged)
+        digests.append(staged_fp.digest())
+        diff = describe_difference(mono_fp, staged_fp, view="outputs")
+        if diff is not None:
+            return OracleOutcome(
+                "split",
+                seed,
+                False,
+                f"{plan.num_parts}-part split diverged "
+                f"(budget yaml<={budget.max_yaml_bytes} "
+                f"steps<={budget.max_steps}): {diff}",
+                tuple(digests),
+            )
+    return OracleOutcome("split", seed, True, digests=tuple(digests))
+
+
+def check_cache(ir: WorkflowIR, seed: int) -> OracleOutcome:
+    """Cache-off ≡ cache-on outputs for every registered policy."""
+    baseline = _execute(ir, seed)
+    digests = [baseline.digest()]
+    total_bytes = sum(
+        artifact.size_bytes
+        for node in ir.nodes.values()
+        for artifact in node.outputs
+    )
+    # Small enough to force eviction decisions, never zero.
+    capacity = max(4096, total_bytes // 3)
+    configs: List[Tuple[str, dict]] = [
+        (policy, {"cache_manager": CacheManager(policy=policy, capacity_bytes=capacity)})
+        for policy in sorted(POLICY_REGISTRY)
+    ]
+    configs.append(
+        (
+            "couler+skip",
+            {
+                "cache_manager": CacheManager(policy="couler", capacity_bytes=capacity),
+                "skip_cached_steps": True,
+            },
+        )
+    )
+    for label, kwargs in configs:
+        cached_fp = _execute(ir, seed, **kwargs)
+        digests.append(cached_fp.digest())
+        diff = describe_difference(baseline, cached_fp, view="outputs")
+        if diff is not None:
+            return OracleOutcome(
+                "cache",
+                seed,
+                False,
+                f"policy {label!r} changed outputs: {diff}",
+                tuple(digests),
+            )
+    return OracleOutcome("cache", seed, True, digests=tuple(digests))
+
+
+def check_replay(ir: WorkflowIR, seed: int) -> OracleOutcome:
+    """Same seed, same engine, twice — identical full fingerprints."""
+    first = _execute(ir, seed)
+    second = _execute(ir, seed)
+    digests = (first.digest(), second.digest())
+    if first.data != second.data:
+        diff = describe_difference(first, second, view="full")
+        return OracleOutcome(
+            "replay", seed, False, f"replay diverged: {diff}", digests
+        )
+    regenerated = generate_ir(seed, STOCHASTIC_CONFIG)
+    if ir_to_dict(regenerated) != ir_to_dict(ir):
+        # Only reachable from run_seed (the shrinker passes reduced IRs,
+        # which legitimately differ from the generator's output).
+        return OracleOutcome(
+            "replay", seed, False, "generator is not seed-deterministic", digests
+        )
+    return OracleOutcome("replay", seed, True, digests=digests)
+
+
+def _check_replay_shrinkable(ir: WorkflowIR, seed: int) -> OracleOutcome:
+    """Replay check without the regeneration clause (for the shrinker)."""
+    first = _execute(ir, seed)
+    second = _execute(ir, seed)
+    digests = (first.digest(), second.digest())
+    if first.data != second.data:
+        diff = describe_difference(first, second, view="full")
+        return OracleOutcome(
+            "replay", seed, False, f"replay diverged: {diff}", digests
+        )
+    return OracleOutcome("replay", seed, True, digests=digests)
+
+
+def check_backends(ir: WorkflowIR, seed: int) -> OracleOutcome:
+    """Structural conformance of all compiled backends + IR roundtrip."""
+    problems = conformance_problems(ir)
+    if problems:
+        return OracleOutcome(
+            "backends", seed, False, "; ".join(problems[:5]),
+            digests=(hashlib.sha256("\n".join(problems).encode()).hexdigest(),),
+        )
+    digest = hashlib.sha256(
+        repr(ir_to_dict(ir)).encode()
+    ).hexdigest()
+    return OracleOutcome("backends", seed, True, digests=(digest,))
+
+
+ORACLES: Dict[str, Oracle] = {
+    "submitters": Oracle("submitters", DETERMINISTIC_CONFIG, check_submitters),
+    "split": Oracle("split", DETERMINISTIC_CONFIG, check_split),
+    "cache": Oracle("cache", DETERMINISTIC_CONFIG, check_cache),
+    "replay": Oracle("replay", STOCHASTIC_CONFIG, check_replay),
+    "backends": Oracle("backends", DETERMINISTIC_CONFIG, check_backends),
+}
+
+#: check functions safe to re-run on shrunk (non-generated) IRs.
+SHRINKABLE_CHECKS: Dict[str, Callable[[WorkflowIR, int], OracleOutcome]] = {
+    "submitters": check_submitters,
+    "split": check_split,
+    "cache": check_cache,
+    "replay": _check_replay_shrinkable,
+    "backends": check_backends,
+}
+
+
+# -------------------------------------------------------------------- suite
+
+
+@dataclass
+class VerifyReport:
+    """Aggregate result of a seed sweep."""
+
+    outcomes: List[OracleOutcome] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[OracleOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def aggregate_digest(self) -> str:
+        """One digest over every oracle's fingerprints, in sweep order.
+
+        Two runs of the same sweep must print the same digest — the CI
+        gate runs the sweep twice and compares exactly this line.
+        """
+        hasher = hashlib.sha256()
+        for outcome in self.outcomes:
+            hasher.update(
+                f"{outcome.oracle}:{outcome.seed}:{outcome.ok}".encode()
+            )
+            for digest in outcome.digests:
+                hasher.update(digest.encode())
+        return hasher.hexdigest()
+
+    def counts(self) -> Dict[str, Tuple[int, int]]:
+        """oracle name -> (passed, total)."""
+        table: Dict[str, Tuple[int, int]] = {}
+        for outcome in self.outcomes:
+            passed, total = table.get(outcome.oracle, (0, 0))
+            table[outcome.oracle] = (passed + (1 if outcome.ok else 0), total + 1)
+        return table
+
+
+def run_seed(
+    seed: int, oracle_names: Optional[Sequence[str]] = None
+) -> List[OracleOutcome]:
+    """Run the selected oracles (default: all) against one seed."""
+    names = list(oracle_names) if oracle_names else sorted(ORACLES)
+    unknown = [name for name in names if name not in ORACLES]
+    if unknown:
+        raise ValueError(
+            f"unknown oracle(s) {unknown}; choose from {sorted(ORACLES)}"
+        )
+    return [ORACLES[name].run(seed) for name in names]
+
+
+def run_suite(
+    seeds: Sequence[int],
+    oracle_names: Optional[Sequence[str]] = None,
+    fail_fast: bool = False,
+) -> VerifyReport:
+    """Sweep ``seeds`` through the oracles; returns the full report."""
+    report = VerifyReport()
+    for seed in seeds:
+        outcomes = run_seed(seed, oracle_names)
+        report.outcomes.extend(outcomes)
+        if fail_fast and any(not outcome.ok for outcome in outcomes):
+            break
+    return report

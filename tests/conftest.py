@@ -12,6 +12,20 @@ from repro.k8s.cluster import Cluster
 GB = 2**30
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/ snapshots instead of comparing",
+    )
+
+
+@pytest.fixture()
+def update_golden(request) -> bool:
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture(autouse=True)
 def fresh_couler_context():
     """Every test starts (and ends) with a clean DSL context."""

@@ -1,0 +1,178 @@
+"""Property-style roundtrip tests for the IR wire format.
+
+Seeded stdlib ``random`` only (no extra dependencies): randomized
+``WorkflowIR`` instances — including the values that historically broke
+quantity-string serialization, like sub-millicore CPUs and non-decimal
+fractions — must survive ``ir_to_dict`` → JSON → ``ir_from_dict`` with
+every field intact.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.ir.graph import WorkflowIR
+from repro.ir.nodes import ArtifactDecl, ArtifactStorage, IRNode, OpKind, SimHint
+from repro.ir.serialize import (
+    FORMAT_VERSION,
+    ir_from_dict,
+    ir_from_json,
+    ir_to_dict,
+    ir_to_json,
+)
+from repro.k8s.resources import ResourceQuantity
+
+#: CPU values that a "%.2f cores" / millicore rendering would corrupt.
+_NASTY_CPUS = (0.0001, 0.0005, 1 / 3, 0.125, 2.675, 7.0, 16.5)
+_NASTY_MEMORY = (0, 1, 1023, 2**20 + 1, 3 * 2**30 + 7, 2**40)
+
+
+def _random_artifact(rng: random.Random, tag: str) -> ArtifactDecl:
+    return ArtifactDecl(
+        name=f"{tag}{rng.randrange(1000)}",
+        storage=rng.choice(tuple(ArtifactStorage)),
+        path=rng.choice((None, f"/data/{tag}", "/mnt/x y/z")),
+        size_bytes=rng.choice((0, 1, 4096, 2**31)),
+        is_global=rng.random() < 0.3,
+        uid=rng.choice((None, f"wf/{tag}/u{rng.randrange(100)}")),
+    )
+
+
+def _random_node(rng: random.Random, index: int) -> IRNode:
+    op = rng.choice(tuple(OpKind))
+    return IRNode(
+        name=f"n{index}",
+        op=op,
+        image=rng.choice(("alpine:3.6", "python:3.10", "repro/x:v9")),
+        command=rng.choice(([], ["python", "run.py"], ["sh", "-c", "a&&b"])),
+        args=[f"--k={rng.randrange(10)}" for _ in range(rng.randrange(3))],
+        source="print('x')\n" if op == OpKind.SCRIPT else None,
+        job_params=(
+            {"kind": "TFJob", "num_ps": rng.randrange(3), "num_workers": 2}
+            if op == OpKind.JOB
+            else {}
+        ),
+        resources=ResourceQuantity(
+            cpu=rng.choice(_NASTY_CPUS),
+            memory=rng.choice(_NASTY_MEMORY),
+            gpu=rng.randrange(5),
+        ),
+        inputs=[
+            _random_artifact(rng, "in") for _ in range(rng.randrange(3))
+        ],
+        outputs=[
+            _random_artifact(rng, "out") for _ in range(rng.randrange(3))
+        ],
+        when=rng.choice(
+            (
+                None,
+                "{{flip.result}} == heads",
+                "{{a.result}} != x && {{b.result}} == y",
+            )
+        ),
+        retries=rng.choice((None, 0, 1, 7)),
+        sim=SimHint(
+            duration_s=rng.choice((0.0, 0.5, 59.99, 3600.0)),
+            failure_rate=rng.choice((0.0, 0.001, 0.25, 1.0)),
+            failure_pattern=rng.choice(("PodCrashErr", "NetworkTimeoutErr")),
+            uses_gpu=rng.random() < 0.5,
+            result_options=tuple(
+                rng.sample(("heads", "tails", "ok"), rng.randrange(3))
+            ),
+        ),
+    )
+
+
+def _random_ir(seed: int) -> WorkflowIR:
+    rng = random.Random(seed)
+    ir = WorkflowIR(
+        name=f"fuzz-{seed}",
+        config=rng.choice(
+            ({}, {"namespace": "prod", "priority": 3}, {"labels": ["a", "b"]})
+        ),
+    )
+    count = rng.randint(1, 8)
+    for index in range(count):
+        ir.add_node(_random_node(rng, index))
+    names = sorted(ir.nodes)
+    for child_index in range(1, count):
+        if rng.random() < 0.6:
+            parent = names[rng.randrange(child_index)]
+            ir.add_edge(parent, names[child_index])
+    return ir
+
+
+def _assert_nodes_equal(left: IRNode, right: IRNode) -> None:
+    assert left.name == right.name
+    assert left.op == right.op
+    assert left.image == right.image
+    assert left.command == right.command
+    assert left.args == right.args
+    assert left.source == right.source
+    assert left.job_params == right.job_params
+    assert left.resources.cpu == right.resources.cpu
+    assert left.resources.memory == right.resources.memory
+    assert left.resources.gpu == right.resources.gpu
+    assert left.inputs == right.inputs
+    assert left.outputs == right.outputs
+    assert left.when == right.when
+    assert left.retries == right.retries
+    assert left.sim == right.sim
+
+
+@pytest.mark.parametrize("seed", range(50))
+def test_randomized_ir_roundtrips_every_field(seed):
+    ir = _random_ir(seed)
+    restored = ir_from_dict(ir_to_dict(ir))
+    assert restored.name == ir.name
+    assert restored.config == ir.config
+    assert set(restored.nodes) == set(ir.nodes)
+    assert restored.edges == ir.edges
+    for name in ir.nodes:
+        _assert_nodes_equal(ir.nodes[name], restored.nodes[name])
+
+
+@pytest.mark.parametrize("seed", range(0, 50, 7))
+def test_roundtrip_is_a_fixpoint_through_json(seed):
+    """dict -> IR -> dict must be the identity, even via JSON text."""
+    ir = _random_ir(seed)
+    data = ir_to_dict(ir)
+    assert ir_to_dict(ir_from_dict(data)) == data
+    assert ir_to_dict(ir_from_json(ir_to_json(ir))) == data
+    # The wire format itself must be pure JSON (no repr leakage).
+    assert json.loads(json.dumps(data)) == data
+
+
+def test_sub_millicore_cpu_survives():
+    ir = WorkflowIR(name="tiny")
+    ir.add_node(
+        IRNode(name="a", op=OpKind.CONTAINER, resources=ResourceQuantity(cpu=0.0001))
+    )
+    restored = ir_from_dict(ir_to_dict(ir))
+    assert restored.nodes["a"].resources.cpu == 0.0001
+
+
+def test_legacy_string_resources_still_parse():
+    """Old payloads carried quantity strings; reader must accept them."""
+    data = {
+        "version": FORMAT_VERSION,
+        "name": "legacy",
+        "nodes": [
+            {
+                "name": "a",
+                "op": "container",
+                "resources": {"cpu": "500m", "memory": "2Gi", "gpu": 1},
+            }
+        ],
+        "edges": [],
+    }
+    ir = ir_from_dict(data)
+    assert ir.nodes["a"].resources.cpu == 0.5
+    assert ir.nodes["a"].resources.memory == 2 * 2**30
+    assert ir.nodes["a"].resources.gpu == 1
+
+
+def test_unsupported_version_rejected():
+    with pytest.raises(ValueError, match="unsupported IR format version"):
+        ir_from_dict({"version": 99, "name": "x"})

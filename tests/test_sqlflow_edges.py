@@ -1,0 +1,138 @@
+"""SQLFlow parser/translator edge cases beyond the paper examples."""
+
+import pytest
+
+from repro.sqlflow import (
+    PredictStatement,
+    SQLFlowSyntaxError,
+    TrainStatement,
+    parse,
+    parse_many,
+    sql_script_to_irs,
+    sql_to_ir,
+)
+
+TRAIN_SQL = """SELECT *
+FROM iris.train
+TO TRAIN DNNClassifier
+WITH model.n_classes = 3
+COLUMN sepal_len, sepal_width
+LABEL class
+INTO sqlflow_models.my_dnn_model;"""
+
+PREDICT_SQL = """SELECT *
+FROM iris.test
+TO PREDICT iris.predict.class
+USING sqlflow_models.my_dnn_model;"""
+
+
+class TestQuotedIdentifiers:
+    def test_quoted_select_columns_survive(self):
+        statement = parse(
+            'SELECT "order", \'select\', plain FROM t TO TRAIN M INTO m;'
+        )
+        assert statement.select_columns == ["order", "select", "plain"]
+
+    def test_quoted_feature_columns_survive(self):
+        statement = parse(
+            "SELECT * FROM t TO TRAIN M COLUMN \"weird col\", basic INTO m;"
+        )
+        assert statement.feature_columns == ["weird col", "basic"]
+
+    def test_quoted_table_and_model_names(self):
+        statement = parse('SELECT * FROM "my table" TO TRAIN M INTO "my model";')
+        assert statement.table == "my table"
+        assert statement.into == "my model"
+
+    def test_quoted_label(self):
+        statement = parse('SELECT * FROM t TO TRAIN M LABEL "the label";')
+        assert statement.label == "the label"
+
+    def test_quoted_predict_targets(self):
+        statement = parse(
+            "SELECT * FROM t TO PREDICT 'out.tbl' USING 'a model';"
+        )
+        assert statement.result_table == "out.tbl"
+        assert statement.model == "a model"
+
+
+class TestMalformedStatements:
+    def test_missing_to_clause(self):
+        with pytest.raises(SQLFlowSyntaxError, match="expected TO"):
+            parse("SELECT * FROM t WHERE x = 1")
+
+    def test_truncated_after_from(self):
+        with pytest.raises(SQLFlowSyntaxError, match="unexpected end"):
+            parse("SELECT * FROM t")
+
+    def test_missing_train_keyword(self):
+        with pytest.raises(SQLFlowSyntaxError, match="TRAIN or PREDICT"):
+            parse("SELECT * FROM t TO FIT M")
+
+    def test_punctuation_is_not_a_table_name(self):
+        with pytest.raises(SQLFlowSyntaxError, match="table name"):
+            parse("SELECT * FROM = TO TRAIN M")
+
+    def test_number_in_column_list_rejected(self):
+        with pytest.raises(SQLFlowSyntaxError, match="column list"):
+            parse("SELECT 42 FROM t TO TRAIN M")
+
+    def test_attribute_without_equals(self):
+        with pytest.raises(SQLFlowSyntaxError, match="expected '='"):
+            parse("SELECT * FROM t TO TRAIN M WITH key 3")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SQLFlowSyntaxError, match="trailing input"):
+            parse("SELECT * FROM t TO TRAIN M INTO m; extra tokens")
+
+    def test_two_statements_rejected_by_parse(self):
+        with pytest.raises(SQLFlowSyntaxError, match="parse_many"):
+            parse(TRAIN_SQL + "\n" + PREDICT_SQL)
+
+    def test_empty_input(self):
+        with pytest.raises(SQLFlowSyntaxError):
+            parse("")
+
+
+class TestMultiStatement:
+    def test_train_then_predict_script(self):
+        statements = parse_many(TRAIN_SQL + "\n" + PREDICT_SQL)
+        assert len(statements) == 2
+        assert isinstance(statements[0], TrainStatement)
+        assert isinstance(statements[1], PredictStatement)
+        assert statements[0].into == statements[1].model
+
+    def test_single_statement_with_and_without_semicolon(self):
+        assert len(parse_many(TRAIN_SQL)) == 1
+        assert len(parse_many(TRAIN_SQL.rstrip().rstrip(";"))) == 1
+
+    def test_empty_script(self):
+        assert parse_many("") == []
+
+    def test_script_lowers_to_one_ir_per_statement(self):
+        irs = sql_script_to_irs(TRAIN_SQL + "\n" + PREDICT_SQL)
+        assert len(irs) == 2
+        assert irs[0].name == "sqlflow-train-dnnclassifier"
+        assert irs[1].name == "sqlflow-predict"
+        assert all(ir.nodes for ir in irs)
+
+
+class TestTranslateEdges:
+    def test_train_without_into_skips_save_step(self):
+        ir = sql_to_ir("SELECT * FROM t TO TRAIN M LABEL y")
+        assert "save-model" not in ir.nodes
+        assert any(name.startswith("train-") for name in ir.nodes)
+
+    def test_train_without_columns_selects_star(self):
+        ir = sql_to_ir("SELECT * FROM db.t TO TRAIN M INTO m;")
+        extract = ir.nodes["extract-db-t"]
+        assert "--query=SELECT * FROM db.t" in extract.args
+
+    def test_explicit_workflow_name_wins(self):
+        ir = sql_to_ir(PREDICT_SQL, workflow_name="custom")
+        assert ir.name == "custom"
+
+    def test_predict_wiring(self):
+        ir = sql_to_ir(PREDICT_SQL)
+        assert ("extract-iris-test", "predict") in ir.edges
+        assert ("predict", "write-results") in ir.edges

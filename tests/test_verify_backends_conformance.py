@@ -1,0 +1,120 @@
+"""Structural conformance validators for compiled backend output."""
+
+import copy
+
+import pytest
+
+from repro.backends.argo import ArgoBackend
+from repro.backends.tekton import TektonBackend
+from repro.verify.backends_conformance import (
+    check_ir_roundtrip,
+    conformance_problems,
+    validate_argo_manifest,
+    validate_airflow_source,
+    validate_tekton_manifests,
+)
+from repro.verify.generator import GeneratorConfig, generate_ir
+
+
+@pytest.fixture()
+def ir():
+    return generate_ir(5)
+
+
+def test_generated_workflows_conform(ir):
+    for seed in range(8):
+        assert conformance_problems(generate_ir(seed)) == []
+
+
+def test_stochastic_workflows_conform():
+    config = GeneratorConfig(deterministic=False)
+    for seed in range(8):
+        assert conformance_problems(generate_ir(seed, config)) == []
+
+
+def test_argo_bad_api_version_flagged(ir):
+    manifest = ArgoBackend().compile(ir)
+    manifest["apiVersion"] = "v1"
+    assert any("apiVersion" in p for p in validate_argo_manifest(manifest))
+
+
+def test_argo_missing_template_flagged(ir):
+    manifest = copy.deepcopy(ArgoBackend().compile(ir))
+    entry = next(
+        t for t in manifest["spec"]["templates"]
+        if t["name"] == manifest["spec"]["entrypoint"]
+    )
+    entry["dag"]["tasks"][0]["template"] = "no-such-template"
+    assert any(
+        "missing template" in p for p in validate_argo_manifest(manifest)
+    )
+
+
+def test_argo_unknown_dependency_flagged(ir):
+    manifest = copy.deepcopy(ArgoBackend().compile(ir))
+    entry = next(
+        t for t in manifest["spec"]["templates"]
+        if t["name"] == manifest["spec"]["entrypoint"]
+    )
+    entry["dag"]["tasks"][0].setdefault("dependencies", []).append("ghost")
+    assert any("unknown task" in p for p in validate_argo_manifest(manifest))
+
+
+def test_argo_malformed_when_flagged(ir):
+    manifest = copy.deepcopy(ArgoBackend().compile(ir))
+    entry = next(
+        t for t in manifest["spec"]["templates"]
+        if t["name"] == manifest["spec"]["entrypoint"]
+    )
+    entry["dag"]["tasks"][0]["when"] = "{{x.result} == =="
+    assert validate_argo_manifest(manifest)
+
+
+def test_argo_missing_sim_annotation_flagged(ir):
+    manifest = copy.deepcopy(ArgoBackend().compile(ir))
+    for template in manifest["spec"]["templates"]:
+        if template["name"] != manifest["spec"]["entrypoint"]:
+            template["metadata"]["annotations"].clear()
+            break
+    assert any("sim/step-profile" in p for p in validate_argo_manifest(manifest))
+
+
+def test_airflow_syntax_error_flagged(ir):
+    problems = validate_airflow_source("def broken(:", ir)
+    assert any("not valid Python" in p for p in problems)
+
+
+def test_airflow_missing_operator_flagged(ir):
+    problems = validate_airflow_source("# empty module\n", ir)
+    assert any("no operator" in p for p in problems)
+
+
+def test_tekton_task_set_mismatch_flagged(ir):
+    compiled = copy.deepcopy(TektonBackend().compile(ir))
+    compiled["pipeline"]["spec"]["tasks"].pop()
+    assert any(
+        "!= IR nodes" in p for p in validate_tekton_manifests(compiled, ir)
+    )
+
+
+def test_tekton_dangling_run_after_flagged(ir):
+    compiled = copy.deepcopy(TektonBackend().compile(ir))
+    compiled["pipeline"]["spec"]["tasks"][0].setdefault(
+        "runAfter", []
+    ).append("ghost")
+    assert any(
+        "unknown task" in p for p in validate_tekton_manifests(compiled, ir)
+    )
+
+
+def test_tekton_pipeline_ref_mismatch_flagged(ir):
+    compiled = copy.deepcopy(TektonBackend().compile(ir))
+    compiled["pipelineRun"]["spec"]["pipelineRef"]["name"] = "other"
+    assert any(
+        "not the Pipeline" in p for p in validate_tekton_manifests(compiled, ir)
+    )
+
+
+def test_roundtrip_clean_on_generated_irs():
+    for seed in range(8):
+        assert check_ir_roundtrip(generate_ir(seed)) == []

@@ -1,0 +1,130 @@
+"""The seeded workflow fuzzer: determinism and DSL surface coverage."""
+
+from repro.ir.nodes import ArtifactStorage, OpKind
+from repro.ir.serialize import ir_to_dict
+from repro.verify.generator import GeneratorConfig, generate_ir
+
+SWEEP = range(40)
+
+
+def test_same_seed_same_ir():
+    for seed in range(10):
+        assert ir_to_dict(generate_ir(seed)) == ir_to_dict(generate_ir(seed))
+
+
+def test_stochastic_mode_is_also_seed_deterministic():
+    config = GeneratorConfig(deterministic=False)
+    for seed in range(10):
+        assert ir_to_dict(generate_ir(seed, config)) == ir_to_dict(
+            generate_ir(seed, config)
+        )
+
+
+def test_different_seeds_differ():
+    dumps = {repr(ir_to_dict(generate_ir(seed))) for seed in range(10)}
+    assert len(dumps) == 10
+
+
+def test_node_counts_respect_config():
+    config = GeneratorConfig(min_nodes=3, max_nodes=12)
+    for seed in SWEEP:
+        size = len(generate_ir(seed, config).nodes)
+        # Control-flow moves (map fan-out, loop unrolling) can overshoot
+        # the target by a couple of nodes; never undershoot.
+        assert 3 <= size <= 12 + 6
+
+
+def test_every_op_kind_is_generated():
+    ops = {
+        node.op for seed in SWEEP for node in generate_ir(seed).nodes.values()
+    }
+    assert ops == set(OpKind)
+
+
+def test_every_storage_class_is_generated():
+    storages = set()
+    for seed in SWEEP:
+        for node in generate_ir(seed).nodes.values():
+            for artifact in node.inputs + node.outputs:
+                storages.add(artifact.storage)
+    assert storages == set(ArtifactStorage)
+
+
+def test_control_flow_surface_is_covered():
+    when_guards = 0
+    map_seeds = 0
+    dag_seeds = 0
+    retries = 0
+    gpu_steps = 0
+    wired_inputs = 0
+    for seed in SWEEP:
+        ir = generate_ir(seed)
+        when_guards += sum(1 for node in ir.nodes.values() if node.when)
+        retries += sum(
+            1 for node in ir.nodes.values() if node.retries is not None
+        )
+        gpu_steps += sum(
+            1 for node in ir.nodes.values() if node.sim and node.sim.uses_gpu
+        )
+        wired_inputs += sum(1 for node in ir.nodes.values() if node.inputs)
+        if any("-" in name and name[0] == "m" for name in ir.nodes):
+            map_seeds += 1
+        if all(name[0] == "d" for name in ir.nodes):
+            dag_seeds += 1
+    assert when_guards > 10
+    assert map_seeds > 3
+    assert dag_seeds > 3
+    assert retries > 10
+    assert gpu_steps > 10
+    assert wired_inputs > 10
+
+
+def test_workflows_have_edges():
+    assert sum(len(generate_ir(seed).edges) for seed in range(5)) > 0
+
+
+def test_deterministic_config_forces_outcomes():
+    """The oracle mode must yield branch-stable workflows: no failure
+    injection, and at most one possible ``result`` per step."""
+    for seed in SWEEP:
+        for node in generate_ir(seed).nodes.values():
+            if node.sim is None:
+                continue
+            assert node.sim.failure_rate == 0.0
+            assert len(node.sim.result_options) <= 1
+
+
+def test_stochastic_config_exercises_failures_and_branching():
+    config = GeneratorConfig(deterministic=False)
+    failure_rates = set()
+    multi_valued = 0
+    for seed in SWEEP:
+        for node in generate_ir(seed, config).nodes.values():
+            if node.sim is None:
+                continue
+            failure_rates.add(node.sim.failure_rate)
+            if len(node.sim.result_options) >= 2:
+                multi_valued += 1
+    assert any(rate > 0 for rate in failure_rates)
+    assert multi_valued > 10
+
+
+def test_generated_ir_is_executable():
+    for seed in range(10):
+        executable = generate_ir(seed).to_executable()
+        executable.validate()
+        assert executable.steps
+
+
+def test_config_is_honored():
+    config = GeneratorConfig(min_nodes=2, max_nodes=4, artifact_probability=0.0)
+    for seed in range(10):
+        ir = generate_ir(seed, config)
+        assert len(ir.nodes) <= 4 + 6
+        # Scripts always declare their implicit ``result`` parameter;
+        # with artifact_probability=0 no *data* artifact may appear.
+        assert all(
+            artifact.name == "result"
+            for node in ir.nodes.values()
+            for artifact in node.outputs
+        )

@@ -1,0 +1,82 @@
+"""Differential oracles: all green on healthy code, sharp on broken code."""
+
+import pytest
+
+from repro.parallelism.splitter import WorkflowSplitter
+from repro.verify.generator import generate_ir
+from repro.verify.oracles import (
+    DETERMINISTIC_CONFIG,
+    ORACLES,
+    run_seed,
+    run_suite,
+)
+
+
+def test_oracle_registry_is_complete():
+    assert set(ORACLES) == {"submitters", "split", "cache", "replay", "backends"}
+
+
+@pytest.mark.slow
+def test_all_oracles_pass_on_sample_seeds():
+    for seed in (0, 7, 13):
+        for outcome in run_seed(seed):
+            assert outcome.ok, f"{outcome.oracle} seed={seed}: {outcome.detail}"
+
+
+def test_run_seed_rejects_unknown_oracle():
+    with pytest.raises(ValueError, match="unknown oracle"):
+        run_seed(0, ["split", "nope"])
+
+
+def test_run_seed_subset_runs_only_requested():
+    outcomes = run_seed(1, ["backends"])
+    assert [outcome.oracle for outcome in outcomes] == ["backends"]
+
+
+def test_split_oracle_actually_splits():
+    """The budget heuristic must force multi-part plans on real seeds —
+    a split oracle that never splits verifies nothing."""
+    from repro.verify.oracles import _split_budgets
+
+    multi_part = 0
+    for seed in range(10):
+        ir = generate_ir(seed, DETERMINISTIC_CONFIG)
+        for budget in _split_budgets(ir):
+            try:
+                plan = WorkflowSplitter(budget).split(ir)
+            except Exception:
+                continue
+            if plan.num_parts >= 2:
+                multi_part += 1
+    assert multi_part >= 5
+
+
+@pytest.mark.slow
+def test_suite_report_aggregates_and_digest_is_stable():
+    first = run_suite(range(3))
+    second = run_suite(range(3))
+    assert first.ok and second.ok
+    assert first.aggregate_digest() == second.aggregate_digest()
+    counts = first.counts()
+    assert set(counts) == set(ORACLES)
+    assert all(passed == total == 3 for passed, total in counts.values())
+
+
+def test_suite_fail_fast_stops_early(monkeypatch):
+    from repro.verify import oracles as oracles_mod
+
+    calls = []
+
+    def always_fail(ir, seed):
+        calls.append(seed)
+        return oracles_mod.OracleOutcome("backends", seed, False, "boom")
+
+    monkeypatch.setitem(
+        oracles_mod.ORACLES,
+        "backends",
+        oracles_mod.Oracle("backends", DETERMINISTIC_CONFIG, always_fail),
+    )
+    report = run_suite(range(5), ["backends"], fail_fast=True)
+    assert calls == [0]
+    assert not report.ok
+    assert report.failures[0].detail == "boom"

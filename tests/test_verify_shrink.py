@@ -1,0 +1,110 @@
+"""Node-deletion shrinking, including the injected-inequivalence demo."""
+
+import pytest
+
+from repro.engine.operator import WorkflowOperator
+from repro.verify.generator import generate_ir
+from repro.verify.oracles import (
+    DETERMINISTIC_CONFIG,
+    OracleOutcome,
+    check_split,
+)
+from repro.verify.shrink import delete_node, shrink_failure, shrink_ir
+
+
+def test_delete_node_drops_node_and_its_edges():
+    ir = generate_ir(0, DETERMINISTIC_CONFIG)
+    victim = sorted(ir.nodes)[0]
+    smaller = delete_node(ir, victim)
+    assert victim not in smaller.nodes
+    assert set(smaller.nodes) == set(ir.nodes) - {victim}
+    assert all(victim not in edge for edge in smaller.edges)
+    surviving = {e for e in ir.edges if victim not in e}
+    assert smaller.edges == surviving
+
+
+def test_shrink_to_single_culprit_node():
+    """A failure that hinges on one node shrinks to exactly that node."""
+    ir = generate_ir(1, DETERMINISTIC_CONFIG)
+    culprit = sorted(ir.nodes)[len(ir.nodes) // 2]
+    minimal = shrink_ir(ir, lambda candidate: culprit in candidate.nodes)
+    assert set(minimal.nodes) == {culprit}
+
+
+def test_shrink_treats_predicate_exceptions_as_failures():
+    ir = generate_ir(1, DETERMINISTIC_CONFIG)
+
+    def explosive(candidate):
+        raise RuntimeError("system under test crashed")
+
+    minimal = shrink_ir(ir, explosive)
+    assert len(minimal.nodes) == 1
+
+
+def test_shrink_respects_evaluation_budget():
+    ir = generate_ir(1, DETERMINISTIC_CONFIG)
+    evaluations = []
+
+    def count(candidate):
+        evaluations.append(1)
+        return False
+
+    shrink_ir(ir, count, max_evaluations=3)
+    assert len(evaluations) == 3
+
+
+def test_shrink_failure_returns_none_when_not_reproducible():
+    phantom = OracleOutcome("backends", 0, False, "never actually failed")
+    assert shrink_failure(phantom) is None
+
+
+def _drop_initial_results(monkeypatch):
+    """Inject the pre-fix stitch bug: cross-part step results are not
+    forwarded, so ``when`` guards referencing a step in an earlier part
+    see no result and skip."""
+    original = WorkflowOperator.submit
+
+    def broken(self, workflow, record=None, on_complete=None, initial_results=None):
+        return original(
+            self, workflow, record=record, on_complete=on_complete,
+            initial_results=None,
+        )
+
+    monkeypatch.setattr(WorkflowOperator, "submit", broken)
+
+
+@pytest.mark.slow
+def test_injected_split_inequivalence_is_caught_and_shrunk(monkeypatch):
+    """Acceptance demo: a deliberately broken cross-part edge handling
+    is detected by the split oracle and shrunk to a tiny repro."""
+    _drop_initial_results(monkeypatch)
+    failing = None
+    for seed in range(12):
+        ir = generate_ir(seed, DETERMINISTIC_CONFIG)
+        outcome = check_split(ir, seed)
+        if not outcome.ok:
+            failing = (ir, seed, outcome)
+            break
+    assert failing is not None, "injected bug escaped the split oracle"
+    ir, seed, outcome = failing
+    assert "split diverged" in outcome.detail
+
+    minimal = shrink_ir(
+        ir, lambda candidate: not check_split(candidate, seed).ok
+    )
+    assert len(minimal.nodes) <= 5
+    assert len(minimal.nodes) < len(ir.nodes)
+    final = check_split(minimal, seed)
+    assert not final.ok
+    # The minimal repro must still contain a guarded step — that is the
+    # semantic the injected bug breaks.
+    assert any(node.when for node in minimal.nodes.values())
+
+
+@pytest.mark.slow
+def test_oracles_are_green_without_the_injection():
+    """Control for the demo above: same seeds, healthy code, no alarms."""
+    for seed in range(3):
+        ir = generate_ir(seed, DETERMINISTIC_CONFIG)
+        outcome = check_split(ir, seed)
+        assert outcome.ok, outcome.detail

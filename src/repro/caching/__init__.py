@@ -3,8 +3,10 @@
 Public surface:
 
 - :class:`ArtifactStore` — the Alluxio-style capacity-bounded store.
-- :class:`ArtifactScorer` / :class:`ScoreWeights` — Eqs. 3–6.
-- :class:`CoulerCachePolicy` and the No/ALL/FIFO/LRU baselines.
+- :class:`ArtifactScorer` / :class:`IncrementalArtifactScorer` /
+  :class:`ScoreWeights` — Eqs. 3–6 (from-scratch and memoized).
+- :class:`CoulerCachePolicy` and the No/ALL/FIFO/LRU baselines, all
+  speaking the :class:`CacheDecision` policy API.
 - :class:`CacheManager` — the runtime hook wired into the engine.
 - :class:`Dataset` / :class:`CachingServer` — the Dataset CRD data-read
   cache from Appendix B.C (Fig. 17 experiments).
@@ -22,6 +24,7 @@ from .dataset_crd import CachingServer, Dataset, DatasetKind, SyncState
 from .manager import CacheManager
 from .policy import (
     CacheAllPolicy,
+    CacheDecision,
     CachePolicy,
     CoulerCachePolicy,
     FIFOCachePolicy,
@@ -30,13 +33,19 @@ from .policy import (
     POLICY_REGISTRY,
     make_policy,
 )
-from .score import ArtifactScorer, ScoreWeights, WorkflowGraphIndex
+from .score import (
+    ArtifactScorer,
+    IncrementalArtifactScorer,
+    ScoreWeights,
+    WorkflowGraphIndex,
+)
 
 __all__ = [
     "ArtifactScorer",
     "ArtifactStore",
     "ArtifactTooLargeError",
     "CacheAllPolicy",
+    "CacheDecision",
     "CacheEntry",
     "CacheError",
     "CacheManager",
@@ -47,6 +56,7 @@ __all__ = [
     "Dataset",
     "DatasetKind",
     "FIFOCachePolicy",
+    "IncrementalArtifactScorer",
     "InsufficientSpaceError",
     "LRUCachePolicy",
     "NoCachePolicy",

@@ -16,9 +16,13 @@ delegating view over those counters, kept for the existing call sites
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..obs.metrics import Counter, MetricsRegistry
+
+#: Store event listener: called with ``(event, uid)`` where event is
+#: ``"put"``, ``"evict"`` or ``"clear"`` (uid is ``""`` for clear).
+StoreListener = Callable[[str, str], None]
 
 
 class CacheError(RuntimeError):
@@ -142,6 +146,21 @@ class ArtifactStore:
         #: Peak bytes ever held — the "caching storage consumption"
         #: axis in Fig. 7's scatter plot.
         self.peak_bytes = 0
+        self._listeners: List[StoreListener] = []
+
+    def add_listener(self, listener: StoreListener) -> None:
+        """Subscribe to residency changes (``put``/``evict``/``clear``).
+
+        The incremental scorer uses these events to invalidate L(u)
+        memos whose G_p truncation just changed; the Couler policy uses
+        them to keep its eviction heap in lockstep with the store.
+        """
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def _notify(self, event: str, uid: str) -> None:
+        for listener in self._listeners:
+            listener(event, uid)
 
     # --------------------------------------------------------------- queries
 
@@ -211,6 +230,7 @@ class ArtifactStore:
         self.peak_bytes = max(self.peak_bytes, self._used)
         self.stats.insertions += 1
         self._update_occupancy()
+        self._notify("put", uid)
         return entry
 
     def evict(self, uid: str) -> CacheEntry:
@@ -221,6 +241,7 @@ class ArtifactStore:
         self.stats.evictions += 1
         self.stats.bytes_evicted += entry.size_bytes
         self._update_occupancy()
+        self._notify("evict", uid)
         return entry
 
     def record_hit(self, uid: str, now: float) -> None:
@@ -242,6 +263,7 @@ class ArtifactStore:
         self._entries.clear()
         self._used = 0
         self._update_occupancy()
+        self._notify("clear", "")
 
     # ------------------------------------------------------------ snapshots
 

@@ -17,9 +17,22 @@ shift call sites, and any submitter conforming to the
 
 ``repro.core`` remains as the historical import path and re-exports
 the same names; new code should import :mod:`repro.couler`.
+
+The caching surface (Algorithm 2) is part of v1 as of this release:
+:class:`CacheManager` attaches automatic artifact caching to a run,
+:class:`ScoreWeights` tunes the Eq. 6 importance factor, and custom
+admission policies subclass :class:`CachePolicy` and implement
+``decide(decision: CacheDecision)``.
 """
 
 from .backends.base import Submitter, submission_record
+from .caching import (
+    CacheDecision,
+    CacheManager,
+    CachePolicy,
+    ScoreWeights,
+    make_policy,
+)
 from .core.api import (
     PENDING,
     StepOutput,
@@ -98,6 +111,12 @@ __all__ = [
     "not_equal",
     "smaller",
     "smaller_equal",
+    # caching (Algorithm 2)
+    "CacheDecision",
+    "CacheManager",
+    "CachePolicy",
+    "ScoreWeights",
+    "make_policy",
     # artifacts
     "create_gcs_artifact",
     "create_git_artifact",

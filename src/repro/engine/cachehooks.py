@@ -55,7 +55,21 @@ class CacheManagerProtocol(Protocol):
         ...
 
     def on_artifact_produced(self, artifact: ArtifactSpec, now: float) -> None:
-        """Offer a freshly produced artifact for caching."""
+        """Offer a freshly produced artifact for caching.
+
+        The real manager routes this through the policy's
+        ``decide(CacheDecision)`` entry point (see
+        :mod:`repro.caching.policy`).
+        """
+        ...
+
+    def contains(self, uid: str) -> bool:
+        """Is this artifact currently resident?  Drives the operator's
+        cached-step-skip optimization."""
+        ...
+
+    def on_step_finished(self, node_key: str) -> None:
+        """A step completed; its reads are past usage for F(u)."""
         ...
 
 
@@ -73,4 +87,10 @@ class NullCacheManager:
         return self.bandwidth.remote_seconds(artifact.size_bytes, self.distance), False
 
     def on_artifact_produced(self, artifact: ArtifactSpec, now: float) -> None:
+        return None
+
+    def contains(self, uid: str) -> bool:
+        return False
+
+    def on_step_finished(self, node_key: str) -> None:
         return None

@@ -74,6 +74,7 @@ def run_scenario(
     skip_cached_steps: bool = False,
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
+    scorer: str = "incremental",
 ) -> ScenarioRunResult:
     """Run one configuration to completion and summarize it.
 
@@ -81,7 +82,10 @@ def run_scenario(
     honest configuration: it shows up in the scatter plot as fast but
     storage-hungry).  Pass a ``tracer`` / ``metrics`` registry to record
     spans and counters for the whole run (``repro trace`` does this);
-    both engine and cache share the one registry.
+    both engine and cache share the one registry.  ``scorer`` selects
+    the importance-scoring implementation (``"incremental"`` or the
+    from-scratch ``"naive"`` reference — equivalent by the ``scores``
+    verify oracle, so experiment results never depend on the choice).
     """
     spec = SCENARIOS[scenario]
     clock = SimClock()
@@ -92,6 +96,7 @@ def run_scenario(
         capacity_bytes=capacity,
         weights=weights or ScoreWeights(alpha=1.5, beta=1.0),
         metrics=metrics,
+        scorer=scorer,
     )
     operator = WorkflowOperator(
         clock,

@@ -9,6 +9,9 @@ Per seed, the suite asserts:
   semantics across several splitter budgets.
 * **cache** — every cache policy (and the cached-step-skip flag) is
   output-transparent: caching changes timings, never results.
+* **scores** — the incremental importance scorer (memoized L/F with
+  dirty-set invalidation, heap-driven eviction) is decision-for-decision
+  and float-for-float identical to the from-scratch scorer.
 * **replay** — the same seed replays to a byte-identical full
   fingerprint (statuses, attempts, results, makespan), with failure
   injection and multi-valued results enabled.
@@ -215,6 +218,70 @@ def check_cache(ir: WorkflowIR, seed: int) -> OracleOutcome:
     return OracleOutcome("cache", seed, True, digests=tuple(digests))
 
 
+def _scored_run(ir: WorkflowIR, seed: int, scorer: str) -> Tuple[Fingerprint, dict]:
+    """Execute ``ir`` under the Couler policy with the given scorer mode.
+
+    Returns the output fingerprint plus a trace of everything the
+    scoring path influenced: the structured admission decision log
+    (admitted / evicted-in-order / newcomer score, floats as exact
+    reprs), the final resident set, and a full post-run breakdown sweep
+    of every known artifact against the live cache state.
+    """
+    total_bytes = sum(
+        artifact.size_bytes
+        for node in ir.nodes.values()
+        for artifact in node.outputs
+    )
+    capacity = max(4096, total_bytes // 3)
+    manager = CacheManager(
+        policy="couler",
+        capacity_bytes=capacity,
+        scorer=scorer,
+        record_decisions=True,
+    )
+    fingerprint = _execute(ir, seed, cache_manager=manager)
+    sweep = {
+        uid: {k: repr(v) for k, v in manager.scorer.breakdown(
+            uid, manager.store.contains
+        ).items()}
+        for uid in sorted(manager.index.artifacts)
+    }
+    trace = {
+        "decisions": manager.decisions,
+        "resident": sorted(manager.store.uids()),
+        "sweep": sweep,
+    }
+    return fingerprint, trace
+
+
+def check_scores(ir: WorkflowIR, seed: int) -> OracleOutcome:
+    """Incremental scorer ≡ from-scratch scorer, decision for decision."""
+    naive_fp, naive_trace = _scored_run(ir, seed, "naive")
+    incr_fp, incr_trace = _scored_run(ir, seed, "incremental")
+    digests = (
+        naive_fp.digest(),
+        hashlib.sha256(repr(naive_trace).encode()).hexdigest(),
+        incr_fp.digest(),
+        hashlib.sha256(repr(incr_trace).encode()).hexdigest(),
+    )
+    for key in ("decisions", "resident", "sweep"):
+        if naive_trace[key] != incr_trace[key]:
+            return OracleOutcome(
+                "scores",
+                seed,
+                False,
+                f"incremental scorer diverged from from-scratch on {key}: "
+                f"naive={naive_trace[key]!r} incremental={incr_trace[key]!r}"[:2000],
+                digests,
+            )
+    diff = describe_difference(naive_fp, incr_fp, view="outputs")
+    if diff is not None:
+        return OracleOutcome(
+            "scores", seed, False, f"outputs diverged: {diff}", digests
+        )
+    return OracleOutcome("scores", seed, True, digests=digests)
+
+
 def check_replay(ir: WorkflowIR, seed: int) -> OracleOutcome:
     """Same seed, same engine, twice — identical full fingerprints."""
     first = _execute(ir, seed)
@@ -268,6 +335,7 @@ ORACLES: Dict[str, Oracle] = {
     "cache": Oracle("cache", DETERMINISTIC_CONFIG, check_cache),
     "replay": Oracle("replay", STOCHASTIC_CONFIG, check_replay),
     "backends": Oracle("backends", DETERMINISTIC_CONFIG, check_backends),
+    "scores": Oracle("scores", DETERMINISTIC_CONFIG, check_scores),
 }
 
 #: check functions safe to re-run on shrunk (non-generated) IRs.
@@ -277,6 +345,7 @@ SHRINKABLE_CHECKS: Dict[str, Callable[[WorkflowIR, int], OracleOutcome]] = {
     "cache": check_cache,
     "replay": _check_replay_shrinkable,
     "backends": check_backends,
+    "scores": check_scores,
 }
 
 

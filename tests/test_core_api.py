@@ -304,3 +304,23 @@ class TestFacade:
         assert facade.run_container is couler.run_container
         assert facade.run is couler.run
         assert facade.dag is couler.dag
+
+    def test_facade_exports_caching_surface(self):
+        from repro import caching
+        from repro import couler as facade
+
+        for name in (
+            "CacheDecision",
+            "CacheManager",
+            "CachePolicy",
+            "ScoreWeights",
+            "make_policy",
+        ):
+            assert name in facade.__all__
+            assert getattr(facade, name) is getattr(caching, name)
+
+    def test_cache_manager_is_keyword_only(self):
+        from repro import couler as facade
+
+        with pytest.raises(TypeError):
+            facade.CacheManager("couler")

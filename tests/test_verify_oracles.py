@@ -13,7 +13,14 @@ from repro.verify.oracles import (
 
 
 def test_oracle_registry_is_complete():
-    assert set(ORACLES) == {"submitters", "split", "cache", "replay", "backends"}
+    assert set(ORACLES) == {
+        "submitters",
+        "split",
+        "cache",
+        "replay",
+        "backends",
+        "scores",
+    }
 
 
 @pytest.mark.slow
@@ -60,6 +67,32 @@ def test_suite_report_aggregates_and_digest_is_stable():
     counts = first.counts()
     assert set(counts) == set(ORACLES)
     assert all(passed == total == 3 for passed, total in counts.values())
+
+
+@pytest.mark.slow
+def test_scores_oracle_sweep():
+    """Tentpole acceptance: incremental ≡ from-scratch scorer over a
+    wide fuzzer-seed sweep (decision logs, resident sets, breakdown
+    sweeps and output fingerprints all identical)."""
+    for seed in range(25):
+        outcome = ORACLES["scores"].run(seed)
+        assert outcome.ok, f"scores seed={seed}: {outcome.detail}"
+
+
+def test_scores_oracle_detects_divergent_scorer(monkeypatch):
+    """The oracle must actually discriminate: skew the incremental
+    scorer's importance and the check has to fail."""
+    from repro.caching.score import IncrementalArtifactScorer
+    from repro.verify.oracles import check_scores
+
+    original = IncrementalArtifactScorer.importance
+
+    def skewed(self, uid, is_cached=None):
+        return original(self, uid, is_cached) + 1e-9
+
+    monkeypatch.setattr(IncrementalArtifactScorer, "importance", skewed)
+    ir = generate_ir(0, DETERMINISTIC_CONFIG)
+    assert not check_scores(ir, 0).ok
 
 
 def test_suite_fail_fast_stops_early(monkeypatch):

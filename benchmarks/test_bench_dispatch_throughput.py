@@ -1,21 +1,28 @@
 """Dispatch-throughput benchmark for the event-driven admission pipeline.
 
 Drives an open-loop Poisson fleet (default 500 workflows, override with
-``BENCH_DISPATCH_WORKFLOWS`` for CI smoke runs) from four tenants with
-uneven quotas and priorities across a three-cluster fleet, and records
-the service-level quantities the online scheduler exists for:
+``BENCH_DISPATCH_WORKFLOWS`` for CI smoke runs) from four tenants across
+a three-cluster fleet, once per fairness configuration:
 
-* **throughput** — completed workflows per virtual second, against the
-  virtual makespan (wall time is reported for context but excluded
-  from the compared payload, keeping the benchmark deterministic);
-* **queue latency** — p50/p99 arrival-to-placement wait;
-* **scheduler events** — arrivals, admissions, passes, deferrals,
-  placements, completions, rejections from the metrics registry;
-* **starvation gap** — the single worst queue wait (priority aging is
-  on, so this stays bounded even for the low-priority tenant).
+* ``strict-priority`` — the legacy scheduler: static per-tenant quota
+  caps, aged-priority ordering.  This is the seed behaviour and the
+  starvation baseline (the batch tenant's worst wait was ~1957 s).
+* ``weighted-fair`` (primary) — static caps replaced by work-conserving
+  weighted shares (quota ratios become fairness weights), CPU filler
+  kept off the GPU cluster (``protect_gpu``).
+* ``drf`` — the same, ordered by dominant-resource share.
+* ``drf+slo+preempt`` — DRF plus the serving tenant in the ``serving``
+  SLO lane with checkpoint preemption enabled.
 
-The same seeded run executes twice; the payloads must be identical, and
-the result lands in ``benchmarks/results/BENCH_dispatch.json``.
+Reported per configuration: p50/p99 queue latency, per-tenant p99 and
+starvation-gap columns (pending-inclusive), scheduler event counts and
+preemptions.  The primary configuration is replayed under the same seed
+and must match exactly, and the result lands in
+``benchmarks/results/BENCH_dispatch.json``.
+
+A committed baseline file (``BENCH_dispatch_baselines.json``) gates the
+primary p99 and starvation gap ratchet-style: a run that regresses
+against the baseline fails, mirroring the determinism-digest gates.
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ import time
 from bench_utils import run_once
 
 from repro.engine.admission import AdmissionPipeline
+from repro.engine.fairness import SLO_BATCH, SLO_SERVING
 from repro.engine.queue import UserQuota
 from repro.engine.spec import ExecutableStep, ExecutableWorkflow
 from repro.engine.status import WorkflowPhase
@@ -43,14 +51,18 @@ SEED = 2024
 #: (several workflows in flight per cluster) without unbounded backlog.
 ARRIVAL_RATE_PER_S = 0.125
 
-#: (name, priority, cpu quota) — tenant "batch" is the aging test case:
-#: lowest priority, must still be served within the starvation bound.
+#: (name, priority, cpu quota) — tenant "batch" is the starvation test
+#: case: lowest priority, must still be served within the gap bound.
 TENANTS = [
     ("research", 8, 96.0),
     ("serving", 6, 96.0),
     ("etl", 3, 64.0),
     ("batch", 1, 48.0),
 ]
+
+#: The acceptance bound on the primary config's batch-tenant gap at the
+#: full 500-workflow load: >=10x below the strict-priority seed's 1957 s.
+BATCH_GAP_BOUND_S = 196.0
 
 
 def _clusters():
@@ -97,24 +109,56 @@ def _percentile(values, q):
     return ordered[index]
 
 
-def _run(seed: int) -> dict:
-    quotas = {
-        name: UserQuota(user=name, cpu_limit=limit, memory_limit=512 * GB, gpu_limit=8)
-        for name, _, limit in TENANTS
-    }
+#: name -> (fairness policy, share-based entitlement, slo lanes, preemption)
+CONFIGS = {
+    "strict-priority": ("strict-priority", False, False, False),
+    "weighted-fair": ("weighted-fair", True, False, False),
+    "drf": ("drf", True, False, False),
+    "drf+slo+preempt": ("drf", True, True, True),
+}
+PRIMARY = "weighted-fair"
+
+
+def _run(seed: int, config: str) -> dict:
+    fairness, share_based, slo, preemption = CONFIGS[config]
+    if share_based:
+        # Work-conserving entitlement: the static cpu caps become
+        # fairness *weights* and quotas open to the full fleet, so an
+        # under-share tenant is ordered first instead of hard-blocked
+        # while clusters sit idle (the DRF argument against caps).
+        quotas = {
+            name: UserQuota(
+                user=name, cpu_limit=320.0, memory_limit=2048 * GB, gpu_limit=16
+            )
+            for name, _, _ in TENANTS
+        }
+        weights = {name: limit / 48.0 for name, _, limit in TENANTS}
+    else:
+        quotas = {
+            name: UserQuota(
+                user=name, cpu_limit=limit, memory_limit=512 * GB, gpu_limit=8
+            )
+            for name, _, limit in TENANTS
+        }
+        weights = None
     pipeline = AdmissionPipeline(
         _clusters(),
         quotas=quotas,
         seed=seed,
         aging_rate=0.02,
         max_pending=4 * NUM_WORKFLOWS,
+        fairness=fairness,
+        tenant_weights=weights,
+        preemption=preemption,
+        protect_gpu=share_based,
     )
     arrivals = PoissonArrivalProcess(rate_per_s=ARRIVAL_RATE_PER_S, seed=seed).times(
         NUM_WORKFLOWS
     )
     fleet = _fleet(NUM_WORKFLOWS, seed)
     for at, (workflow, tenant, priority) in zip(arrivals, fleet):
-        pipeline.submit_at(at, workflow, user=tenant, priority=priority)
+        lane = SLO_SERVING if (slo and tenant == "serving") else SLO_BATCH
+        pipeline.submit_at(at, workflow, user=tenant, priority=priority, slo_class=lane)
     makespan = pipeline.run()
 
     latencies = pipeline.queue_latencies()
@@ -129,18 +173,9 @@ def _run(seed: int) -> dict:
             "admission_events_total"
         ).series().items()
     }
-    per_tenant_worst = {
-        tenant: max(
-            (
-                a.queue_latency
-                for a in pipeline.placed
-                if a.user == tenant and a.queue_latency is not None
-            ),
-            default=0.0,
-        )
-        for tenant, _, _ in TENANTS
-    }
+    per_tenant = pipeline.tenant_queue_latencies()
     return {
+        "config": config,
         "workflows": NUM_WORKFLOWS,
         "seed": seed,
         "completed": completed,
@@ -149,50 +184,124 @@ def _run(seed: int) -> dict:
         "workflows_per_sec": completed / makespan if makespan else 0.0,
         "queue_latency_p50_s": _percentile(latencies, 0.50),
         "queue_latency_p99_s": _percentile(latencies, 0.99),
+        "queue_latency_p99_by_tenant_s": {
+            tenant: _percentile(per_tenant.get(tenant, []), 0.99)
+            for tenant, _, _ in TENANTS
+        },
         "starvation_gap_s": pipeline.starvation_gap(),
-        "starvation_gap_by_tenant_s": per_tenant_worst,
+        "starvation_gap_by_tenant_s": {
+            tenant: pipeline.tenant_starvation_gaps().get(tenant, 0.0)
+            for tenant, _, _ in TENANTS
+        },
+        "preemptions": int(events.get("preemption", 0)),
         "scheduler_events": {name: int(value) for name, value in sorted(events.items())},
     }
 
 
+def _run_all(seed: int) -> dict:
+    """Primary payload (top-level keys) plus the policy comparison."""
+    policies = {config: _run(seed, config) for config in CONFIGS}
+    payload = dict(policies[PRIMARY])
+    payload["policies"] = policies
+    return payload
+
+
+def _check_ratchet(payload: dict, results_dir) -> str:
+    """Gate the primary config against the committed baselines.
+
+    Ratchet semantics (same spirit as the determinism digests): a run
+    may do *better* than the committed numbers, never meaningfully
+    worse.  Missing baseline entries (new workflow counts) are noted,
+    not failed.
+    """
+    baselines_path = results_dir / "BENCH_dispatch_baselines.json"
+    if not baselines_path.exists():
+        return "no baselines file; ratchet gate skipped"
+    baselines = json.loads(baselines_path.read_text(encoding="utf-8"))
+    entry = baselines.get(str(NUM_WORKFLOWS))
+    if entry is None:
+        return f"no baseline for {NUM_WORKFLOWS} workflows; ratchet gate skipped"
+    # Virtual-time metrics are deterministic, so the tolerance only
+    # absorbs representation noise, not real regressions.
+    for key in ("queue_latency_p99_s", "starvation_gap_s"):
+        bound = entry[key] * 1.001 + 0.5
+        assert payload[key] <= bound, (
+            f"ratchet regression on {key}: {payload[key]:.2f}s exceeds "
+            f"baseline {entry[key]:.2f}s (+tolerance {bound:.2f}s); if the "
+            f"regression is intended, update BENCH_dispatch_baselines.json"
+        )
+    batch_gap = payload["starvation_gap_by_tenant_s"]["batch"]
+    batch_bound = entry["batch_starvation_gap_s"] * 1.001 + 0.5
+    assert batch_gap <= batch_bound, (
+        f"ratchet regression on batch-tenant starvation gap: "
+        f"{batch_gap:.2f}s exceeds baseline "
+        f"{entry['batch_starvation_gap_s']:.2f}s (+tolerance {batch_bound:.2f}s)"
+    )
+    return (
+        f"ratchet gate vs baseline({NUM_WORKFLOWS}): "
+        f"p99 {payload['queue_latency_p99_s']:.1f}s <= {entry['queue_latency_p99_s']:.1f}s, "
+        f"batch gap {batch_gap:.1f}s <= {entry['batch_starvation_gap_s']:.1f}s"
+    )
+
+
 def test_dispatch_throughput(benchmark, results_dir, save_report):
     started = time.perf_counter()
-    payload = run_once(benchmark, _run, SEED)
+    payload = run_once(benchmark, _run_all, SEED)
     wall_s = time.perf_counter() - started
-    replay = _run(SEED)
+    replay = _run_all(SEED)
 
     # Determinism is an acceptance criterion: every compared field is
     # virtual-time-derived, so a same-seed replay must match exactly.
     assert payload == replay, "same-seed dispatch runs diverged"
 
-    assert payload["completed"] + payload["rejected"] == NUM_WORKFLOWS
-    assert payload["completed"] >= 0.95 * NUM_WORKFLOWS
-    assert payload["workflows_per_sec"] > 0
-    assert payload["queue_latency_p50_s"] <= payload["queue_latency_p99_s"]
-    assert payload["queue_latency_p99_s"] <= payload["starvation_gap_s"] + 1e-9
-    events = payload["scheduler_events"]
-    assert events["placement"] == payload["completed"]
-    assert events["completion"] == payload["completed"]
-    assert events["arrival"] == NUM_WORKFLOWS
-    # Aging keeps the low-priority tenant's worst wait within an order
-    # of magnitude of the fleet-wide p99 (no unbounded starvation).
-    assert payload["starvation_gap_by_tenant_s"]["batch"] <= max(
-        10 * payload["queue_latency_p99_s"], 600.0
-    )
+    for config, result in payload["policies"].items():
+        assert result["completed"] + result["rejected"] == NUM_WORKFLOWS, config
+        assert result["completed"] >= 0.95 * NUM_WORKFLOWS, config
+        assert result["workflows_per_sec"] > 0, config
+        assert result["queue_latency_p50_s"] <= result["queue_latency_p99_s"], config
+        assert (
+            result["queue_latency_p99_s"] <= result["starvation_gap_s"] + 1e-9
+        ), config
+        events = result["scheduler_events"]
+        # Preempted workflows place once per eviction plus the final run.
+        assert events["placement"] == result["completed"] + result["preemptions"], config
+        assert events["completion"] == result["completed"], config
+        assert events["arrival"] == NUM_WORKFLOWS, config
+
+    strict = payload["policies"]["strict-priority"]
+    primary = payload["policies"][PRIMARY]
+    assert primary["starvation_gap_by_tenant_s"]["batch"] <= (
+        strict["starvation_gap_by_tenant_s"]["batch"]
+    ), "fair scheduling must not worsen the batch tenant's worst wait"
+    if NUM_WORKFLOWS >= 500:
+        # The tentpole acceptance bound: >=10x below the seed's 1957 s.
+        assert primary["starvation_gap_by_tenant_s"]["batch"] <= BATCH_GAP_BOUND_S
+    preempting = payload["policies"]["drf+slo+preempt"]
+    if NUM_WORKFLOWS >= 500:
+        assert preempting["preemptions"] > 0, "preemption config never preempted"
+
+    ratchet_note = _check_ratchet(payload, results_dir)
 
     out = results_dir / "BENCH_dispatch.json"
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
-    save_report(
-        "bench_dispatch_throughput",
-        "dispatch throughput benchmark (event-driven admission pipeline)\n"
-        f"  workflows: {payload['completed']}/{NUM_WORKFLOWS} completed, "
-        f"{payload['rejected']} shed\n"
+    lines = [
+        "dispatch throughput benchmark (event-driven admission pipeline)",
+        f"  primary config: {PRIMARY} · {payload['completed']}/{NUM_WORKFLOWS} "
+        f"completed, {payload['rejected']} shed",
         f"  virtual makespan: {payload['makespan_s']:.0f}s  "
-        f"throughput: {payload['workflows_per_sec']:.3f} wf/s (virtual)\n"
-        f"  queue latency p50/p99: {payload['queue_latency_p50_s']:.1f}s / "
-        f"{payload['queue_latency_p99_s']:.1f}s  "
-        f"starvation gap: {payload['starvation_gap_s']:.1f}s\n"
-        f"  scheduler events: {payload['scheduler_events']}\n"
-        f"  harness wall time: {wall_s:.2f}s (not part of the compared payload)\n"
-        f"  [payload saved to {out}]",
+        f"throughput: {payload['workflows_per_sec']:.3f} wf/s (virtual)",
+        "  config               p50      p99      batch-gap  preempts",
+    ]
+    for config, result in payload["policies"].items():
+        lines.append(
+            f"  {config:<20} {result['queue_latency_p50_s']:>7.1f}s "
+            f"{result['queue_latency_p99_s']:>7.1f}s "
+            f"{result['starvation_gap_by_tenant_s']['batch']:>9.1f}s "
+            f"{result['preemptions']:>8d}"
+        )
+    lines.append(f"  {ratchet_note}")
+    lines.append(
+        f"  harness wall time: {wall_s:.2f}s (not part of the compared payload)"
     )
+    lines.append(f"  [payload saved to {out}]")
+    save_report("bench_dispatch_throughput", "\n".join(lines))

@@ -100,7 +100,13 @@ class LocalSubmitter(ArgoSubmitter):
         super().__init__(operator=default_environment(seed=seed))
 
 
-def default_multicluster(seed: int = 0) -> AdmissionPipeline:
+def default_multicluster(
+    seed: int = 0,
+    *,
+    fairness: str = "strict-priority",
+    tenant_weights: Optional[dict] = None,
+    preemption: bool = False,
+) -> AdmissionPipeline:
     """A small heterogeneous fleet for admission-pipeline submissions."""
     gb = 2**30
     clusters = [
@@ -110,7 +116,13 @@ def default_multicluster(seed: int = 0) -> AdmissionPipeline:
         Cluster.uniform("cpu-a", 4, cpu_per_node=16.0, memory_per_node=64 * gb),
         Cluster.uniform("cpu-b", 4, cpu_per_node=16.0, memory_per_node=64 * gb),
     ]
-    return AdmissionPipeline(clusters, seed=seed)
+    return AdmissionPipeline(
+        clusters,
+        seed=seed,
+        fairness=fairness,
+        tenant_weights=tenant_weights,
+        preemption=preemption,
+    )
 
 
 class AdmissionSubmitter:
@@ -131,16 +143,32 @@ class AdmissionSubmitter:
         priority: int = 0,
         run_to_completion: bool = True,
         seed: int = 0,
+        *,
+        fairness: Optional[str] = None,
+        slo_class: Optional[str] = None,
     ) -> None:
-        self.pipeline = pipeline or default_multicluster(seed=seed)
+        if pipeline is not None and fairness is not None:
+            raise ValueError(
+                "pass fairness= when the submitter builds its own pipeline, "
+                "or configure it on the pipeline you pass in — not both"
+            )
+        self.pipeline = pipeline or default_multicluster(
+            seed=seed, fairness=fairness or "strict-priority"
+        )
         self.user = user
         self.priority = priority
+        #: SLO lane for every submission through this submitter
+        #: (None = the pipeline's back-compat default lane).
+        self.slo_class = slo_class
         self.run_to_completion = run_to_completion
         self.last_admission = None
 
     def submit(self, ir: WorkflowIR) -> WorkflowRecord:
         admission = self.pipeline.submit(
-            ir.to_executable(), user=self.user, priority=self.priority
+            ir.to_executable(),
+            user=self.user,
+            priority=self.priority,
+            slo_class=self.slo_class,
         )
         self.last_admission = admission
         if self.run_to_completion:

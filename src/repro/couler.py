@@ -23,6 +23,14 @@ The caching surface (Algorithm 2) is part of v1 as of this release:
 :class:`ScoreWeights` tunes the Eq. 6 importance factor, and custom
 admission policies subclass :class:`CachePolicy` and implement
 ``decide(decision: CacheDecision)``.
+
+The multi-tenant fairness surface is part of v1 as of this release:
+``AdmissionSubmitter(fairness="drf", slo_class="serving")`` selects a
+cross-tenant ordering policy (``strict-priority`` / ``weighted-fair`` /
+``drf``) and an SLO lane for the submission; both are keyword-only with
+back-compat defaults, so existing call sites behave bit-identically.
+Custom policies subclass :class:`FairnessPolicy` and implement
+``key(...)``; :class:`LaneConfig` describes custom SLO lanes.
 """
 
 from .backends.base import Submitter, submission_record
@@ -74,6 +82,13 @@ from .core.submitter import (
     default_environment,
     default_multicluster,
 )
+from .engine.fairness import (
+    SLO_BATCH,
+    SLO_SERVING,
+    FairnessPolicy,
+    LaneConfig,
+    make_fairness_policy,
+)
 
 __all__ = [
     # submission contract
@@ -117,6 +132,12 @@ __all__ = [
     "CachePolicy",
     "ScoreWeights",
     "make_policy",
+    # multi-tenant fairness & SLO lanes
+    "FairnessPolicy",
+    "LaneConfig",
+    "SLO_BATCH",
+    "SLO_SERVING",
+    "make_fairness_policy",
     # artifacts
     "create_gcs_artifact",
     "create_git_artifact",

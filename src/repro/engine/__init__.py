@@ -8,6 +8,21 @@ the caching layer, failure injection, retries, and restart-from-failure.
 from .admission import AdmissionError, AdmissionPipeline, AdmissionRecord
 from .cachehooks import BandwidthModel, CacheManagerProtocol, NullCacheManager
 from .dispatcher import DispatchResult, MultiClusterDispatcher
+from .fairness import (
+    DEFAULT_SLO_CLASS,
+    FAIRNESS_REGISTRY,
+    SLO_BATCH,
+    SLO_SERVING,
+    DRFPolicy,
+    FairnessError,
+    FairnessPolicy,
+    LaneConfig,
+    StrictPriorityPolicy,
+    TenantShares,
+    WeightedFairPolicy,
+    default_lanes,
+    make_fairness_policy,
+)
 from .metrics import UtilizationRecorder, UtilizationSample
 from .operator import WorkflowOperator, validate_when_expr
 from .queue import (
@@ -45,9 +60,12 @@ __all__ = [
     "ArtifactSpec",
     "BandwidthModel",
     "CacheManagerProtocol",
+    "DEFAULT_SLO_CLASS",
+    "DRFPolicy",
     "DeferredDequeue",
     "DispatchResult",
     "EventHandle",
+    "FAIRNESS_REGISTRY",
     "MultiClusterDispatcher",
     "ExecutableStep",
     "ExecutableWorkflow",
@@ -55,7 +73,17 @@ __all__ = [
     "INFRA_PATTERNS",
     "FailureInjector",
     "FailureProfile",
+    "FairnessError",
+    "FairnessPolicy",
+    "LaneConfig",
     "MultiClusterQueue",
+    "SLO_BATCH",
+    "SLO_SERVING",
+    "StrictPriorityPolicy",
+    "TenantShares",
+    "WeightedFairPolicy",
+    "default_lanes",
+    "make_fairness_policy",
     "NullCacheManager",
     "QueuedWorkflow",
     "QuotaError",

@@ -19,6 +19,15 @@ fine for replaying a fixed fleet, useless for a service where workflows
 * **Priority aging** raises a waiting workflow's effective priority by
   ``aging_rate`` points per queued second, so a low-priority tenant
   cannot be starved indefinitely by a stream of high-priority arrivals.
+* **Fairness & SLO lanes** (:mod:`repro.engine.fairness`): each pass
+  places SLO lanes in order (``serving`` before ``batch``) and sorts
+  within a lane by a pluggable :class:`FairnessPolicy` — the default
+  ``strict-priority`` reproduces the aged-priority sort bit-for-bit,
+  while ``weighted-fair`` / ``drf`` order tenants by live weighted
+  share so no priority stream can starve an idle tenant.  With
+  ``preemption=True``, serving-lane work blocked on headroom may
+  checkpoint-evict over-share batch-lane workflows, which resume from
+  their surviving record (possibly on another cluster).
 
 Every admission decision (admit / reject / place / defer / complete)
 is counted in the shared metrics registry and visible to the tracer,
@@ -30,12 +39,20 @@ chaos invariant checker's conservation sweep applies unchanged.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..k8s.cluster import Cluster
-from ..obs.metrics import MetricsRegistry
+from ..obs.metrics import SHARE_BUCKETS, MetricsRegistry
 from ..obs.trace import NullTracer
+from .fairness import (
+    DEFAULT_SLO_CLASS,
+    FairnessPolicy,
+    LaneConfig,
+    TenantShares,
+    default_lanes,
+    make_fairness_policy,
+)
 from .operator import WorkflowOperator
 from .queue import DeferredDequeue, MultiClusterQueue, QueuedWorkflow, QuotaError, UserQuota
 from .simclock import SimClock
@@ -69,6 +86,10 @@ class AdmissionRecord:
     record: Optional[WorkflowRecord] = None
     #: Placement passes that looked at this workflow and left it queued.
     deferrals: int = 0
+    #: SLO lane the submission rides in (``serving`` / ``batch``).
+    slo_class: str = DEFAULT_SLO_CLASS
+    #: Times this workflow was checkpoint-evicted for an over-share tenant.
+    preemptions: int = 0
 
     @property
     def queue_latency(self) -> Optional[float]:
@@ -104,6 +125,12 @@ class AdmissionPipeline:
         require_capacity: bool = True,
         tracer: Optional[object] = None,
         metrics: Optional[MetricsRegistry] = None,
+        fairness: Union[str, FairnessPolicy, None] = "strict-priority",
+        tenant_weights: Optional[Dict[str, float]] = None,
+        lanes: Optional[Dict[str, LaneConfig]] = None,
+        preemption: bool = False,
+        max_preemptions: int = 2,
+        protect_gpu: bool = False,
     ) -> None:
         if not clusters:
             raise ValueError("admission pipeline needs at least one cluster")
@@ -111,8 +138,12 @@ class AdmissionPipeline:
             raise ValueError(f"max_pending must be >= 1 or None: {max_pending}")
         if aging_rate < 0:
             raise ValueError(f"aging_rate must be >= 0: {aging_rate}")
+        if max_preemptions < 0:
+            raise ValueError(f"max_preemptions must be >= 0: {max_preemptions}")
         self.clock = clock or SimClock()
-        self.queue = MultiClusterQueue(clusters=clusters, quotas=dict(quotas or {}))
+        self.queue = MultiClusterQueue(
+            clusters=clusters, quotas=dict(quotas or {}), protect_gpu=protect_gpu
+        )
         self.tracer = tracer if tracer is not None else NullTracer()
         self.metrics = metrics or MetricsRegistry()
         self.operators: Dict[str, WorkflowOperator] = {
@@ -129,11 +160,33 @@ class AdmissionPipeline:
         #: peak reservations).  Off, the operator wait queues absorb the
         #: overflow — the legacy batch-dispatch behaviour.
         self.require_capacity = require_capacity
+        #: Cross-tenant ordering policy within each lane.
+        self.fairness = make_fairness_policy(fairness)
+        #: SLO lanes, placed in ``order`` within every pass.
+        self.lanes: Dict[str, LaneConfig] = dict(lanes) if lanes else default_lanes()
+        for name, lane in self.lanes.items():
+            if name != lane.name:
+                raise ValueError(f"lane key {name!r} != LaneConfig.name {lane.name!r}")
+        self._lane_order = sorted(
+            self.lanes.values(), key=lambda lane: (lane.order, lane.name)
+        )
+        #: Checkpoint-evict over-share preemptible work for blocked
+        #: ``can_preempt``-lane arrivals (off by default: back-compat).
+        self.preemption = preemption
+        self.max_preemptions = max_preemptions
+        #: Live weighted tenant shares over fleet capacity, read by the
+        #: fairness policies and the preemption victim search.
+        self.shares = TenantShares(
+            self.queue.fleet_capacity(), self.queue.tenant_usage, tenant_weights
+        )
 
-        #: Admitted, not yet placed — ordered at each pass by aged priority.
+        #: Admitted, not yet placed — ordered at each pass by the
+        #: fairness policy (strict-priority = aged priority, the seed sort).
         self._pending: List[_Pending] = []
         self._seq = itertools.count()
         self._pass_scheduled = False
+        #: Placed-and-running submissions by workflow name (preemption pool).
+        self._running: Dict[str, _Pending] = {}
         #: Every submission's admission record, in arrival-schedule order.
         self.records: List[AdmissionRecord] = []
         #: Placed workflows in placement order (the dispatch history).
@@ -148,11 +201,34 @@ class AdmissionPipeline:
         self._m_depth = self.metrics.gauge(
             "admission_pending_depth", "Admitted workflows awaiting placement"
         )
+        self._m_lane_depth = self.metrics.gauge(
+            "admission_lane_depth", "Pending depth per SLO lane"
+        )
         self._m_latency = self.metrics.histogram(
             "admission_queue_latency_seconds", "Arrival-to-placement wait"
         )
+        self._m_preempted = self.metrics.counter(
+            "admission_preemptions_total", "Checkpoint evictions by victim tenant"
+        )
+        self._m_share = self.metrics.gauge(
+            "admission_tenant_dominant_share", "Weighted dominant share per tenant"
+        )
+        self._m_share_hist = self.metrics.histogram(
+            "admission_tenant_share_at_placement",
+            "Tenant dominant share observed at each placement",
+            buckets=SHARE_BUCKETS,
+        )
 
     # ------------------------------------------------------------- submission
+
+    def _resolve_lane(self, slo_class: Optional[str], workflow_name: str) -> str:
+        resolved = slo_class if slo_class is not None else DEFAULT_SLO_CLASS
+        if resolved not in self.lanes:
+            raise AdmissionError(
+                f"workflow {workflow_name}: unknown slo_class {resolved!r}; "
+                f"configured lanes: {sorted(self.lanes)}"
+            )
+        return resolved
 
     def submit_at(
         self,
@@ -160,6 +236,7 @@ class AdmissionPipeline:
         workflow: ExecutableWorkflow,
         user: str = "default",
         priority: int = 0,
+        slo_class: Optional[str] = None,
     ) -> AdmissionRecord:
         """Schedule ``workflow`` to arrive at virtual time ``at``.
 
@@ -176,6 +253,7 @@ class AdmissionPipeline:
             user=user,
             priority=priority,
             arrival_time=at,
+            slo_class=self._resolve_lane(slo_class, workflow.name),
         )
         queued = QueuedWorkflow(workflow=workflow, user=user, priority=priority)
         self.records.append(admission)
@@ -187,19 +265,25 @@ class AdmissionPipeline:
         workflow: ExecutableWorkflow,
         user: str = "default",
         priority: int = 0,
+        slo_class: Optional[str] = None,
     ) -> AdmissionRecord:
         """Arrival right now (service-style ``submit`` call)."""
-        return self.submit_at(self.clock.now, workflow, user=user, priority=priority)
+        return self.submit_at(
+            self.clock.now, workflow, user=user, priority=priority, slo_class=slo_class
+        )
 
     def submit_arrivals(
         self,
         arrivals: Iterable[Tuple[float, ExecutableWorkflow]],
         user: str = "default",
         priority: int = 0,
+        slo_class: Optional[str] = None,
     ) -> List[AdmissionRecord]:
         """Schedule a whole open-loop trace of (time, workflow) pairs."""
         return [
-            self.submit_at(at, workflow, user=user, priority=priority)
+            self.submit_at(
+                at, workflow, user=user, priority=priority, slo_class=slo_class
+            )
             for at, workflow in arrivals
         ]
 
@@ -261,13 +345,25 @@ class AdmissionPipeline:
                 label="queue-full",
             )
             return
+        lane = self.lanes[admission.slo_class]
+        if lane.max_pending is not None:
+            lane_depth = sum(
+                1 for p in self._pending if p.admission.slo_class == lane.name
+            )
+            if lane_depth >= lane.max_pending:
+                self._reject(
+                    admission,
+                    f"{lane.name} lane full ({lane.max_pending} pending)",
+                    label="lane-full",
+                )
+                return
         admission.admitted = True
         admission.admit_time = self.clock.now
         self._m_events.inc(event="admit")
         self._pending.append(
             _Pending(seq=next(self._seq), queued=queued, admission=admission)
         )
-        self._m_depth.set(len(self._pending))
+        self._set_depth_gauges()
         self._schedule_pass()
 
     # -------------------------------------------------------------- placement
@@ -285,42 +381,169 @@ class AdmissionPipeline:
         self._pass_scheduled = True
         self.clock.schedule(0.0, self._placement_pass)
 
+    def _set_depth_gauges(self) -> None:
+        self._m_depth.set(len(self._pending))
+        for lane in self._lane_order:
+            self._m_lane_depth.set(
+                sum(1 for p in self._pending if p.admission.slo_class == lane.name),
+                lane=lane.name,
+            )
+
+    def _lane_aging_rate(self, lane: LaneConfig) -> float:
+        return lane.aging_rate if lane.aging_rate is not None else self.aging_rate
+
     def _placement_pass(self) -> None:
         self._pass_scheduled = False
         if not self._pending:
             return
         self._m_events.inc(event="pass")
         now = self.clock.now
-        candidates = sorted(
-            self._pending,
-            key=lambda p: (
-                -p.admission.effective_priority(now, self.aging_rate),
-                p.seq,
-            ),
-        )
         still_pending: List[_Pending] = []
-        for pending in candidates:
-            try:
-                placed = self.queue.try_place(
-                    pending.queued, require_capacity=self.require_capacity
-                )
-            except QuotaError as exc:
-                # Feasibility was vetted at arrival, so this is a quota
-                # grant shrinking mid-flight or direct queue misuse —
-                # shed the workflow rather than wait on a wakeup that
-                # cannot come.
-                self._reject(pending.admission, str(exc), label="infeasible")
-                continue
-            if isinstance(placed, DeferredDequeue):
-                pending.admission.deferrals += 1
-                self._m_events.inc(event="deferral")
-                still_pending.append(pending)
-                continue
-            _, cluster = placed
-            self._start(pending, cluster)
+        #: can_preempt-lane work blocked on headroom (not quota) this pass.
+        preempt_candidates: List[_Pending] = []
+        for lane in self._lane_order:
+            aging_rate = self._lane_aging_rate(lane)
+            candidates = sorted(
+                (p for p in self._pending if p.admission.slo_class == lane.name),
+                key=lambda p: self.fairness.key(
+                    p.admission,
+                    p.seq,
+                    now=now,
+                    aging_rate=aging_rate,
+                    shares=self.shares,
+                ),
+            )
+            for pending in candidates:
+                try:
+                    placed = self.queue.try_place(
+                        pending.queued, require_capacity=self.require_capacity
+                    )
+                except QuotaError as exc:
+                    # Feasibility was vetted at arrival, so this is a quota
+                    # grant shrinking mid-flight or direct queue misuse —
+                    # shed the workflow rather than wait on a wakeup that
+                    # cannot come.
+                    self._reject(pending.admission, str(exc), label="infeasible")
+                    continue
+                if isinstance(placed, DeferredDequeue):
+                    pending.admission.deferrals += 1
+                    self._m_events.inc(event="deferral")
+                    still_pending.append(pending)
+                    if lane.can_preempt and placed.kind == "headroom":
+                        preempt_candidates.append(pending)
+                    continue
+                _, cluster = placed
+                self._start(pending, cluster)
         still_pending.sort(key=lambda p: p.seq)
         self._pending = still_pending
-        self._m_depth.set(len(self._pending))
+        self._set_depth_gauges()
+        if self.preemption and preempt_candidates:
+            # Evict for the highest-ranked blocked serving workflow only;
+            # the wakeup pass re-sorts and may place the rest.
+            if self._preempt_for(preempt_candidates[0]):
+                self._schedule_pass()
+
+    # ------------------------------------------------------------- preemption
+
+    def _preempt_for(self, blocked: _Pending) -> int:
+        """Checkpoint-evict over-share preemptible work to fit ``blocked``.
+
+        Victims are running workflows in a ``preemptible`` lane owned by
+        a *different* tenant whose weighted dominant share exceeds the
+        blocked tenant's — i.e. preemption only ever transfers capacity
+        down the share order, so it converges instead of thrashing.
+        Returns the number of victims evicted.
+        """
+        demand = blocked.queued.peak_demand()
+        feasible = [
+            cluster
+            for cluster in self.queue.clusters
+            if not (demand.gpu > 0 and cluster.capacity.gpu == 0)
+            and demand.fits_within(cluster.capacity)
+        ]
+        if not feasible:
+            return 0
+
+        def fits_somewhere() -> bool:
+            return any(
+                demand.fits_within(self.queue.headroom(cluster))
+                for cluster in feasible
+            )
+
+        feasible_names = {cluster.name for cluster in feasible}
+        blocked_share = self.shares.dominant_share(blocked.admission.user)
+        victims = [
+            running
+            for running in self._running.values()
+            if self.lanes[running.admission.slo_class].preemptible
+            and running.admission.user != blocked.admission.user
+            and running.admission.preemptions < self.max_preemptions
+            # Evicting work on a cluster the blocked demand can never
+            # use frees nothing for it — only victims on feasible
+            # clusters count.
+            and running.admission.cluster_name in feasible_names
+            and running.admission.record is not None
+            and not running.admission.record.phase.is_terminal()
+            and self.shares.dominant_share(running.admission.user) > blocked_share
+        ]
+        victims.sort(
+            key=lambda p: (
+                -self.shares.dominant_share(p.admission.user),
+                -(p.admission.place_time or 0.0),
+                p.admission.workflow_name,
+            )
+        )
+        evicted = 0
+        for victim in victims:
+            if fits_somewhere() or evicted >= 4:
+                break
+            if self._preempt(victim):
+                evicted += 1
+        return evicted
+
+    def _preempt(self, victim: _Pending) -> bool:
+        """Checkpoint one running workflow back into the pending queue.
+
+        The operator interrupts in-flight attempts (refunding unspent
+        charges, billing infra — never app — failure budget), the queue
+        refunds the quota charge and reservation, and the admission
+        record re-enters ``_pending`` with a fresh sequence number so it
+        resumes — possibly on a *different* cluster (checkpoint
+        migration) — from its surviving :class:`WorkflowRecord`.
+        """
+        admission = victim.admission
+        cluster_name = admission.cluster_name
+        if cluster_name is None:
+            return False
+        record = self.operators[cluster_name].checkpoint_workflow(
+            admission.workflow_name
+        )
+        if record is None:
+            return False
+        self.queue.release(victim.queued)
+        self._running.pop(admission.workflow_name, None)
+        if admission in self.placed:
+            self.placed.remove(admission)
+        admission.record = record
+        admission.preemptions += 1
+        admission.place_time = None
+        admission.cluster_name = None
+        self._m_events.inc(event="preemption")
+        self._m_preempted.inc(tenant=admission.user)
+        self.tracer.instant(
+            "admission-preempt",
+            "admission",
+            self.clock.now,
+            workflow=admission.workflow_name,
+            user=admission.user,
+            cluster=cluster_name,
+            preemptions=admission.preemptions,
+        )
+        self._pending.append(
+            _Pending(seq=next(self._seq), queued=victim.queued, admission=admission)
+        )
+        self._set_depth_gauges()
+        return True
 
     def _start(self, pending: _Pending, cluster: Cluster) -> None:
         admission = pending.admission
@@ -342,9 +565,17 @@ class AdmissionPipeline:
         operator = self.operators[cluster.name]
         admission.record = operator.submit(
             pending.queued.workflow,
+            record=admission.record,
             on_complete=lambda record: self._on_completion(pending, record),
         )
+        self._running[admission.workflow_name] = pending
         self.placed.append(admission)
+        self._m_share.set(
+            self.shares.dominant_share(admission.user), tenant=admission.user
+        )
+        self._m_share_hist.observe(
+            self.shares.dominant_share(admission.user), lane=admission.slo_class
+        )
 
     def _on_completion(self, pending: _Pending, record: WorkflowRecord) -> None:
         """A workflow finished: free its charges and re-attempt placement.
@@ -354,8 +585,13 @@ class AdmissionPipeline:
         and immediately wakes the placement pass.
         """
         self.queue.release(pending.queued)
+        self._running.pop(pending.admission.workflow_name, None)
         pending.admission.finish_time = self.clock.now
         self._m_events.inc(event="completion")
+        self._m_share.set(
+            self.shares.dominant_share(pending.admission.user),
+            tenant=pending.admission.user,
+        )
         self._schedule_pass()
 
     # ------------------------------------------------------------------ drive
@@ -374,7 +610,7 @@ class AdmissionPipeline:
         """
         stuck = [pending.queued for pending in self._pending]
         self._pending = []
-        self._m_depth.set(0)
+        self._set_depth_gauges()
         return stuck
 
     # ------------------------------------------------------------- inspection
@@ -402,6 +638,48 @@ class AdmissionPipeline:
             if admission.queue_latency is not None
         ]
 
+    def _waits(self) -> List[Tuple[str, float]]:
+        """(user, wait) pairs: placed latencies plus live pending waits.
+
+        Pending waits use ``now - arrival_time`` — the workflow still
+        sitting in the queue is the one actually starving, and leaving
+        it out until it lands (the pre-fix behaviour) made the gap
+        metric blind to exactly the victims it exists to expose.
+        """
+        now = self.clock.now
+        waits = [
+            (admission.user, admission.queue_latency)
+            for admission in self.placed
+            if admission.queue_latency is not None
+        ]
+        waits.extend(
+            (p.admission.user, max(0.0, now - p.admission.arrival_time))
+            for p in self._pending
+        )
+        return waits
+
     def starvation_gap(self) -> float:
-        """The worst arrival-to-placement wait seen so far (seconds)."""
-        return max(self.queue_latencies(), default=0.0)
+        """The worst arrival-to-placement wait seen so far (seconds).
+
+        Includes workflows still pending (wait measured to ``now``), so
+        a starving queue shows a growing gap *before* anything lands.
+        """
+        return max((wait for _, wait in self._waits()), default=0.0)
+
+    def tenant_starvation_gaps(self) -> Dict[str, float]:
+        """Per-tenant worst wait (placed or still pending), by user."""
+        gaps: Dict[str, float] = {}
+        for user, wait in self._waits():
+            if wait > gaps.get(user, -1.0):
+                gaps[user] = wait
+        return gaps
+
+    def tenant_queue_latencies(self) -> Dict[str, List[float]]:
+        """Placed arrival-to-placement waits grouped by tenant."""
+        latencies: Dict[str, List[float]] = {}
+        for admission in self.placed:
+            if admission.queue_latency is not None:
+                latencies.setdefault(admission.user, []).append(
+                    admission.queue_latency
+                )
+        return latencies

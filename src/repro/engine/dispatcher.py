@@ -44,12 +44,16 @@ class MultiClusterDispatcher:
         clusters: List[Cluster],
         quotas: Optional[Dict[str, UserQuota]] = None,
         seed: int = 0,
+        fairness: str = "strict-priority",
+        tenant_weights: Optional[Dict[str, float]] = None,
     ) -> None:
         if not clusters:
             raise ValueError("dispatcher needs at least one cluster")
         # Legacy-equivalent knobs: no aging (batch priority order is the
         # contract), no admission capacity gate (operator wait queues
         # absorb overflow, as the batch path always did), no queue bound.
+        # Fairness stays strict-priority unless the caller opts in —
+        # batch replays are contractually ordered by priority.
         self.pipeline = AdmissionPipeline(
             clusters,
             quotas=quotas,
@@ -57,6 +61,8 @@ class MultiClusterDispatcher:
             aging_rate=0.0,
             require_capacity=False,
             max_pending=None,
+            fairness=fairness,
+            tenant_weights=tenant_weights,
         )
         self.clock = self.pipeline.clock
         self.queue = self.pipeline.queue

@@ -869,6 +869,67 @@ class WorkflowOperator:
         self.clock.schedule(0.0, self._drain_waitq)
         return interrupted
 
+    def checkpoint_workflow(
+        self, name: str, reason: str = "PreemptedErr"
+    ) -> Optional[WorkflowRecord]:
+        """Checkpoint one running workflow and detach it from this operator.
+
+        The per-workflow form of :meth:`simulate_restart`, promoted to a
+        first-class API so an admission-level preemptor can evict a
+        single over-share workflow instead of bouncing the whole
+        controller: in-flight attempts are interrupted (charges
+        refunded, pods released, one *infra* failure recorded per step —
+        preemption never bills the application retry budget), deferred
+        callbacks are cancelled, queued steps leave the resource wait
+        queue, and Running steps reset to Pending in the record.
+
+        Returns the surviving :class:`WorkflowRecord` snapshot; passing
+        it back to :meth:`submit` — on this or *any other* operator —
+        resumes from the checkpoint, skipping already-done steps (the
+        fig6 checkpoint-migration path).  ``on_complete`` callbacks die
+        with the run state; the resubmitter re-registers its own.
+        Returns ``None`` when the workflow is not active here.
+        """
+        state = self._states.pop(name, None)
+        if state is None:
+            return None
+        for handle in state.pending_handles:
+            handle.cancel()
+        state.pending_handles.clear()
+        for step_name in sorted(state.active_attempts):
+            attempt = state.active_attempts[step_name]
+            self._refund_attempt(state, step_name, attempt)
+            pod = attempt.pod
+            pod.phase = PodPhase.FAILED
+            pod.reason = "Preempted"
+            self.scheduler.release(pod)
+            if self.track_pods:
+                self.api_server.update_status(pod)
+            record = state.record.step(step_name)
+            record.infra_failures += 1
+            record.last_error = reason
+            self._m_infra.inc(pattern=reason)
+        state.active_attempts.clear()
+        state.in_flight = 0
+        self._resource_waitq = [
+            (wf_name, step_name)
+            for wf_name, step_name in self._resource_waitq
+            if wf_name != name
+        ]
+        self._m_waitq.set(len(self._resource_waitq))
+        # The snapshot a resumed submission reads has no Running steps —
+        # their attempts were just interrupted.
+        for step_name in state.workflow.steps:
+            step_record = state.record.step(step_name)
+            if step_record.status == StepStatus.RUNNING:
+                step_record.status = StepStatus.PENDING
+        for step_name in state.step_spans:
+            self._end_step_span(state, step_name, "preempted")
+        self.tracer.end(state.wf_span, self.clock.now, phase="preempted")
+        # Freed resources can unblock other workflows' queued steps.
+        self.clock.schedule(0.0, self._drain_waitq)
+        return state.record
+
     def set_cache_outage(self, until: float) -> None:
         """Make cache fetches time out until virtual time ``until``."""
         self._cache_outage_until = max(self._cache_outage_until, until)

@@ -86,6 +86,11 @@ class DeferredDequeue:
 
     item: "QueuedWorkflow"
     reason: str
+    #: What blocked the dequeue: ``"quota"`` (the user's grant cannot
+    #: absorb the demand right now) or ``"headroom"`` (no feasible
+    #: cluster has admission capacity).  Preemption keys off this — only
+    #: headroom blocks can be relieved by evicting running work.
+    kind: str = "quota"
 
 
 @dataclass
@@ -117,6 +122,13 @@ class MultiClusterQueue:
     capacity_weight: float = 2.0
     user_quota_weight: float = 1.0
     gpu_quota_weight: float = 1.0
+    #: Keep CPU-only work off accelerator clusters whenever some
+    #: CPU-only cluster could host it.  GPU nodes are the scarce,
+    #: expensive resource (the paper's Ant clusters hold them apart);
+    #: without this, placement scoring happily fills GPU clusters with
+    #: CPU filler and the next GPU workflow queues behind it.  Off by
+    #: default: the legacy score considered every cluster.
+    protect_gpu: bool = False
     _heap: List[tuple] = field(default_factory=list)
     _seq: "itertools.count" = field(default_factory=itertools.count)
     #: Demand already placed on each cluster but possibly not yet
@@ -138,12 +150,48 @@ class MultiClusterQueue:
         return len(self._heap)
 
     def _quota_for(self, user: str) -> UserQuota:
+        """Mutating accessor for the *charge* paths: installs the
+        effectively-unbounded default quota so usage is tracked."""
         if user not in self.quotas:
-            # Default: effectively unbounded quota.
             self.quotas[user] = UserQuota(
                 user=user, cpu_limit=1e9, memory_limit=10**18, gpu_limit=10**6
             )
         return self.quotas[user]
+
+    def _quota_view(self, user: str) -> UserQuota:
+        """Read-only quota lookup for scoring.
+
+        Scoring must not mutate quota state: installing the unbounded
+        default as a side effect of merely *scoring* a user meant a
+        later explicit ``quotas[user] = ...`` setup silently replaced an
+        object the queue was already accounting against.
+        """
+        quota = self.quotas.get(user)
+        if quota is not None:
+            return quota
+        return UserQuota(
+            user=user, cpu_limit=1e9, memory_limit=10**18, gpu_limit=10**6
+        )
+
+    @staticmethod
+    def _clamped_fraction(free: float, capacity: float) -> float:
+        """Free-capacity fraction, clamped to [0, 1].
+
+        An over-reserved cluster (``require_capacity=False`` lets the
+        operator wait queues absorb overflow) has negative free
+        capacity; un-clamped it produced *negative* fractions whose
+        magnitude grew with how overcommitted the cluster was, skewing
+        the weighted score instead of simply reading "full".
+        """
+        if not capacity:
+            return 0.0
+        return min(1.0, max(0.0, free / capacity))
+
+    def _cpu_only_cluster_fits(self, demand: ResourceQuantity) -> bool:
+        return any(
+            cluster.capacity.gpu == 0 and demand.fits_within(cluster.capacity)
+            for cluster in self.clusters
+        )
 
     def _score(self, item: QueuedWorkflow, cluster: Cluster) -> Optional[float]:
         demand = item.peak_demand()
@@ -151,11 +199,18 @@ class MultiClusterQueue:
         capacity = cluster.capacity
         if needs_gpu and capacity.gpu == 0:
             return None
+        if (
+            self.protect_gpu
+            and not needs_gpu
+            and capacity.gpu > 0
+            and self._cpu_only_cluster_fits(demand)
+        ):
+            return None
         reserved = self._reserved.get(cluster.name, ResourceQuantity())
         free = capacity - cluster.allocated - reserved
-        cpu_frac = free.cpu / capacity.cpu if capacity.cpu else 0.0
-        mem_frac = free.memory / capacity.memory if capacity.memory else 0.0
-        quota = self._quota_for(item.user)
+        cpu_frac = self._clamped_fraction(free.cpu, capacity.cpu)
+        mem_frac = self._clamped_fraction(free.memory, capacity.memory)
+        quota = self._quota_view(item.user)
         user_frac, gpu_frac = quota.remaining_fraction()
         return (
             self.priority_weight * item.priority
@@ -199,6 +254,7 @@ class MultiClusterQueue:
             return DeferredDequeue(
                 item=item,
                 reason=f"user {item.user} quota cannot absorb {demand}",
+                kind="quota",
             )
         scored = [
             (score, cluster)
@@ -219,6 +275,7 @@ class MultiClusterQueue:
                 return DeferredDequeue(
                     item=item,
                     reason=f"no cluster has admission headroom for {demand}",
+                    kind="headroom",
                 )
         scored.sort(key=lambda pair: (-pair[0], pair[1].name))
         best_cluster = scored[0][1]
@@ -269,7 +326,11 @@ class MultiClusterQueue:
         if cluster_name is None:
             return
         demand = item.peak_demand()
-        self._quota_for(item.user).release(demand)
+        quota = self.quotas.get(item.user)
+        if quota is not None:
+            # A placement always charged via _quota_for, so the quota
+            # exists; guarded anyway so release never installs one.
+            quota.release(demand)
         current = self._reserved.get(cluster_name, ResourceQuantity())
         if (
             demand.cpu > current.cpu + 1e-9
@@ -279,6 +340,28 @@ class MultiClusterQueue:
             # Accounting drift: more released than was ever reserved.
             self.reservation_underflows += 1
         self._reserved[cluster_name] = current - demand  # subtraction clamps at 0
+
+    def tenant_usage(self, user: str) -> Tuple[float, int, int]:
+        """Currently charged ``(cpu, memory, gpu)`` for one tenant.
+
+        The live usage feed for fairness shares: exactly what this
+        queue's quota accounting has charged and not yet released.
+        """
+        quota = self.quotas.get(user)
+        if quota is None:
+            return (0.0, 0, 0)
+        return (quota.cpu_used, quota.memory_used, quota.gpu_used)
+
+    def fleet_capacity(self) -> ResourceQuantity:
+        """Total capacity across all attached clusters."""
+        total = ResourceQuantity()
+        for cluster in self.clusters:
+            total = total + cluster.capacity
+        return total
+
+    def headroom(self, cluster: Cluster) -> ResourceQuantity:
+        """Public admission-headroom view (capacity minus reservations)."""
+        return self._admission_headroom(cluster)
 
     def requeue(self, item: QueuedWorkflow) -> None:
         """Re-place a displaced workflow (its cluster died mid-run).

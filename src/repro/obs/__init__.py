@@ -20,6 +20,7 @@ The engine depends on this package, never the other way around.
 
 from .critical_path import CriticalPathResult, StepBreakdown, critical_path
 from .metrics import (
+    SHARE_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -36,6 +37,7 @@ __all__ = [
     "MetricError",
     "MetricsRegistry",
     "NullTracer",
+    "SHARE_BUCKETS",
     "Span",
     "StepBreakdown",
     "Tracer",

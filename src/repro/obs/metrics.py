@@ -26,6 +26,13 @@ HOT_PATH_BUCKETS: Tuple[float, ...] = (
     1e-6, 1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1.0,
 )
 
+#: Fraction-of-fleet buckets for tenant share distributions (a tenant's
+#: dominant share is a ratio in [0, 1], so second-flavoured buckets
+#: would collapse everything into the first bin).
+SHARE_BUCKETS: Tuple[float, ...] = (
+    0.01, 0.02, 0.05, 0.1, 0.15, 0.25, 0.4, 0.6, 0.8, 1.0,
+)
+
 
 class MetricError(ValueError):
     """Raised on metric misuse (type clash, negative counter delta)."""

@@ -17,6 +17,10 @@ Per seed, the suite asserts:
   injection and multi-valued results enabled.
 * **backends** — compiled Argo/Airflow/Tekton output is structurally
   valid and the IR round-trips through its dict form unchanged.
+* **fairness** — every admission fairness policy (strict-priority /
+  weighted-fair / drf, and drf with checkpoint preemption) produces
+  identical per-workflow outputs-view fingerprints on a contended
+  multi-tenant fleet: fairness reorders scheduling, never results.
 
 Every oracle has the shape ``check(ir, seed) -> OracleOutcome`` so the
 shrinker can re-run it against reduced candidate workflows.
@@ -315,6 +319,126 @@ def _check_replay_shrinkable(ir: WorkflowIR, seed: int) -> OracleOutcome:
     return OracleOutcome("replay", seed, True, digests=digests)
 
 
+def _fairness_fleet(ir: WorkflowIR, seed: int) -> List[WorkflowIR]:
+    """The candidate plus seven generated tenants' workflows.
+
+    Extra seeds are offset far from the sweep range so fleet members
+    never collide with the candidate's own name (``verify-<seed>``).
+    """
+    return [ir] + [
+        generate_ir(seed * 1000 + 101 + index, DETERMINISTIC_CONFIG)
+        for index in range(7)
+    ]
+
+
+def _fairness_run(
+    fleet: List[WorkflowIR], seed: int, fairness: str, preemption: bool
+) -> List[Tuple[str, str]]:
+    """(workflow name, outputs digest | rejection marker) per submission.
+
+    One shared single-node cluster (sized so any one workflow fits but
+    two rarely do) forces real queueing contention; arrivals are
+    staggered, tenants alternate SLO lanes and weights, so the policies
+    genuinely reorder (and, with ``preemption``, evict) work — the
+    oracle then demands outputs stay identical anyway.
+    """
+    cluster = Cluster.uniform(
+        "fair-verify",
+        num_nodes=1,
+        cpu_per_node=24.0,
+        memory_per_node=16 * _GB,
+        gpu_per_node=6,
+    )
+    pipeline = AdmissionPipeline(
+        [cluster],
+        seed=seed,
+        aging_rate=0.01,
+        fairness=fairness,
+        tenant_weights={"t0": 2.0, "t1": 1.0, "t2": 1.0, "t3": 0.5},
+        preemption=preemption,
+    )
+    admissions = []
+    for index, member in enumerate(fleet):
+        admissions.append(
+            (
+                member,
+                pipeline.submit_at(
+                    index * 2.0,
+                    member.to_executable(),
+                    user=f"t{index % 4}",
+                    priority=(index * 3) % 7,
+                    slo_class="serving" if index % 2 else "batch",
+                ),
+            )
+        )
+    pipeline.run()
+    outcomes: List[Tuple[str, str]] = []
+    for member, admission in admissions:
+        if admission.record is not None:
+            outcomes.append(
+                (member.name, fingerprint_record(member, admission.record).outputs_digest())
+            )
+        else:
+            outcomes.append(
+                (member.name, f"rejected:{admission.reject_reason}")
+            )
+    return sorted(outcomes)
+
+
+def check_fairness(ir: WorkflowIR, seed: int) -> OracleOutcome:
+    """Fairness policies reorder scheduling, never results.
+
+    Every policy (and DRF with preemption — checkpoint/resume included)
+    must produce the same outputs-view fingerprint per workflow as the
+    strict-priority baseline, and the preempting configuration must
+    replay deterministically under the same seed.
+    """
+    fleet = _fairness_fleet(ir, seed)
+    configs = [
+        ("strict-priority", False),
+        ("weighted-fair", False),
+        ("drf", False),
+        ("drf", True),
+    ]
+    results = {
+        (fairness, preemption): _fairness_run(fleet, seed, fairness, preemption)
+        for fairness, preemption in configs
+    }
+    digests = tuple(
+        hashlib.sha256(repr(results[key]).encode()).hexdigest() for key in configs
+    )
+    baseline = results[("strict-priority", False)]
+    for fairness, preemption in configs[1:]:
+        candidate = results[(fairness, preemption)]
+        if candidate != baseline:
+            first = next(
+                (
+                    (b, c)
+                    for b, c in zip(baseline, candidate)
+                    if b != c
+                ),
+                (baseline, candidate),
+            )
+            return OracleOutcome(
+                "fairness",
+                seed,
+                False,
+                f"policy {fairness!r} (preemption={preemption}) changed "
+                f"outputs: strict={first[0]!r} vs {first[1]!r}",
+                digests,
+            )
+    replay = _fairness_run(fleet, seed, "drf", True)
+    if replay != results[("drf", True)]:
+        return OracleOutcome(
+            "fairness",
+            seed,
+            False,
+            "drf+preemption run is not same-seed deterministic",
+            digests,
+        )
+    return OracleOutcome("fairness", seed, True, digests=digests)
+
+
 def check_backends(ir: WorkflowIR, seed: int) -> OracleOutcome:
     """Structural conformance of all compiled backends + IR roundtrip."""
     problems = conformance_problems(ir)
@@ -336,6 +460,7 @@ ORACLES: Dict[str, Oracle] = {
     "replay": Oracle("replay", STOCHASTIC_CONFIG, check_replay),
     "backends": Oracle("backends", DETERMINISTIC_CONFIG, check_backends),
     "scores": Oracle("scores", DETERMINISTIC_CONFIG, check_scores),
+    "fairness": Oracle("fairness", DETERMINISTIC_CONFIG, check_fairness),
 }
 
 #: check functions safe to re-run on shrunk (non-generated) IRs.
@@ -346,6 +471,7 @@ SHRINKABLE_CHECKS: Dict[str, Callable[[WorkflowIR, int], OracleOutcome]] = {
     "replay": _check_replay_shrinkable,
     "backends": check_backends,
     "scores": check_scores,
+    "fairness": check_fairness,
 }
 
 

@@ -129,3 +129,111 @@ class TestBalanceReport:
         report = queue.balance_report()
         assert set(report) == {"gpu", "cpu"}
         assert all(0.0 <= v <= 1.0 for v in report.values())
+
+
+class TestScoringIsReadOnly:
+    def test_scoring_does_not_install_default_quota(self):
+        """Regression: merely scoring a user used to permanently install
+        the unbounded default quota in ``self.quotas``, so a later
+        explicit ``quotas[user] = ...`` setup replaced an object the
+        queue was already accounting against."""
+        queue = MultiClusterQueue(clusters=_clusters())
+        item = QueuedWorkflow(_wf("probe"), user="newcomer")
+        for cluster in queue.clusters:
+            queue._score(item, cluster)
+        assert "newcomer" not in queue.quotas
+
+    def test_late_quota_setup_is_honoured_after_scoring(self):
+        """The race the bug enabled: score first, configure the quota
+        second — the explicit grant must be the one that's enforced."""
+        queue = MultiClusterQueue(clusters=_clusters())
+        item = QueuedWorkflow(_wf("probe", cpu=4.0), user="late")
+        for cluster in queue.clusters:
+            queue._score(item, cluster)
+        queue.quotas["late"] = UserQuota(
+            user="late", cpu_limit=1.0, memory_limit=GB, gpu_limit=0
+        )
+        placed = queue.try_place(item)
+        assert isinstance(placed, DeferredDequeue)
+        assert placed.kind == "quota"
+
+    def test_release_never_installs_a_quota(self):
+        queue = MultiClusterQueue(clusters=_clusters())
+        item = QueuedWorkflow(_wf("ghost"), user="phantom")
+        queue.release(item)
+        assert "phantom" not in queue.quotas
+
+    def test_placement_still_tracks_usage_via_default_quota(self):
+        """The charge path (as opposed to scoring) still installs the
+        tracking default so tenant usage is accounted."""
+        queue = MultiClusterQueue(clusters=_clusters())
+        item = QueuedWorkflow(_wf("worker"), user="tracked")
+        result = queue.try_place(item)
+        assert not isinstance(result, DeferredDequeue)
+        assert queue.tenant_usage("tracked")[0] == pytest.approx(4.0)
+        queue.release(item)
+        assert queue.tenant_usage("tracked") == (0.0, 0, 0)
+
+
+class TestScoreClamping:
+    def test_fraction_clamped_to_unit_interval(self):
+        clamp = MultiClusterQueue._clamped_fraction
+        assert clamp(-32.0, 16.0) == 0.0
+        assert clamp(8.0, 16.0) == pytest.approx(0.5)
+        assert clamp(32.0, 16.0) == 1.0
+        assert clamp(4.0, 0.0) == 0.0
+
+    def test_overcommitted_cluster_scores_as_full_not_negative(self):
+        """Regression: with reservations beyond capacity (the
+        ``require_capacity=False`` batch path overcommits), the free
+        fraction must clamp to 0 rather than skew the score with an
+        unbounded negative term."""
+        clusters = _clusters()
+        queue = MultiClusterQueue(clusters=clusters)
+        cpu_cluster = clusters[1]
+        # Reserve far past the cpu cluster's total capacity.
+        queue._reserved[cpu_cluster.name] = ResourceQuantity(
+            cpu=cpu_cluster.capacity.cpu * 3,
+            memory=cpu_cluster.capacity.memory * 3,
+        )
+        item = QueuedWorkflow(_wf("probe"), user="u", priority=0)
+        overcommitted = queue._score(item, cpu_cluster)
+        # Same tenant/priority on a genuinely *empty* cluster of the
+        # same shape: the overcommitted score is exactly the zero-free
+        # floor, i.e. strictly less, and by no more than the capacity
+        # weight (bounded, not runaway-negative).
+        empty_score = queue._score(item, clusters[0])
+        assert overcommitted < empty_score
+        assert empty_score - overcommitted <= queue.capacity_weight + 1e-9
+
+class TestProtectGpu:
+    def test_off_by_default(self):
+        assert MultiClusterQueue(clusters=_clusters()).protect_gpu is False
+
+    def test_cpu_work_excluded_from_gpu_cluster(self):
+        queue = MultiClusterQueue(clusters=_clusters(), protect_gpu=True)
+        item = QueuedWorkflow(_wf("filler", cpu=4.0), user="u")
+        gpu_cluster, cpu_cluster = queue.clusters
+        assert queue._score(item, gpu_cluster) is None
+        assert queue._score(item, cpu_cluster) is not None
+        queue.enqueue(item)
+        _, placed_on = queue.dequeue()
+        assert placed_on.name == "cpu"
+
+    def test_gpu_work_still_lands_on_gpu_cluster(self):
+        queue = MultiClusterQueue(clusters=_clusters(), protect_gpu=True)
+        queue.enqueue(QueuedWorkflow(_wf("trainer", gpu=1), user="u"))
+        _, cluster = queue.dequeue()
+        assert cluster.name == "gpu"
+
+    def test_spillover_when_no_cpu_cluster_fits(self):
+        """Protection yields when CPU clusters can never hold the demand:
+        a huge CPU-only workflow may still take GPU-cluster capacity."""
+        clusters = [
+            Cluster.uniform("gpu", 2, cpu_per_node=64, memory_per_node=256 * GB, gpu_per_node=4),
+            Cluster.uniform("small-cpu", 1, cpu_per_node=8, memory_per_node=16 * GB),
+        ]
+        queue = MultiClusterQueue(clusters=clusters, protect_gpu=True)
+        queue.enqueue(QueuedWorkflow(_wf("wide", cpu=32.0), user="u"))
+        _, cluster = queue.dequeue()
+        assert cluster.name == "gpu"

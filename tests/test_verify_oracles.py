@@ -20,6 +20,7 @@ def test_oracle_registry_is_complete():
         "replay",
         "backends",
         "scores",
+        "fairness",
     }
 
 
@@ -77,6 +78,78 @@ def test_scores_oracle_sweep():
     for seed in range(25):
         outcome = ORACLES["scores"].run(seed)
         assert outcome.ok, f"scores seed={seed}: {outcome.detail}"
+
+
+@pytest.mark.slow
+def test_fairness_oracle_sweep():
+    """Tentpole acceptance: every fairness policy (and DRF with
+    checkpoint preemption) is output-transparent across a wide
+    fuzzer-seed sweep — scheduling reorders, results never change."""
+    for seed in range(25):
+        outcome = ORACLES["fairness"].run(seed)
+        assert outcome.ok, f"fairness seed={seed}: {outcome.detail}"
+
+
+def test_fairness_oracle_scenario_actually_contends():
+    """An uncontended fleet verifies nothing: the oracle's scenario
+    must produce real deferrals and (with preemption on) evictions."""
+    from repro.engine.admission import AdmissionPipeline
+    from repro.k8s.cluster import Cluster
+    from repro.verify.oracles import _fairness_fleet
+
+    deferrals = preemptions = 0.0
+    for seed in range(5):
+        fleet = _fairness_fleet(generate_ir(seed, DETERMINISTIC_CONFIG), seed)
+        cluster = Cluster.uniform(
+            "fair-verify",
+            num_nodes=1,
+            cpu_per_node=24.0,
+            memory_per_node=16 * 2**30,
+            gpu_per_node=6,
+        )
+        pipeline = AdmissionPipeline(
+            [cluster],
+            seed=seed,
+            aging_rate=0.01,
+            fairness="drf",
+            tenant_weights={"t0": 2.0, "t1": 1.0, "t2": 1.0, "t3": 0.5},
+            preemption=True,
+        )
+        for index, member in enumerate(fleet):
+            pipeline.submit_at(
+                index * 2.0,
+                member.to_executable(),
+                user=f"t{index % 4}",
+                priority=(index * 3) % 7,
+                slo_class="serving" if index % 2 else "batch",
+            )
+        pipeline.run()
+        events = pipeline.metrics.get("admission_events_total")
+        deferrals += events.value(event="deferral")
+        preemptions += events.value(event="preemption")
+    assert deferrals > 0
+    assert preemptions > 0
+
+
+def test_fairness_oracle_detects_output_divergence(monkeypatch):
+    """The oracle must discriminate: make one policy's run lose a
+    workflow's outputs and the check has to fail."""
+    from repro.verify import oracles as oracles_mod
+    from repro.verify.oracles import check_fairness
+
+    original = oracles_mod._fairness_run
+
+    def lossy(fleet, seed, fairness, preemption):
+        outcomes = original(fleet, seed, fairness, preemption)
+        if fairness == "drf" and not preemption:
+            outcomes = [(name, "corrupted") for name, _ in outcomes[:1]] + outcomes[1:]
+        return outcomes
+
+    monkeypatch.setattr(oracles_mod, "_fairness_run", lossy)
+    ir = generate_ir(0, DETERMINISTIC_CONFIG)
+    outcome = check_fairness(ir, 0)
+    assert not outcome.ok
+    assert "drf" in outcome.detail
 
 
 def test_scores_oracle_detects_divergent_scorer(monkeypatch):

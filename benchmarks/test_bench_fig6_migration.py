@@ -14,3 +14,11 @@ def test_fig6_migration(benchmark, save_report):
     assert results["mur_improvement_pct"] > 10.0
     assert results["wcr_small_improvement_pct"] > 0.0
     assert results["wcr_big_improvement_pct"] > results["wcr_small_improvement_pct"]
+    # Preemption path: checkpoint-evicted workflows all complete after
+    # restore, and the re-preemption cooldown strictly reduces churn.
+    assert results["preempted_workflows"] > 0
+    assert results["preempted_wcr"] == 1.0
+    assert (
+        results["preemption_evictions"]
+        < results["preemption_evictions_no_cooldown"]
+    )

@@ -144,6 +144,13 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     from .experiments import robustness_runner
     from .obs.trace import Tracer
 
+    if args.journal:
+        results = robustness_runner.run_journal(
+            seed=args.seed, num_workflows=args.workflows, replicas=args.replicas
+        )
+        print(robustness_runner.report_journal(results))
+        return 0 if robustness_runner.journal_ok(results) else 1
+
     tracer = Tracer() if args.trace_out else None
     results = robustness_runner.run(
         seed=args.seed, num_workflows=args.workflows, tracer=tracer
@@ -276,6 +283,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write a Chrome trace_event JSON of the stormy run",
     )
+    chaos_parser.add_argument(
+        "--journal",
+        action="store_true",
+        help="storm the journal-backed sharded fleet instead: hard-kill "
+        "replicas mid-run and recover by journal replay (exit 1 on any "
+        "replay regression)",
+    )
+    chaos_parser.add_argument(
+        "--replicas",
+        type=int,
+        default=3,
+        help="replica count for the --journal fleet",
+    )
     chaos_parser.set_defaults(func=cmd_chaos)
 
     verify_parser = sub.add_parser(
@@ -293,7 +313,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--oracles",
         default=None,
         help="comma-separated subset "
-        "(backends,cache,replay,split,submitters); default all",
+        "(backends,cache,journal,replay,split,submitters); default all",
     )
     verify_parser.add_argument(
         "--no-shrink",

@@ -23,6 +23,7 @@ from ..backends.airflow import AirflowBackend
 from ..backends.argo import ArgoBackend
 from ..backends.tekton import TektonBackend
 from ..engine.admission import AdmissionError, AdmissionPipeline
+from ..engine.journal import Journal
 from ..engine.operator import WorkflowOperator
 from ..engine.simclock import SimClock
 from ..engine.status import WorkflowRecord
@@ -38,6 +39,7 @@ def default_environment(
     gpu_per_node: int = 2,
     cache_manager=None,
     seed: int = 0,
+    journal: Optional[Journal] = None,
 ) -> WorkflowOperator:
     """A fresh single-tenant simulated environment for one submission."""
     clock = SimClock()
@@ -54,6 +56,7 @@ def default_environment(
         cache_manager=cache_manager,
         api_server=APIServer(),
         seed=seed,
+        journal=journal,
     )
 
 
@@ -77,8 +80,19 @@ class ArgoSubmitter:
         self,
         operator: Optional[WorkflowOperator] = None,
         run_to_completion: bool = True,
+        *,
+        journaled: bool = False,
     ) -> None:
-        self.operator = operator or default_environment()
+        if operator is None:
+            operator = default_environment(journal=Journal() if journaled else None)
+        elif journaled and operator.journal is None:
+            raise ValueError(
+                "journaled=True but the operator passed in has no journal; "
+                "build it with WorkflowOperator(..., journal=Journal())"
+            )
+        self.operator = operator
+        #: The durable event journal when journaled mode is on (else None).
+        self.journal = self.operator.journal
         self.run_to_completion = run_to_completion
         self.backend = ArgoBackend()
         self.last_manifest: Optional[dict] = None
@@ -96,8 +110,12 @@ class LocalSubmitter(ArgoSubmitter):
     """Single-tenant convenience submitter (used by ``couler.run()``
     when no submitter is given)."""
 
-    def __init__(self, seed: int = 0) -> None:
-        super().__init__(operator=default_environment(seed=seed))
+    def __init__(self, seed: int = 0, *, journaled: bool = False) -> None:
+        super().__init__(
+            operator=default_environment(
+                seed=seed, journal=Journal() if journaled else None
+            )
+        )
 
 
 def default_multicluster(
@@ -106,6 +124,7 @@ def default_multicluster(
     fairness: str = "strict-priority",
     tenant_weights: Optional[dict] = None,
     preemption: bool = False,
+    journal: Optional[Journal] = None,
 ) -> AdmissionPipeline:
     """A small heterogeneous fleet for admission-pipeline submissions."""
     gb = 2**30
@@ -122,6 +141,7 @@ def default_multicluster(
         fairness=fairness,
         tenant_weights=tenant_weights,
         preemption=preemption,
+        journal=journal,
     )
 
 
@@ -146,15 +166,25 @@ class AdmissionSubmitter:
         *,
         fairness: Optional[str] = None,
         slo_class: Optional[str] = None,
+        journaled: bool = False,
     ) -> None:
         if pipeline is not None and fairness is not None:
             raise ValueError(
                 "pass fairness= when the submitter builds its own pipeline, "
                 "or configure it on the pipeline you pass in — not both"
             )
+        if pipeline is not None and journaled and pipeline.journal is None:
+            raise ValueError(
+                "journaled=True but the pipeline passed in has no journal; "
+                "build it with AdmissionPipeline(..., journal=Journal())"
+            )
         self.pipeline = pipeline or default_multicluster(
-            seed=seed, fairness=fairness or "strict-priority"
+            seed=seed,
+            fairness=fairness or "strict-priority",
+            journal=Journal() if journaled else None,
         )
+        #: Unified decision-log + step-event journal (None when off).
+        self.journal = self.pipeline.journal
         self.user = user
         self.priority = priority
         #: SLO lane for every submission through this submitter

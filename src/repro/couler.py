@@ -31,6 +31,15 @@ cross-tenant ordering policy (``strict-priority`` / ``weighted-fair`` /
 back-compat defaults, so existing call sites behave bit-identically.
 Custom policies subclass :class:`FairnessPolicy` and implement
 ``key(...)``; :class:`LaneConfig` describes custom SLO lanes.
+
+The journal-backed engine is part of v1 as of this release, **opt-in
+and default-off**: ``ArgoSubmitter(journaled=True)`` /
+``AdmissionSubmitter(journaled=True)`` record every admission decision
+and step event into a :class:`Journal`, from which a fresh engine
+replica recovers by pure replay (``resume_from_journal``) —
+:class:`ShardedOperatorFleet` is the multi-replica driver.  With
+``journaled`` left off, nothing is journaled and execution is
+bit-identical to previous releases.
 """
 
 from .backends.base import Submitter, submission_record
@@ -89,6 +98,8 @@ from .engine.fairness import (
     LaneConfig,
     make_fairness_policy,
 )
+from .engine.journal import Journal, JournalRecord
+from .engine.replicas import ShardedOperatorFleet
 
 __all__ = [
     # submission contract
@@ -138,6 +149,10 @@ __all__ = [
     "SLO_BATCH",
     "SLO_SERVING",
     "make_fairness_policy",
+    # journal-backed engine (opt-in via journaled=True)
+    "Journal",
+    "JournalRecord",
+    "ShardedOperatorFleet",
     # artifacts
     "create_gcs_artifact",
     "create_git_artifact",

@@ -23,6 +23,13 @@ from .fairness import (
     default_lanes,
     make_fairness_policy,
 )
+from .journal import (
+    REPLICA_LOST_ERR,
+    Journal,
+    JournalError,
+    JournalRecord,
+    demote_running_steps,
+)
 from .metrics import UtilizationRecorder, UtilizationSample
 from .operator import WorkflowOperator, validate_when_expr
 from .queue import (
@@ -32,6 +39,7 @@ from .queue import (
     QuotaError,
     UserQuota,
 )
+from .replicas import ShardedOperatorFleet, shard_of
 from .retry import (
     FATAL_PATTERNS,
     INFRA_PATTERNS,
@@ -75,8 +83,13 @@ __all__ = [
     "FailureProfile",
     "FairnessError",
     "FairnessPolicy",
+    "Journal",
+    "JournalError",
+    "JournalRecord",
     "LaneConfig",
     "MultiClusterQueue",
+    "REPLICA_LOST_ERR",
+    "ShardedOperatorFleet",
     "SLO_BATCH",
     "SLO_SERVING",
     "StrictPriorityPolicy",
@@ -100,9 +113,11 @@ __all__ = [
     "WorkflowOperator",
     "WorkflowPhase",
     "WorkflowRecord",
+    "demote_running_steps",
     "is_infra",
     "is_retryable",
     "parse_argo_manifest",
+    "shard_of",
     "step_profile_annotation",
     "validate_when_expr",
 ]

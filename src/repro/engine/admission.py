@@ -53,6 +53,7 @@ from .fairness import (
     default_lanes,
     make_fairness_policy,
 )
+from .journal import Journal
 from .operator import WorkflowOperator
 from .queue import DeferredDequeue, MultiClusterQueue, QueuedWorkflow, QuotaError, UserQuota
 from .simclock import SimClock
@@ -90,6 +91,12 @@ class AdmissionRecord:
     slo_class: str = DEFAULT_SLO_CLASS
     #: Times this workflow was checkpoint-evicted for an over-share tenant.
     preemptions: int = 0
+    #: When a previously-preempted workflow was last restored (placed
+    #: again).  The preemption victim search skips workflows inside
+    #: their post-restore cooldown window, so a victim that just paid
+    #: the checkpoint/migration cost cannot be evicted again before it
+    #: makes any progress (eviction thrash).
+    restored_at: Optional[float] = None
 
     @property
     def queue_latency(self) -> Optional[float]:
@@ -130,7 +137,9 @@ class AdmissionPipeline:
         lanes: Optional[Dict[str, LaneConfig]] = None,
         preemption: bool = False,
         max_preemptions: int = 2,
+        preempt_cooldown: float = 60.0,
         protect_gpu: bool = False,
+        journal: Optional[Journal] = None,
     ) -> None:
         if not clusters:
             raise ValueError("admission pipeline needs at least one cluster")
@@ -140,7 +149,14 @@ class AdmissionPipeline:
             raise ValueError(f"aging_rate must be >= 0: {aging_rate}")
         if max_preemptions < 0:
             raise ValueError(f"max_preemptions must be >= 0: {max_preemptions}")
+        if preempt_cooldown < 0:
+            raise ValueError(f"preempt_cooldown must be >= 0: {preempt_cooldown}")
         self.clock = clock or SimClock()
+        #: Shared journal: admission decisions land in each workflow's
+        #: stream as ``admission-*`` marker records (pure decision log —
+        #: the materializer ignores them), and every per-cluster
+        #: operator journals its step events into the same log.
+        self.journal = journal
         self.queue = MultiClusterQueue(
             clusters=clusters, quotas=dict(quotas or {}), protect_gpu=protect_gpu
         )
@@ -148,7 +164,12 @@ class AdmissionPipeline:
         self.metrics = metrics or MetricsRegistry()
         self.operators: Dict[str, WorkflowOperator] = {
             cluster.name: WorkflowOperator(
-                self.clock, cluster, seed=seed, tracer=self.tracer, metrics=self.metrics
+                self.clock,
+                cluster,
+                seed=seed,
+                tracer=self.tracer,
+                metrics=self.metrics,
+                journal=self.journal,
             )
             for cluster in clusters
         }
@@ -174,6 +195,9 @@ class AdmissionPipeline:
         #: ``can_preempt``-lane arrivals (off by default: back-compat).
         self.preemption = preemption
         self.max_preemptions = max_preemptions
+        #: Virtual seconds a restored preemption victim is ineligible
+        #: for re-eviction, so migration cost is amortised by progress.
+        self.preempt_cooldown = preempt_cooldown
         #: Live weighted tenant shares over fleet capacity, read by the
         #: fairness policies and the preemption victim search.
         self.shares = TenantShares(
@@ -217,6 +241,21 @@ class AdmissionPipeline:
             "admission_tenant_share_at_placement",
             "Tenant dominant share observed at each placement",
             buckets=SHARE_BUCKETS,
+        )
+
+    # ------------------------------------------------------------- journaling
+
+    def _journal_event(
+        self, admission: AdmissionRecord, kind: str, **payload: object
+    ) -> None:
+        """Append an ``admission-*`` decision record to the workflow's stream."""
+        if self.journal is None:
+            return
+        self.journal.append(
+            admission.workflow_name,
+            kind,
+            self.clock.now,
+            payload={"user": admission.user, "lane": admission.slo_class, **payload},
         )
 
     # ------------------------------------------------------------- submission
@@ -294,6 +333,7 @@ class AdmissionPipeline:
         admission.reject_reason = reason
         self._m_events.inc(event="rejection")
         self._m_rejected.inc(reason=label)
+        self._journal_event(admission, "admission-rejected", reason=reason)
         self.tracer.instant(
             "admission-reject",
             "admission",
@@ -360,6 +400,7 @@ class AdmissionPipeline:
         admission.admitted = True
         admission.admit_time = self.clock.now
         self._m_events.inc(event="admit")
+        self._journal_event(admission, "admission-admitted", priority=admission.priority)
         self._pending.append(
             _Pending(seq=next(self._seq), queued=queued, admission=admission)
         )
@@ -452,8 +493,15 @@ class AdmissionPipeline:
         a *different* tenant whose weighted dominant share exceeds the
         blocked tenant's — i.e. preemption only ever transfers capacity
         down the share order, so it converges instead of thrashing.
+        Restored victims are additionally protected by a re-preemption
+        cooldown (``preempt_cooldown`` virtual seconds after being
+        placed again): without it, the same over-share workflow is
+        evicted the moment it resumes, repaying its checkpoint and
+        migration cost with zero forward progress, over and over, until
+        ``max_preemptions`` finally fails it out of the victim pool.
         Returns the number of victims evicted.
         """
+        now = self.clock.now
         demand = blocked.queued.peak_demand()
         feasible = [
             cluster
@@ -484,6 +532,13 @@ class AdmissionPipeline:
             and running.admission.cluster_name in feasible_names
             and running.admission.record is not None
             and not running.admission.record.phase.is_terminal()
+            # Re-preemption cooldown: a just-restored victim gets
+            # ``preempt_cooldown`` virtual seconds to make progress
+            # before it is eligible again.
+            and (
+                running.admission.restored_at is None
+                or now - running.admission.restored_at >= self.preempt_cooldown
+            )
             and self.shares.dominant_share(running.admission.user) > blocked_share
         ]
         victims.sort(
@@ -530,6 +585,12 @@ class AdmissionPipeline:
         admission.cluster_name = None
         self._m_events.inc(event="preemption")
         self._m_preempted.inc(tenant=admission.user)
+        self._journal_event(
+            admission,
+            "admission-preempted",
+            cluster=cluster_name,
+            preemptions=admission.preemptions,
+        )
         self.tracer.instant(
             "admission-preempt",
             "admission",
@@ -549,7 +610,15 @@ class AdmissionPipeline:
         admission = pending.admission
         admission.place_time = self.clock.now
         admission.cluster_name = cluster.name
+        if admission.preemptions > 0:
+            admission.restored_at = self.clock.now
         self._m_events.inc(event="placement")
+        self._journal_event(
+            admission,
+            "admission-placed",
+            cluster=cluster.name,
+            deferrals=admission.deferrals,
+        )
         self._m_latency.observe(admission.queue_latency)
         if admission.queue_latency > 0:
             self.tracer.add_span(
@@ -588,6 +657,9 @@ class AdmissionPipeline:
         self._running.pop(pending.admission.workflow_name, None)
         pending.admission.finish_time = self.clock.now
         self._m_events.inc(event="completion")
+        self._journal_event(
+            pending.admission, "admission-finished", phase=record.phase.value
+        )
         self._m_share.set(
             self.shares.dominant_share(pending.admission.user),
             tenant=pending.admission.user,

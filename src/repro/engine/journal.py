@@ -1,0 +1,377 @@
+"""Durable append-only event journal for the workflow engine.
+
+The journal unifies three record streams that previously lived apart —
+the admission decision log, the operator's step events, and the ad-hoc
+``WorkflowRecord`` checkpoint snapshots — into one totally ordered
+sequence of :class:`JournalRecord` entries.  Each workflow's records
+form a *stream* (keyed by workflow name); replaying a stream's events
+through :meth:`Journal.materialize` reconstructs the workflow's
+:class:`~repro.engine.status.WorkflowRecord` exactly, so crash recovery
+becomes *replay from the journal* rather than trusting whatever
+in-memory snapshot survived.
+
+Design properties:
+
+* **Append-only, totally ordered.**  Records carry a global ``seq``;
+  ``prefix(n)`` truncates to the first ``n`` records, and materializing
+  any prefix yields a consistent, resumable record (the chaos gate
+  replays killed replicas from arbitrary prefixes).
+* **Idempotent appends (outbox semantics).**  An append carrying an
+  ``event_id`` already present in the journal is dropped and returns
+  ``None`` — duplicate delivery from an at-least-once producer cannot
+  double-apply an event.
+* **Self-contained streams.**  The first ``submitted`` record of a
+  stream embeds the full executable spec
+  (:func:`~repro.engine.spec.executable_to_dict`), so a *fresh* operator
+  replica that never saw the original submission can rebuild both the
+  workflow and its progress from the journal alone.
+* **Charges are facts, not forecasts.**  The live operator pre-charges
+  an attempt's full fetch/compute timeline at schedule time and refunds
+  the un-elapsed part if the attempt is interrupted.  The journal only
+  ever records *settled* charges (on completion or interruption), so a
+  replay never needs the refund machinery — and an attempt that was
+  started but never settled (its replica was hard-killed) materializes
+  as a lost attempt: counted, one infra failure, zero charges.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..obs.metrics import MetricsRegistry
+from .spec import ExecutableWorkflow, executable_from_dict
+from .status import StepStatus, WorkflowPhase, WorkflowRecord
+
+#: ``last_error`` recorded for an attempt whose replica vanished without
+#: settling it (hard kill): the journal has ``attempt-started`` but no
+#: completion/interruption record.  An infrastructure fault by
+#: definition — it never charges the application retry budget.
+REPLICA_LOST_ERR = "ReplicaLostErr"
+
+
+class JournalError(ValueError):
+    """Raised on journal misuse (unknown streams, malformed records)."""
+
+
+def demote_running_steps(record: WorkflowRecord) -> List[str]:
+    """Enforce the resume invariant: *a snapshot a resumed submission
+    reads has no Running steps* — anything Running when the snapshot was
+    cut died with its controller and must be re-attempted.
+
+    Previously hand-rolled in both ``checkpoint_workflow`` and
+    ``simulate_restart``; centralized here so every recovery path (and
+    the journal materializer) shares one implementation.  Returns the
+    demoted step names.
+    """
+    demoted: List[str] = []
+    for step_record in record.steps.values():
+        if step_record.status == StepStatus.RUNNING:
+            step_record.status = StepStatus.PENDING
+            demoted.append(step_record.name)
+    return demoted
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One immutable entry in the journal."""
+
+    seq: int
+    stream: str
+    kind: str
+    at: float
+    payload: dict = field(default_factory=dict)
+    event_id: Optional[str] = None
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "seq": self.seq,
+                "stream": self.stream,
+                "kind": self.kind,
+                "at": self.at,
+                "payload": self.payload,
+                "event_id": self.event_id,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "JournalRecord":
+        data = json.loads(line)
+        return cls(
+            seq=data["seq"],
+            stream=data["stream"],
+            kind=data["kind"],
+            at=data["at"],
+            payload=data.get("payload") or {},
+            event_id=data.get("event_id"),
+        )
+
+
+class Journal:
+    """An ordered, append-only, idempotent event log."""
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        self._records: List[JournalRecord] = []
+        self._by_stream: Dict[str, List[JournalRecord]] = {}
+        self._event_ids: Set[str] = set()
+        self._m_appends = (
+            metrics.counter("journal_records_total", "Journal appends by kind")
+            if metrics is not None
+            else None
+        )
+
+    # --------------------------------------------------------------- appends
+
+    def append(
+        self,
+        stream: str,
+        kind: str,
+        at: float,
+        payload: Optional[dict] = None,
+        event_id: Optional[str] = None,
+    ) -> Optional[JournalRecord]:
+        """Append one record; returns it, or ``None`` for a duplicate.
+
+        ``event_id`` gives the append outbox semantics: re-delivering an
+        event already in the journal is a no-op, so an at-least-once
+        producer can retry sends without double-applying.
+        """
+        if event_id is not None:
+            if event_id in self._event_ids:
+                return None
+            self._event_ids.add(event_id)
+        record = JournalRecord(
+            seq=len(self._records),
+            stream=stream,
+            kind=kind,
+            at=at,
+            payload=payload or {},
+            event_id=event_id,
+        )
+        self._records.append(record)
+        self._by_stream.setdefault(stream, []).append(record)
+        if self._m_appends is not None:
+            self._m_appends.inc(kind=kind)
+        return record
+
+    # --------------------------------------------------------------- reading
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self) -> List[JournalRecord]:
+        return list(self._records)
+
+    def streams(self) -> List[str]:
+        """Stream names in first-append order."""
+        return list(self._by_stream)
+
+    def stream_records(
+        self, stream: str, upto_seq: Optional[int] = None
+    ) -> List[JournalRecord]:
+        records = self._by_stream.get(stream, [])
+        if upto_seq is None:
+            return list(records)
+        return [record for record in records if record.seq <= upto_seq]
+
+    def prefix(self, n: int) -> "Journal":
+        """A new journal holding only the first ``n`` records.
+
+        This is what a replica that crashed mid-run left behind: the
+        chaos gate materializes arbitrary prefixes and proves each one
+        resumes to the same terminal digest.
+        """
+        clipped = Journal()
+        for record in self._records[:n]:
+            clipped.append(
+                record.stream,
+                record.kind,
+                record.at,
+                dict(record.payload),
+                event_id=record.event_id,
+            )
+        return clipped
+
+    # ----------------------------------------------------------- persistence
+
+    def dump(self, path: str) -> int:
+        """Write the journal as JSONL; returns the record count."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in self._records:
+                handle.write(record.to_json() + "\n")
+        return len(self._records)
+
+    @classmethod
+    def load(cls, path: str) -> "Journal":
+        journal = cls()
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = JournalRecord.from_json(line)
+                journal.append(
+                    record.stream,
+                    record.kind,
+                    record.at,
+                    record.payload,
+                    event_id=record.event_id,
+                )
+        return journal
+
+    # ------------------------------------------------------- materialization
+
+    def workflow_spec_dict(self, stream: str) -> Optional[dict]:
+        """The spec dict embedded in the stream's first submission."""
+        for record in self._by_stream.get(stream, []):
+            if record.kind == "submitted" and "spec" in record.payload:
+                return record.payload["spec"]
+        return None
+
+    def workflow_spec(self, stream: str) -> Optional[ExecutableWorkflow]:
+        """Rebuild the stream's executable workflow from the journal."""
+        spec = self.workflow_spec_dict(stream)
+        if spec is None:
+            return None
+        return executable_from_dict(spec)
+
+    def materialize(
+        self, stream: str, upto_seq: Optional[int] = None
+    ) -> Optional[WorkflowRecord]:
+        """Fold a stream's events into a fresh :class:`WorkflowRecord`.
+
+        Returns ``None`` when the stream holds no submission (e.g. only
+        admission decisions so far).  The result is always resumable:
+        attempts that were started but never settled are folded as lost
+        (one infra failure, ``ReplicaLostErr``, zero charges), and no
+        step is left Running.
+        """
+        if self.workflow_spec_dict(stream) is None:
+            return None
+        record = WorkflowRecord(name=stream)
+        return self.materialize_into(stream, record, upto_seq=upto_seq)
+
+    def materialize_into(
+        self,
+        stream: str,
+        record: WorkflowRecord,
+        upto_seq: Optional[int] = None,
+    ) -> WorkflowRecord:
+        """Fold a stream's events into an *existing* record, in place.
+
+        Callers holding the record (admission records, fingerprint
+        readers) keep their reference — the in-memory resume-in-place
+        contract — while the content becomes exactly what the journal
+        proves happened.
+        """
+        events = self.stream_records(stream, upto_seq=upto_seq)
+        if not any(e.kind == "submitted" for e in events):
+            raise JournalError(f"stream {stream!r} has no submission to replay")
+        record.phase = WorkflowPhase.PENDING
+        record.submit_time = None
+        record.finish_time = None
+        record.steps.clear()
+        record.results.clear()
+        step_names: List[str] = []
+        #: Steps with a started-but-unsettled attempt (lost on hard kill).
+        in_flight: Set[str] = set()
+
+        for event in events:
+            kind, payload, at = event.kind, event.payload, event.at
+            if kind == "submitted":
+                if "spec" in payload:
+                    step_names = [s["name"] for s in payload["spec"]["steps"]]
+                # A resubmit with attempts still unsettled means their
+                # replica was hard-killed: settle them as lost *here*,
+                # exactly as the resuming replica's prefix replay did,
+                # so the full stream and the prefix agree.
+                for name in sorted(in_flight):
+                    step = record.step(name)
+                    step.infra_failures += 1
+                    step.last_error = REPLICA_LOST_ERR
+                in_flight.clear()
+                record.phase = WorkflowPhase.RUNNING
+                record.submit_time = at
+                record.finish_time = None
+                for name in step_names:
+                    step = record.step(name)
+                    if not step.status.counts_as_done():
+                        step.status = StepStatus.PENDING
+                        step.last_error = None
+                for name, value in (payload.get("initial_results") or {}).items():
+                    record.results[name] = value
+            elif kind == "attempt-started":
+                step = record.step(payload["step"])
+                step.attempts += 1
+                step.status = StepStatus.RUNNING
+                if step.start_time is None:
+                    step.start_time = at
+                in_flight.add(payload["step"])
+            elif kind == "attempt-succeeded":
+                step = record.step(payload["step"])
+                in_flight.discard(step.name)
+                step.status = StepStatus.SUCCEEDED
+                step.finish_time = at
+                step.fetch_seconds += payload["fetch"]
+                step.compute_seconds += payload["compute"]
+                step.cache_hits += payload["hits"]
+                step.cache_misses += payload["misses"]
+                record.results[step.name] = payload["result"]
+            elif kind == "attempt-failed":
+                step = record.step(payload["step"])
+                in_flight.discard(step.name)
+                step.last_error = payload["pattern"]
+                if payload.get("infra"):
+                    step.infra_failures += 1
+                step.fetch_seconds += payload["fetch"]
+                step.compute_seconds += payload["compute"]
+                step.cache_hits += payload["hits"]
+                step.cache_misses += payload["misses"]
+                if payload.get("terminal"):
+                    step.status = StepStatus.FAILED
+                    step.finish_time = at
+                # Non-terminal: Running through the backoff, like live.
+            elif kind == "attempt-interrupted":
+                step = record.step(payload["step"])
+                in_flight.discard(step.name)
+                step.infra_failures += 1
+                step.last_error = payload["pattern"]
+                step.fetch_seconds += payload["fetch"]
+                step.compute_seconds += payload["compute"]
+                step.cache_hits += payload["hits"]
+                step.cache_misses += payload["misses"]
+            elif kind == "step-skipped":
+                step = record.step(payload["step"])
+                step.status = StepStatus.SKIPPED
+                step.start_time = at
+                step.finish_time = at
+            elif kind == "step-cached":
+                step = record.step(payload["step"])
+                step.status = StepStatus.CACHED
+                step.start_time = at
+                step.finish_time = at
+            elif kind == "step-aborted":
+                step = record.step(payload["step"])
+                if not step.status.is_terminal():
+                    step.status = StepStatus.FAILED
+                    step.finish_time = at
+            elif kind == "workflow-finished":
+                record.phase = WorkflowPhase(payload["phase"])
+                record.finish_time = at
+            # "checkpointed" and "admission-*" records are markers for
+            # the decision log; they carry no record state.
+
+        # An attempt whose start was journaled but whose outcome never
+        # was belonged to a hard-killed replica: the attempt happened
+        # (it counts), the cause is infrastructure (budget-free), and
+        # none of its charges settled.
+        for name in sorted(in_flight):
+            step = record.step(name)
+            step.infra_failures += 1
+            step.last_error = REPLICA_LOST_ERR
+        demote_running_steps(record)
+        return record

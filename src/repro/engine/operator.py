@@ -31,9 +31,16 @@ from ..k8s.objects import Pod, PodPhase
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import NullTracer
 from .cachehooks import CacheManagerProtocol, NullCacheManager
+from .journal import Journal, demote_running_steps
 from .retry import FailureInjector, RetryPolicy
 from .simclock import EventHandle, SimClock
-from .spec import ExecutableStep, ExecutableWorkflow, SpecError, parse_argo_manifest
+from .spec import (
+    ExecutableStep,
+    ExecutableWorkflow,
+    SpecError,
+    executable_to_dict,
+    parse_argo_manifest,
+)
 from .status import StepStatus, WorkflowPhase, WorkflowRecord
 
 CompletionCallback = Callable[[WorkflowRecord], None]
@@ -156,6 +163,7 @@ class WorkflowOperator:
         track_pods: bool = False,
         tracer: Optional[object] = None,
         metrics: Optional[MetricsRegistry] = None,
+        journal: Optional[Journal] = None,
     ) -> None:
         self.clock = clock
         self.cluster = cluster
@@ -209,6 +217,43 @@ class WorkflowOperator:
         self._cache_outage_until = float("-inf")
         #: How long an attempt waits on a dead cache before giving up.
         self.cache_timeout_s = 30.0
+        #: Append-only event journal (opt-in).  When set, every state
+        #: transition is journaled and restart/checkpoint recovery
+        #: rebuilds records by replaying the journal instead of trusting
+        #: the in-memory snapshot.  Journaling never perturbs execution:
+        #: with ``journal=None`` behaviour is bit-identical.
+        self.journal = journal
+        #: Hook a sharded fleet installs so resources this replica frees
+        #: can wake sibling replicas' wait queues (each operator only
+        #: drains its own).
+        self.peer_wakeup: Optional[Callable[[], None]] = None
+        #: Run states awaiting a scheduled restart-resume, with the
+        #: resume event handle — a second restart during the first's
+        #: downtime must fold these in rather than double-resume them.
+        self._pending_resume: List[_RunState] = []
+        self._resume_handle: Optional[EventHandle] = None
+
+    # ------------------------------------------------------------- journaling
+
+    def _journal_event(
+        self,
+        stream: str,
+        kind: str,
+        payload: Optional[dict] = None,
+        event_id: Optional[str] = None,
+    ) -> None:
+        if self.journal is not None:
+            self.journal.append(
+                stream, kind, self.clock.now, payload, event_id=event_id
+            )
+
+    def _attempt_cache_counts(self, attempt: "_Attempt") -> Tuple[int, int]:
+        hits = sum(1 for _, hit, _ in attempt.newly_counted if hit)
+        return hits, len(attempt.newly_counted) - hits
+
+    def _notify_peers(self) -> None:
+        if self.peer_wakeup is not None:
+            self.peer_wakeup()
 
     # ------------------------------------------------------------- submission
 
@@ -263,13 +308,21 @@ class WorkflowOperator:
         state = _RunState(workflow=workflow, record=record)
         if initial_results:
             state.results.update(initial_results)
+            # Forwarded results must survive a restart: persist them on
+            # the record (keyed by *foreign* step names, so they never
+            # collide with this workflow's own step map).  Previously
+            # they lived only in the run state, and a restart-resume
+            # dropped them — `when` guards referencing other split
+            # parts then read "never ran" and skipped spuriously.
+            record.results.update(initial_results)
         # Resubmission: results of already-done steps survived on the
         # record snapshot; guards referencing them must still evaluate.
+        # Foreign names (forwarded from other split parts) are restored
+        # as-is — they have no step record here to gate on.
         for step_name, value in record.results.items():
-            if (
-                step_name in workflow.steps
-                and record.step(step_name).status.counts_as_done()
-            ):
+            if step_name not in workflow.steps:
+                state.results[step_name] = value
+            elif record.step(step_name).status.counts_as_done():
                 state.results[step_name] = value
         state.wf_span = self.tracer.begin(
             workflow.name, "workflow", self.clock.now, workflow=workflow.name
@@ -288,6 +341,15 @@ class WorkflowOperator:
                     state.children[dep].append(step.name)
 
         self._states[workflow.name] = state
+        if self.journal is not None:
+            payload: dict = {}
+            if self.journal.workflow_spec_dict(workflow.name) is None:
+                payload["spec"] = executable_to_dict(workflow)
+            else:
+                payload["resubmit"] = True
+            if initial_results:
+                payload["initial_results"] = dict(initial_results)
+            self._journal_event(workflow.name, "submitted", payload)
 
         launched_any = False
         for step in workflow.steps.values():
@@ -387,6 +449,9 @@ class WorkflowOperator:
                 record.status = StepStatus.FAILED
                 record.finish_time = self.clock.now
                 self._m_steps.inc(status=StepStatus.FAILED.value)
+                self._journal_event(
+                    state.workflow.name, "step-aborted", {"step": step.name}
+                )
             self._end_step_span(state, step.name, StepStatus.FAILED.value)
             self._schedule_state(state, 0.0, lambda: self._maybe_finish(state))
             return
@@ -398,6 +463,9 @@ class WorkflowOperator:
             self._step_span(state, step)
             self._end_step_span(state, step.name, StepStatus.SKIPPED.value)
             self._m_steps.inc(status=StepStatus.SKIPPED.value)
+            self._journal_event(
+                state.workflow.name, "step-skipped", {"step": step.name}
+            )
             self._schedule_state(state, 0.0, lambda: self._after_skip(state, step))
             return
         if self._outputs_all_cached(step):
@@ -408,6 +476,9 @@ class WorkflowOperator:
             self._step_span(state, step)
             self._end_step_span(state, step.name, StepStatus.CACHED.value)
             self._m_steps.inc(status=StepStatus.CACHED.value)
+            self._journal_event(
+                state.workflow.name, "step-cached", {"step": step.name}
+            )
             self._schedule_state(state, 0.0, lambda: self._after_skip(state, step))
             return
         self._step_span(state, step)
@@ -417,6 +488,8 @@ class WorkflowOperator:
         self.clock.schedule(0.0, self._drain_waitq)
 
     def _after_skip(self, state: _RunState, step: ExecutableStep) -> None:
+        if not self._is_live(state):
+            return
         self._advance_children(state, step)
         self._maybe_finish(state)
 
@@ -434,6 +507,9 @@ class WorkflowOperator:
                     record.status = StepStatus.FAILED
                     record.finish_time = self.clock.now
                     self._m_steps.inc(status=StepStatus.FAILED.value)
+                    self._journal_event(
+                        wf_name, "step-aborted", {"step": step_name}
+                    )
                 self._end_step_span(state, step_name, StepStatus.FAILED.value)
                 self._maybe_finish(state)
                 continue
@@ -473,6 +549,12 @@ class WorkflowOperator:
         record.status = StepStatus.RUNNING
         if record.start_time is None:
             record.start_time = self.clock.now
+        self._journal_event(
+            state.workflow.name,
+            "attempt-started",
+            {"step": step.name, "attempt": record.attempts, "pod": pod.metadata.name},
+            event_id=f"{state.workflow.name}:start:{step.name}:{record.attempts}",
+        )
         state.in_flight += 1
         pod.phase = PodPhase.RUNNING
         if self.track_pods:
@@ -592,7 +674,11 @@ class WorkflowOperator:
     def _on_attempt_success(
         self, state: _RunState, step: ExecutableStep, pod: Pod
     ) -> None:
-        state.active_attempts.pop(step.name, None)
+        if not self._is_live(state):
+            # Scheduled against a dead incarnation (the operator was
+            # hard-killed or restarted): the attempt's outcome is lost.
+            return
+        attempt = state.active_attempts.pop(step.name, None)
         pod.phase = PodPhase.SUCCEEDED
         if self.track_pods:
             self.api_server.update_status(pod)
@@ -610,6 +696,21 @@ class WorkflowOperator:
         )
         state.results[step.name] = value
         state.record.results[step.name] = value
+        if self.journal is not None and attempt is not None:
+            hits, misses = self._attempt_cache_counts(attempt)
+            self._journal_event(
+                state.workflow.name,
+                "attempt-succeeded",
+                {
+                    "step": step.name,
+                    "result": value,
+                    "fetch": attempt.charged_fetch,
+                    "compute": attempt.charged_compute,
+                    "hits": hits,
+                    "misses": misses,
+                },
+                event_id=f"{state.workflow.name}:ok:{step.name}:{record.attempts}",
+            )
         for artifact in step.outputs:
             self.cache_manager.on_artifact_produced(artifact, self.clock.now)
         on_step_finished = getattr(self.cache_manager, "on_step_finished", None)
@@ -618,6 +719,7 @@ class WorkflowOperator:
         self._advance_children(state, step)
         self._maybe_finish(state)
         self._drain_waitq()
+        self._notify_peers()
 
     def _on_attempt_failure(
         self,
@@ -627,17 +729,29 @@ class WorkflowOperator:
         pattern: str,
         infra: bool = False,
     ) -> None:
-        state.active_attempts.pop(step.name, None)
+        if not self._is_live(state):
+            return
+        attempt = state.active_attempts.pop(step.name, None)
         pod.phase = PodPhase.FAILED
         if self.track_pods:
             self.api_server.update_status(pod)
         self.scheduler.release(pod)
         state.in_flight -= 1
-        self._route_failure(state, step, pattern, infra=infra)
+        charges = (0.0, 0.0, 0, 0)
+        if attempt is not None:
+            hits, misses = self._attempt_cache_counts(attempt)
+            charges = (attempt.charged_fetch, attempt.charged_compute, hits, misses)
+        self._route_failure(state, step, pattern, infra=infra, charges=charges)
         self._drain_waitq()
+        self._notify_peers()
 
     def _route_failure(
-        self, state: _RunState, step: ExecutableStep, pattern: str, infra: bool = False
+        self,
+        state: _RunState,
+        step: ExecutableStep,
+        pattern: str,
+        infra: bool = False,
+        charges: Tuple[float, float, int, int] = (0.0, 0.0, 0, 0),
     ) -> None:
         """Decide what a failed/interrupted attempt becomes.
 
@@ -655,7 +769,29 @@ class WorkflowOperator:
         if infra:
             record.infra_failures += 1
         app_attempts = record.attempts - record.infra_failures
+
+        def journal_failed(terminal: bool) -> None:
+            fetch, compute, hits, misses = charges
+            self._journal_event(
+                state.workflow.name,
+                "attempt-failed",
+                {
+                    "step": step.name,
+                    "pattern": pattern,
+                    "infra": infra,
+                    "fetch": fetch,
+                    "compute": compute,
+                    "hits": hits,
+                    "misses": misses,
+                    "terminal": terminal,
+                },
+                event_id=(
+                    f"{state.workflow.name}:fail:{step.name}:{record.attempts}"
+                ),
+            )
+
         if infra and self.retry_policy.infra_retry(pattern, record.infra_failures):
+            journal_failed(terminal=False)
             delay = self.retry_policy.infra_backoff
             self.tracer.instant(
                 "infra-retry",
@@ -673,6 +809,7 @@ class WorkflowOperator:
         elif self.retry_policy.should_retry(
             pattern, app_attempts, limit_override=step.retry_limit
         ):
+            journal_failed(terminal=False)
             delay = self.retry_policy.backoff(app_attempts, rng=self._rng)
             self.tracer.instant(
                 "retry",
@@ -698,6 +835,7 @@ class WorkflowOperator:
                 state, delay, lambda: self._enqueue_step(state, step)
             )
         else:
+            journal_failed(terminal=True)
             record.status = StepStatus.FAILED
             record.finish_time = self.clock.now
             self._end_step_span(state, step.name, StepStatus.FAILED.value)
@@ -738,12 +876,18 @@ class WorkflowOperator:
                 if step_record.status == StepStatus.RUNNING:
                     step_record.status = StepStatus.FAILED
                     step_record.finish_time = self.clock.now
+                    self._journal_event(
+                        record.name, "step-aborted", {"step": step_record.name}
+                    )
         # Close any span left open (steps aborted mid-retry, etc).
         for step_name in state.step_spans:
             self._end_step_span(
                 state, step_name, record.step(step_name).status.value
             )
         record.finish_time = self.clock.now
+        self._journal_event(
+            record.name, "workflow-finished", {"phase": record.phase.value}
+        )
         self.tracer.end(state.wf_span, self.clock.now, phase=record.phase.value)
         self._m_workflows.inc(phase=record.phase.value)
         self._states.pop(state.workflow.name, None)
@@ -760,12 +904,15 @@ class WorkflowOperator:
 
     def _refund_attempt(
         self, state: _RunState, step_name: str, attempt: _Attempt
-    ) -> None:
+    ) -> Tuple[float, float, int, int]:
         """Undo the un-elapsed part of an interrupted attempt's charges.
 
         Attempts pre-charge their full fetch/compute timeline and cache
         stats at schedule time; killing one at ``now`` means only the
-        work up to ``now`` really happened.
+        work up to ``now`` really happened.  Returns what the attempt
+        *kept* — ``(fetch, compute, hits, misses)`` — which is exactly
+        what the journal records for an interrupted attempt (the journal
+        stores settled facts, never forecasts).
         """
         attempt.handle.cancel()
         record = state.record.step(step_name)
@@ -777,6 +924,7 @@ class WorkflowOperator:
         record.fetch_seconds -= attempt.charged_fetch - fetch_done
         record.compute_seconds -= attempt.charged_compute - compute_done
         counted = state.counted_inputs.get(step_name, set())
+        kept_hits = kept_misses = 0
         for uid, hit, fetch_end in attempt.newly_counted:
             if fetch_end > actual + 1e-9:
                 # This fetch never finished: a future attempt may count it.
@@ -785,6 +933,11 @@ class WorkflowOperator:
                     record.cache_hits = max(0, record.cache_hits - 1)
                 else:
                     record.cache_misses = max(0, record.cache_misses - 1)
+            elif hit:
+                kept_hits += 1
+            else:
+                kept_misses += 1
+        return fetch_done, compute_done, kept_hits, kept_misses
 
     def _interrupt_attempt(
         self,
@@ -802,7 +955,7 @@ class WorkflowOperator:
         attempt = state.active_attempts.pop(step_name, None)
         if attempt is None:
             return False
-        self._refund_attempt(state, step_name, attempt)
+        kept = self._refund_attempt(state, step_name, attempt)
         pod = attempt.pod
         pod.phase = PodPhase.FAILED
         if release_pod:
@@ -811,7 +964,7 @@ class WorkflowOperator:
             self.api_server.update_status(pod)
         state.in_flight -= 1
         self._route_failure(
-            state, state.workflow.steps[step_name], pattern, infra=True
+            state, state.workflow.steps[step_name], pattern, infra=True, charges=kept
         )
         return True
 
@@ -835,6 +988,7 @@ class WorkflowOperator:
                 state, step_name, "NodeLostErr", release_pod=False
             )
         self.clock.schedule(0.0, self._drain_waitq)
+        self._notify_peers()
         return displaced
 
     def recover_node(self, node_name: str) -> None:
@@ -844,6 +998,7 @@ class WorkflowOperator:
             return
         node.recover()
         self.clock.schedule(0.0, self._drain_waitq)
+        self._notify_peers()
 
     def evict_pod(self, pod: Pod) -> bool:
         """Evict one running pod (preemption / node-pressure eviction).
@@ -867,6 +1022,7 @@ class WorkflowOperator:
             state, step_name, "PodEvictedErr", release_pod=node is None
         )
         self.clock.schedule(0.0, self._drain_waitq)
+        self._notify_peers()
         return interrupted
 
     def checkpoint_workflow(
@@ -898,7 +1054,7 @@ class WorkflowOperator:
         state.pending_handles.clear()
         for step_name in sorted(state.active_attempts):
             attempt = state.active_attempts[step_name]
-            self._refund_attempt(state, step_name, attempt)
+            kept = self._refund_attempt(state, step_name, attempt)
             pod = attempt.pod
             pod.phase = PodPhase.FAILED
             pod.reason = "Preempted"
@@ -909,6 +1065,19 @@ class WorkflowOperator:
             record.infra_failures += 1
             record.last_error = reason
             self._m_infra.inc(pattern=reason)
+            self._journal_event(
+                name,
+                "attempt-interrupted",
+                {
+                    "step": step_name,
+                    "pattern": reason,
+                    "fetch": kept[0],
+                    "compute": kept[1],
+                    "hits": kept[2],
+                    "misses": kept[3],
+                },
+                event_id=f"{name}:interrupt:{step_name}:{record.attempts}",
+            )
         state.active_attempts.clear()
         state.in_flight = 0
         self._resource_waitq = [
@@ -917,17 +1086,22 @@ class WorkflowOperator:
             if wf_name != name
         ]
         self._m_waitq.set(len(self._resource_waitq))
-        # The snapshot a resumed submission reads has no Running steps —
-        # their attempts were just interrupted.
-        for step_name in state.workflow.steps:
-            step_record = state.record.step(step_name)
-            if step_record.status == StepStatus.RUNNING:
-                step_record.status = StepStatus.PENDING
+        self._journal_event(name, "checkpointed", {"reason": reason})
+        if self.journal is not None:
+            # Replay-based recovery: the record a resumer reads is what
+            # the journal proves happened, not the in-memory snapshot.
+            # (The materializer enforces the no-Running-steps invariant.)
+            self.journal.materialize_into(name, state.record)
+        else:
+            # The snapshot a resumed submission reads has no Running
+            # steps — their attempts were just interrupted.
+            demote_running_steps(state.record)
         for step_name in state.step_spans:
             self._end_step_span(state, step_name, "preempted")
         self.tracer.end(state.wf_span, self.clock.now, phase="preempted")
         # Freed resources can unblock other workflows' queued steps.
         self.clock.schedule(0.0, self._drain_waitq)
+        self._notify_peers()
         return state.record
 
     def set_cache_outage(self, until: float) -> None:
@@ -959,12 +1133,13 @@ class WorkflowOperator:
         """
         states = list(self._states.values())
         for state in states:
+            name = state.workflow.name
             for handle in state.pending_handles:
                 handle.cancel()
             state.pending_handles.clear()
             for step_name in sorted(state.active_attempts):
                 attempt = state.active_attempts[step_name]
-                self._refund_attempt(state, step_name, attempt)
+                kept = self._refund_attempt(state, step_name, attempt)
                 pod = attempt.pod
                 pod.phase = PodPhase.FAILED
                 pod.reason = "OperatorRestart"
@@ -975,14 +1150,33 @@ class WorkflowOperator:
                 record.infra_failures += 1
                 record.last_error = "OperatorRestartErr"
                 self._m_infra.inc(pattern="OperatorRestartErr")
+                self._journal_event(
+                    name,
+                    "attempt-interrupted",
+                    {
+                        "step": step_name,
+                        "pattern": "OperatorRestartErr",
+                        "fetch": kept[0],
+                        "compute": kept[1],
+                        "hits": kept[2],
+                        "misses": kept[3],
+                    },
+                    event_id=f"{name}:interrupt:{step_name}:{record.attempts}",
+                )
             state.active_attempts.clear()
             state.in_flight = 0
-            # The snapshot a restarted controller reads has no Running
-            # steps — they died with it.
-            for step_name in state.workflow.steps:
-                step_record = state.record.step(step_name)
-                if step_record.status == StepStatus.RUNNING:
-                    step_record.status = StepStatus.PENDING
+            self._journal_event(
+                name, "checkpointed", {"reason": "operator-restart"}
+            )
+            if self.journal is not None:
+                # Replay-based recovery: rebuild the record from the
+                # journal (which enforces the no-Running-steps invariant)
+                # instead of trusting the in-memory snapshot.
+                self.journal.materialize_into(name, state.record)
+            else:
+                # The snapshot a restarted controller reads has no
+                # Running steps — they died with it.
+                demote_running_steps(state.record)
             for step_name in state.step_spans:
                 self._end_step_span(state, step_name, "operator-restart")
             self.tracer.end(
@@ -991,9 +1185,25 @@ class WorkflowOperator:
         self._states.clear()
         self._resource_waitq = []
         self._m_waitq.set(0)
+        # A restart during a previous restart's downtime supersedes it:
+        # those still-unresumed workflows fold into this restart's resume
+        # set (the old resume event is cancelled), instead of the two
+        # resumes racing and double-submitting the same workflows.
+        if self._resume_handle is not None:
+            self._resume_handle.cancel()
+            self._resume_handle = None
+        carried = [
+            state
+            for state in self._pending_resume
+            if not state.record.phase.is_terminal()
+        ]
+        states = carried + states
+        self._pending_resume = states
         resumed = [state.workflow.name for state in states]
 
         def _resume() -> None:
+            self._pending_resume = []
+            self._resume_handle = None
             for state in states:
                 # Resumes in place: callers keep holding the same record.
                 self.submit(state.workflow, record=state.record)
@@ -1001,7 +1211,70 @@ class WorkflowOperator:
                     state.on_complete
                 )
 
-        self.clock.schedule(downtime, _resume)
+        self._resume_handle = self.clock.schedule(downtime, _resume)
+        self._notify_peers()
+        return resumed
+
+    def hard_kill(self) -> List[str]:
+        """Kill the controller with no graceful teardown (chaos path).
+
+        Unlike :meth:`simulate_restart`, *nothing* is journaled — this
+        models a replica vanishing mid-run.  Scheduled callbacks and
+        attempt completions are cancelled, the cluster garbage-collects
+        the orphaned pods (allocations are released), and every run
+        state is dropped.  Only a journal-backed deployment can recover:
+        :meth:`resume_from_journal` on a fresh replica replays the
+        stream, and the materializer folds each started-but-unsettled
+        attempt as lost (``ReplicaLostErr``, one budget-free infra
+        failure, zero charges).  Returns the names of the workflows that
+        died with the replica.
+        """
+        killed = sorted(self._states)
+        for state in self._states.values():
+            for handle in state.pending_handles:
+                handle.cancel()
+            state.pending_handles.clear()
+            for attempt in state.active_attempts.values():
+                attempt.handle.cancel()
+                attempt.pod.phase = PodPhase.FAILED
+                attempt.pod.reason = "ReplicaLost"
+                self.scheduler.release(attempt.pod)
+            state.active_attempts.clear()
+        if self._resume_handle is not None:
+            self._resume_handle.cancel()
+            self._resume_handle = None
+        self._pending_resume = []
+        self._states.clear()
+        self._resource_waitq = []
+        self._m_waitq.set(0)
+        self._notify_peers()
+        return killed
+
+    def resume_from_journal(self, names: Optional[List[str]] = None) -> List[str]:
+        """Resume workflows by replaying the journal (fresh-replica path).
+
+        For each stream (all of them, or just ``names``): rebuild the
+        executable workflow from the spec embedded in its first
+        ``submitted`` record, materialize its :class:`WorkflowRecord`
+        from the event fold, and resubmit unless the workflow is already
+        active here or the journal proves it finished.  This is what a
+        replacement replica does after a shard reassignment — it needs
+        nothing but the journal.  Returns the resumed names.
+        """
+        if self.journal is None:
+            raise ValueError("resume_from_journal requires a journal-backed operator")
+        resumed: List[str] = []
+        for stream in self.journal.streams() if names is None else names:
+            if stream in self._states:
+                continue
+            workflow = self.journal.workflow_spec(stream)
+            if workflow is None:
+                continue  # decision-log-only stream: nothing submitted yet
+            record = self.journal.materialize(stream)
+            if record is None or record.phase.is_terminal():
+                continue
+            self.submit(workflow, record=record)
+            resumed.append(stream)
         return resumed
 
     # ------------------------------------------------------------ inspection

@@ -66,6 +66,9 @@ INFRA_PATTERNS = frozenset(
         "SchedulerPreemptedErr",
         "CacheFetchTimeoutErr",
         "OperatorRestartErr",
+        # A hard-killed engine replica lost the attempt: journal replay
+        # settles it with this pattern (repro.engine.journal).
+        "ReplicaLostErr",
     }
 )
 

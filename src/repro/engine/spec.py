@@ -142,6 +142,91 @@ class ExecutableWorkflow:
 
 
 # --------------------------------------------------------------------------
+# ExecutableWorkflow <-> plain dict (journal spec records)
+# --------------------------------------------------------------------------
+
+
+def _artifact_to_dict(artifact: ArtifactSpec) -> dict:
+    return {
+        "uid": artifact.uid,
+        "size_bytes": artifact.size_bytes,
+        "kind": artifact.kind,
+    }
+
+
+def _artifact_from_dict(data: dict) -> ArtifactSpec:
+    return ArtifactSpec(
+        uid=data["uid"], size_bytes=data["size_bytes"], kind=data.get("kind", "data")
+    )
+
+
+def executable_to_dict(workflow: ExecutableWorkflow) -> dict:
+    """Lossless JSON-safe form of an executable workflow.
+
+    The journal stores this once per workflow (the ``submitted``
+    record's ``spec`` payload) so a replica that never saw the original
+    submission can resume it from the journal alone.  Resource numbers
+    stay raw floats/ints — never rounded quantity strings — so a
+    round-trip is exact.
+    """
+    return {
+        "name": workflow.name,
+        "steps": [
+            {
+                "name": step.name,
+                "duration_s": step.duration_s,
+                "requests": {
+                    "cpu": step.requests.cpu,
+                    "memory": step.requests.memory,
+                    "gpu": step.requests.gpu,
+                },
+                "dependencies": list(step.dependencies),
+                "inputs": [_artifact_to_dict(a) for a in step.inputs],
+                "outputs": [_artifact_to_dict(a) for a in step.outputs],
+                "failure_rate": step.failure.rate,
+                "failure_pattern": step.failure.pattern,
+                "uses_gpu": step.uses_gpu,
+                "retry_limit": step.retry_limit,
+                "when_expr": step.when_expr,
+                "result_options": list(step.result_options),
+            }
+            for step in workflow.steps.values()
+        ],
+    }
+
+
+def executable_from_dict(data: dict) -> ExecutableWorkflow:
+    """Inverse of :func:`executable_to_dict` (validates the DAG)."""
+    workflow = ExecutableWorkflow(name=data["name"])
+    for entry in data["steps"]:
+        requests = entry.get("requests", {})
+        workflow.add_step(
+            ExecutableStep(
+                name=entry["name"],
+                duration_s=entry["duration_s"],
+                requests=ResourceQuantity(
+                    cpu=requests.get("cpu", 0.0),
+                    memory=requests.get("memory", 0),
+                    gpu=requests.get("gpu", 0),
+                ),
+                dependencies=list(entry.get("dependencies", [])),
+                inputs=[_artifact_from_dict(a) for a in entry.get("inputs", [])],
+                outputs=[_artifact_from_dict(a) for a in entry.get("outputs", [])],
+                failure=FailureProfile(
+                    rate=entry.get("failure_rate", 0.0),
+                    pattern=entry.get("failure_pattern", "PodCrashErr"),
+                ),
+                uses_gpu=entry.get("uses_gpu", False),
+                retry_limit=entry.get("retry_limit"),
+                when_expr=entry.get("when_expr"),
+                result_options=tuple(entry.get("result_options", ())),
+            )
+        )
+    workflow.validate()
+    return workflow
+
+
+# --------------------------------------------------------------------------
 # Argo manifest <-> ExecutableWorkflow
 # --------------------------------------------------------------------------
 

@@ -14,10 +14,19 @@ three properties:
    recovery path show up as diffs, not flakes).
 3. **Conservation**: the invariant checker finds no leaked node
    allocations, reservations, or quota charges afterwards.
+
+The ``--journal`` lane (:func:`run_journal`) storms the journal-backed
+sharded fleet instead: replicas are hard-killed mid-run (nothing
+journaled, pods lost) and replaced by fresh processes that recover by
+pure journal replay.  It proves recovery, replayed determinism (digest
+printed for CI diffing), calm-run output equivalence, and that
+materializing *any* prefix of the journal yields resumable records
+(no step left Running).
 """
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -32,9 +41,12 @@ from ..chaos import (
     full_check,
 )
 from ..engine.admission import AdmissionPipeline
+from ..engine.journal import Journal, JournalRecord
 from ..engine.operator import WorkflowOperator
+from ..engine.replicas import ShardedOperatorFleet
+from ..engine.simclock import SimClock
 from ..engine.spec import ArtifactSpec, ExecutableStep, ExecutableWorkflow
-from ..engine.status import WorkflowPhase, WorkflowRecord
+from ..engine.status import StepStatus, WorkflowPhase, WorkflowRecord
 from ..k8s.cluster import Cluster
 from ..k8s.resources import ResourceQuantity
 from ..workloads.arrivals import PoissonArrivalProcess
@@ -264,6 +276,212 @@ def report(results: Dict[str, object]) -> str:
         "(event-driven placement, arrival-staggered fleet)",
     ]
     return table + "\n\n" + "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# --journal lane: replica kill + replay over the journal-backed fleet
+# --------------------------------------------------------------------------
+
+
+def _record_fingerprint(record: WorkflowRecord) -> Fingerprint:
+    return (
+        record.name,
+        record.phase.value,
+        record.finish_time,
+        tuple(
+            (name, step.status.value, step.attempts, step.infra_failures,
+             step.finish_time)
+            for name, step in sorted(record.steps.items())
+        ),
+    )
+
+
+def _output_fingerprint(record: WorkflowRecord) -> tuple:
+    """Scheduling-independent view: what the workflow produced.
+
+    Attempt counts and timings legitimately differ between a calm run
+    and one whose replica was killed mid-flight; statuses and results
+    must not.
+    """
+    return (
+        record.name,
+        record.phase.value,
+        tuple((name, step.status.value) for name, step in sorted(record.steps.items())),
+        tuple(sorted(record.results.items())),
+    )
+
+
+@dataclass
+class JournalRun:
+    """One journal-backed fleet run (possibly with replica kills)."""
+
+    journal: Journal
+    records: List[WorkflowRecord]
+    makespan: float
+    kills: List[Tuple[float, int]] = field(default_factory=list)
+
+    @property
+    def fingerprints(self) -> List[Fingerprint]:
+        return [_record_fingerprint(record) for record in self.records]
+
+    def digest(self) -> str:
+        """Deterministic digest of the full run surface, for CI diffing."""
+        blob = repr(
+            (self.fingerprints, [r.to_json() for r in self.journal.records()])
+        ).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def _run_journal_once(
+    seed: int, num_workflows: int, replicas: int, kills: bool
+) -> JournalRun:
+    """One fleet run; with ``kills``, hard-kill and replay two replicas."""
+    clock = SimClock()
+    cluster = Cluster.uniform("chaos", 4, cpu_per_node=8.0, memory_per_node=32 * GB)
+    journal = Journal()
+    fleet = ShardedOperatorFleet(
+        clock, cluster, replicas=replicas, journal=journal, seed=seed
+    )
+    workflows = _fleet(num_workflows, seed)
+    for workflow in workflows:
+        fleet.submit(workflow)
+    kill_log: List[Tuple[float, int]] = []
+    if kills:
+        # Two kill waves mid-run: nothing is journaled about the kill
+        # itself — the replacement replica must discover the damage
+        # (started-but-unsettled attempts) purely from the journal.
+        for at, index in ((60.0, 0), (150.0, 1 % replicas)):
+            clock.run(until=at)
+            fleet.kill_replica(index)
+            fleet.resume_replica(index)
+            kill_log.append((at, index))
+    fleet.run_to_completion()
+    by_name = fleet.records_by_name()
+    records = [
+        by_name.get(workflow.name, WorkflowRecord(name=workflow.name))
+        for workflow in workflows
+    ]
+    return JournalRun(
+        journal=journal, records=records, makespan=clock.now, kills=kill_log
+    )
+
+
+def run_journal(
+    seed: int = 0, num_workflows: int = 8, replicas: int = 3
+) -> Dict[str, object]:
+    """Storm the sharded journal-backed fleet; prove replay recovery.
+
+    Four gates: every workflow completes despite two replica
+    hard-kills; the whole scenario (records *and* journal bytes) is
+    deterministic under replay; outputs match a calm journaled run; and
+    every quartile prefix of the journal materializes to resumable
+    records — no step Running, and the full-stream replay reproduces
+    the live records exactly.
+    """
+    stormy = _run_journal_once(seed, num_workflows, replicas, kills=True)
+    replay = _run_journal_once(seed, num_workflows, replicas, kills=True)
+    calm = _run_journal_once(seed, num_workflows, replicas, kills=False)
+
+    completed = sum(
+        1 for record in stormy.records if record.phase == WorkflowPhase.SUCCEEDED
+    )
+    deterministic = stormy.digest() == replay.digest()
+    calm_equivalent = sorted(
+        _output_fingerprint(r) for r in stormy.records
+    ) == sorted(_output_fingerprint(r) for r in calm.records)
+
+    # Replay-from-any-prefix: a replica may die at *any* journal
+    # position; whatever its replacement materializes must be
+    # immediately resumable.
+    prefix_violations: List[str] = []
+    total = len(stormy.journal)
+    for n in sorted({total // 4, total // 2, (3 * total) // 4, total}):
+        prefix = stormy.journal.prefix(n)
+        for stream in prefix.streams():
+            record = prefix.materialize(stream)
+            if record is None:
+                continue
+            running = [
+                name
+                for name, step in record.steps.items()
+                if step.status == StepStatus.RUNNING
+            ]
+            if running:
+                prefix_violations.append(
+                    f"prefix {n}: stream {stream} left Running steps {running}"
+                )
+
+    # Full-stream replay must reproduce each live record exactly, and
+    # the journal must survive a serialization round-trip.
+    replay_mismatches = [
+        record.name
+        for record in stormy.records
+        if stormy.journal.materialize(record.name) is not None
+        and _record_fingerprint(stormy.journal.materialize(record.name))
+        != _record_fingerprint(record)
+    ]
+    roundtrip_ok = all(
+        JournalRecord.from_json(record.to_json()) == record
+        for record in stormy.journal.records()
+    )
+    return {
+        "completed": completed,
+        "total": num_workflows,
+        "replicas": replicas,
+        "kills": stormy.kills,
+        "deterministic": deterministic,
+        "digest": stormy.digest(),
+        "calm_equivalent": calm_equivalent,
+        "prefix_violations": prefix_violations,
+        "replay_mismatches": replay_mismatches,
+        "roundtrip_ok": roundtrip_ok,
+        "journal_events": len(stormy.journal),
+        "makespan_chaos": stormy.makespan,
+        "makespan_calm": calm.makespan,
+    }
+
+
+def report_journal(results: Dict[str, object]) -> str:
+    kills = ", ".join(
+        f"replica {index} at {at:.0f}s" for at, index in results["kills"]
+    )
+    lines = [
+        "Journal lane: replica hard-kills + replay over the sharded fleet",
+        f"completed {results['completed']}/{results['total']} workflows on "
+        f"{results['replicas']} replicas (kills: {kills or 'none'}; "
+        f"makespan {results['makespan_chaos']:.0f}s vs "
+        f"{results['makespan_calm']:.0f}s calm)",
+        f"journal: {results['journal_events']} events, "
+        f"serialization round-trip {'ok' if results['roundtrip_ok'] else 'BROKEN'}",
+        f"deterministic replay digest: {results['digest']} "
+        f"({'stable' if results['deterministic'] else 'UNSTABLE — REPLAY REGRESSED'})",
+        "calm-run output equivalence: "
+        + ("yes" if results["calm_equivalent"] else "NO — KILLS CHANGED OUTPUTS"),
+        "prefix replay: "
+        + (
+            "every prefix materializes resumable records"
+            if not results["prefix_violations"]
+            else "; ".join(results["prefix_violations"])
+        ),
+        "full replay vs live records: "
+        + (
+            "identical"
+            if not results["replay_mismatches"]
+            else "MISMATCH on " + ", ".join(results["replay_mismatches"])
+        ),
+    ]
+    return "\n".join(lines)
+
+
+def journal_ok(results: Dict[str, object]) -> bool:
+    return bool(
+        results["completed"] == results["total"]
+        and results["deterministic"]
+        and results["calm_equivalent"]
+        and results["roundtrip_ok"]
+        and not results["prefix_violations"]
+        and not results["replay_mismatches"]
+    )
 
 
 def main() -> None:

@@ -27,7 +27,7 @@ from .metrics import (
     MetricError,
     MetricsRegistry,
 )
-from .trace import NullTracer, Span, Tracer
+from .trace import NullTracer, Span, Tracer, journal_to_tracer
 
 __all__ = [
     "Counter",
@@ -42,4 +42,5 @@ __all__ = [
     "StepBreakdown",
     "Tracer",
     "critical_path",
+    "journal_to_tracer",
 ]

@@ -259,6 +259,62 @@ class Tracer:
             json.dump(self.to_chrome(), handle, indent=1)
 
 
+def journal_to_tracer(journal, tracer: Optional[Tracer] = None) -> Tracer:
+    """Render a journal's event streams as trace spans, post-hoc.
+
+    The journal-backed engine records what happened; this turns that
+    record into the same Chrome-viewable shape live tracing produces —
+    one span per workflow (``submitted`` → ``workflow-finished``), one
+    per settled attempt, instants for everything else (admission
+    decisions, checkpoints, attempts lost to a killed replica).  Works
+    on any journal-shaped object (``records()`` yielding items with
+    ``stream`` / ``kind`` / ``at`` / ``payload``), so it lives here
+    without importing the engine.
+    """
+    tracer = tracer if tracer is not None else Tracer()
+    #: stream -> (workflow span, {step: attempt-start record}).
+    open_spans: dict = {}
+    open_attempts: dict = {}
+    last_at: dict = {}
+    for record in journal.records():
+        stream, kind, at = record.stream, record.kind, record.at
+        payload = record.payload
+        last_at[stream] = at
+        if kind == "submitted":
+            open_spans[stream] = tracer.begin(stream, "journal", at)
+        elif kind == "workflow-finished":
+            tracer.end(open_spans.pop(stream, None), at, phase=payload.get("phase"))
+        elif kind == "attempt-started":
+            open_attempts[(stream, payload["step"])] = record
+        elif kind in ("attempt-succeeded", "attempt-failed", "attempt-interrupted"):
+            started = open_attempts.pop((stream, payload["step"]), None)
+            tracer.add_span(
+                f"{stream}/{payload['step']}",
+                "journal-attempt",
+                started.at if started is not None else at,
+                at,
+                parent=open_spans.get(stream),
+                outcome=kind.removeprefix("attempt-"),
+            )
+        else:
+            # admission-* decisions, checkpointed, step-skipped/cached/aborted.
+            tracer.instant(
+                f"{stream}:{kind}",
+                "journal",
+                at,
+                parent=open_spans.get(stream),
+                **{k: v for k, v in payload.items() if not isinstance(v, (dict, list))},
+            )
+    # Streams that never finished (mid-journal prefix): close at last event.
+    for stream, span in open_spans.items():
+        tracer.end(span, last_at[stream], phase="unfinished")
+    for (stream, step), started in open_attempts.items():
+        tracer.instant(
+            f"{stream}/{step}:attempt-lost", "journal", started.at, step=step
+        )
+    return tracer
+
+
 class NullTracer:
     """API-compatible no-op tracer (tracing disabled, near-zero cost)."""
 

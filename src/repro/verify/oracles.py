@@ -21,6 +21,12 @@ Per seed, the suite asserts:
   weighted-fair / drf, and drf with checkpoint preemption) produces
   identical per-workflow outputs-view fingerprints on a contended
   multi-tenant fleet: fairness reorders scheduling, never results.
+* **journal** — the journal-backed engine is transparent: attaching a
+  journal leaves the full fingerprint bit-identical, replaying the
+  journal stream materializes the live record exactly, a sharded
+  multi-replica fleet over one shared journal reaches the same
+  per-workflow outputs as a single in-memory operator on a contended
+  cluster, and every journal prefix materializes to a resumable state.
 
 Every oracle has the shape ``check(ir, seed) -> OracleOutcome`` so the
 shrinker can re-run it against reduced candidate workflows.
@@ -36,8 +42,11 @@ from ..caching.manager import CacheManager
 from ..caching.policy import POLICY_REGISTRY
 from ..core.submitter import AdmissionSubmitter, ArgoSubmitter
 from ..engine.admission import AdmissionError, AdmissionPipeline
+from ..engine.journal import Journal
 from ..engine.operator import WorkflowOperator
+from ..engine.replicas import ShardedOperatorFleet
 from ..engine.simclock import SimClock
+from ..engine.status import StepStatus
 from ..ir.graph import WorkflowIR
 from ..ir.serialize import ir_to_dict
 from ..k8s.apiserver import APIServer
@@ -439,6 +448,119 @@ def check_fairness(ir: WorkflowIR, seed: int) -> OracleOutcome:
     return OracleOutcome("fairness", seed, True, digests=digests)
 
 
+def _journal_fleet(ir: WorkflowIR, seed: int) -> List[WorkflowIR]:
+    """The candidate plus three generated co-tenants for the shard test.
+
+    Seed offsets sit far outside the sweep range (and away from the
+    fairness oracle's 101+ block) so names never collide.
+    """
+    return [ir] + [
+        generate_ir(seed * 1000 + 501 + index, DETERMINISTIC_CONFIG)
+        for index in range(3)
+    ]
+
+
+def _contended_cluster() -> Cluster:
+    """One node sized so workflows genuinely queue against each other."""
+    return Cluster.uniform(
+        "journal-verify",
+        num_nodes=1,
+        cpu_per_node=24.0,
+        memory_per_node=16 * _GB,
+        gpu_per_node=6,
+    )
+
+
+def _fleet_outputs(
+    fleet_irs: List[WorkflowIR], seed: int, replicas: int
+) -> Tuple[List[Tuple[str, str]], Journal]:
+    """Per-workflow outputs digests from an N-replica sharded run."""
+    journal = Journal()
+    sharded = ShardedOperatorFleet(
+        SimClock(), _contended_cluster(), replicas=replicas,
+        journal=journal, seed=seed,
+    )
+    submissions = [
+        (member, sharded.submit(member.to_executable())) for member in fleet_irs
+    ]
+    sharded.run_to_completion()
+    outcomes = sorted(
+        (member.name, fingerprint_record(member, record).outputs_digest())
+        for member, record in submissions
+    )
+    return outcomes, journal
+
+
+def check_journal(ir: WorkflowIR, seed: int) -> OracleOutcome:
+    """Journal-backed ≡ in-memory, single-replica and sharded."""
+    # 1. Attaching a journal must not perturb execution at all: the
+    #    full fingerprint (makespan, attempts, cache counters included)
+    #    is bit-identical to the journal-free run.
+    baseline = _execute(ir, seed)
+    journal = Journal()
+    journaled = _execute(ir, seed, journal=journal)
+    digests = [baseline.digest(), journaled.digest()]
+    if baseline.data != journaled.data:
+        diff = describe_difference(baseline, journaled, view="full")
+        return OracleOutcome(
+            "journal", seed, False,
+            f"attaching a journal changed execution: {diff}", tuple(digests),
+        )
+    # 2. Replaying the stream reproduces the live record exactly.
+    materialized = journal.materialize(ir.name)
+    if materialized is None:
+        return OracleOutcome(
+            "journal", seed, False,
+            f"journal holds no stream for {ir.name!r}", tuple(digests),
+        )
+    replayed = fingerprint_record(ir, materialized)
+    digests.append(replayed.digest())
+    if replayed.data != journaled.data:
+        diff = describe_difference(journaled, replayed, view="full")
+        return OracleOutcome(
+            "journal", seed, False,
+            f"journal replay diverged from the live record: {diff}",
+            tuple(digests),
+        )
+    # 3. N stateless shard-assigned replicas over one shared journal ≡
+    #    one in-memory operator, on a contended single-node cluster
+    #    (this also proves cross-replica wakeups: without them, queued
+    #    steps starve and the fleet never finishes).
+    fleet_irs = _journal_fleet(ir, seed)
+    single, _ = _fleet_outputs(fleet_irs, seed, replicas=1)
+    sharded, shard_journal = _fleet_outputs(fleet_irs, seed, replicas=3)
+    digests.append(hashlib.sha256(repr(sharded).encode()).hexdigest())
+    if sharded != single:
+        first = next((pair for pair in zip(single, sharded) if pair[0] != pair[1]))
+        return OracleOutcome(
+            "journal", seed, False,
+            f"sharded fleet diverged from single operator: "
+            f"single={first[0]!r} vs sharded={first[1]!r}",
+            tuple(digests),
+        )
+    # 4. Every prefix of the shard journal materializes to a resumable
+    #    state (spot-checked at quarter points; the property tests sweep
+    #    every prefix).
+    total = len(shard_journal)
+    for n in sorted({total // 4, total // 2, (3 * total) // 4, total}):
+        clipped = shard_journal.prefix(n)
+        for stream in clipped.streams():
+            record = clipped.materialize(stream)
+            if record is None:
+                continue
+            running = [
+                s.name for s in record.steps.values()
+                if s.status == StepStatus.RUNNING
+            ]
+            if running:
+                return OracleOutcome(
+                    "journal", seed, False,
+                    f"prefix {n} of stream {stream!r} materialized with "
+                    f"Running steps {running}", tuple(digests),
+                )
+    return OracleOutcome("journal", seed, True, digests=tuple(digests))
+
+
 def check_backends(ir: WorkflowIR, seed: int) -> OracleOutcome:
     """Structural conformance of all compiled backends + IR roundtrip."""
     problems = conformance_problems(ir)
@@ -461,6 +583,7 @@ ORACLES: Dict[str, Oracle] = {
     "backends": Oracle("backends", DETERMINISTIC_CONFIG, check_backends),
     "scores": Oracle("scores", DETERMINISTIC_CONFIG, check_scores),
     "fairness": Oracle("fairness", DETERMINISTIC_CONFIG, check_fairness),
+    "journal": Oracle("journal", DETERMINISTIC_CONFIG, check_journal),
 }
 
 #: check functions safe to re-run on shrunk (non-generated) IRs.
@@ -472,6 +595,7 @@ SHRINKABLE_CHECKS: Dict[str, Callable[[WorkflowIR, int], OracleOutcome]] = {
     "backends": check_backends,
     "scores": check_scores,
     "fairness": check_fairness,
+    "journal": check_journal,
 }
 
 

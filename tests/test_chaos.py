@@ -243,3 +243,22 @@ class TestAcceptanceStorm:
         report = full_check(operators=[operator])
         assert not report.ok
         assert any("allocated" in violation for violation in report.violations)
+
+
+class TestAcceptanceJournal:
+    def test_journal_gate_passes_and_is_deterministic(self):
+        from repro.experiments.robustness_runner import (
+            journal_ok,
+            report_journal,
+            run_journal,
+        )
+
+        results = run_journal(seed=3, num_workflows=4, replicas=2)
+        assert journal_ok(results), report_journal(results)
+        assert results["completed"] == results["total"] == 4
+        assert results["kills"]  # the storm actually killed replicas
+        again = run_journal(seed=3, num_workflows=4, replicas=2)
+        assert again["digest"] == results["digest"]
+        # The human-readable report reflects the green gates.
+        report = report_journal(results)
+        assert "stable" in report and "identical" in report

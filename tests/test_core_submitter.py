@@ -128,3 +128,67 @@ class TestAdmissionSubmitter:
         couler.run_container(image="a:v1", step_name="only")
         record = couler.run(submitter=AdmissionSubmitter())
         assert record.phase == WorkflowPhase.SUCCEEDED
+
+
+class TestJournaledMode:
+    """Opt-in journaled mode: default off, bit-identical when off."""
+
+    def test_default_is_off(self):
+        submitter = ArgoSubmitter()
+        assert submitter.journal is None
+        record = submitter.submit(_define_workflow("plain"))
+        assert record.phase == WorkflowPhase.SUCCEEDED
+
+    def test_journaled_argo_submitter_records_and_replays(self):
+        submitter = ArgoSubmitter(journaled=True)
+        record = submitter.submit(_define_workflow("journaled"))
+        assert record.phase == WorkflowPhase.SUCCEEDED
+        journal = submitter.journal
+        assert journal is not None and len(journal) > 0
+        replayed = journal.materialize("journaled")
+        assert replayed.phase == WorkflowPhase.SUCCEEDED
+        assert {
+            name: step.status for name, step in replayed.steps.items()
+        } == {name: step.status for name, step in record.steps.items()}
+
+    def test_journaled_matches_plain_execution(self):
+        plain = ArgoSubmitter().submit(_define_workflow("same"))
+        journaled = ArgoSubmitter(journaled=True).submit(_define_workflow("same"))
+        assert journaled.phase == plain.phase
+        assert {n: s.status for n, s in journaled.steps.items()} == {
+            n: s.status for n, s in plain.steps.items()
+        }
+        assert journaled.finish_time == plain.finish_time
+
+    def test_journaled_admission_submitter_logs_decisions(self):
+        from repro.core.submitter import AdmissionSubmitter
+
+        submitter = AdmissionSubmitter(journaled=True)
+        record = submitter.submit(_define_workflow("decided"))
+        assert record.phase == WorkflowPhase.SUCCEEDED
+        kinds = [r.kind for r in submitter.journal.stream_records("decided")]
+        # Decision log and step events share one ordered stream.
+        assert "admission-admitted" in kinds
+        assert "admission-placed" in kinds
+        assert "admission-finished" in kinds
+        assert "submitted" in kinds
+        assert "workflow-finished" in kinds
+        assert kinds.index("admission-placed") < kinds.index("submitted")
+
+    def test_journaled_flag_rejects_unjournaled_injection(self):
+        import pytest
+
+        from repro.core.submitter import AdmissionSubmitter, default_multicluster
+
+        with pytest.raises(ValueError, match="no journal"):
+            ArgoSubmitter(operator=default_environment(), journaled=True)
+        with pytest.raises(ValueError, match="no journal"):
+            AdmissionSubmitter(pipeline=default_multicluster(), journaled=True)
+
+    def test_facade_exports_journal_surface(self):
+        from repro import couler as facade
+
+        assert "Journal" in facade.__all__
+        assert "ShardedOperatorFleet" in facade.__all__
+        assert facade.Journal is not None
+        assert facade.JournalRecord is not None

@@ -442,6 +442,71 @@ class TestPreemption:
         assert events.value(event="preemption") == 0
 
 
+def _thrash_pipeline(cooldown: float, seed: int = 0):
+    """One cluster, one long batch victim, two serving bursts.
+
+    The second burst arrives shortly after the victim was restored from
+    its first eviction — inside the cooldown window.  Without the
+    cooldown the victim is evicted again before making any progress
+    (eviction thrash); with it, the burst waits.
+    """
+    pipeline = AdmissionPipeline(
+        [_cluster(name="a", cpu=8.0)],
+        seed=seed,
+        fairness="drf",
+        preemption=True,
+        max_preemptions=4,
+        preempt_cooldown=cooldown,
+    )
+    victim = pipeline.submit_at(
+        0.0,
+        _wf("batch", cpu=2.0, duration=100.0, steps=4),
+        user="batcher",
+        slo_class=SLO_BATCH,
+    )
+    bursts = [
+        pipeline.submit_at(
+            at, _wf(f"serve-{at:.0f}", cpu=8.0, duration=20.0),
+            user="frontend", slo_class=SLO_SERVING,
+        )
+        for at in (50.0, 90.0)
+    ]
+    return pipeline, victim, bursts
+
+
+class TestPreemptCooldown:
+    def test_restored_at_stamped_on_resume(self):
+        pipeline, victim, _ = _thrash_pipeline(cooldown=60.0)
+        pipeline.run()
+        assert victim.preemptions >= 1
+        assert victim.restored_at is not None
+
+    def test_cooldown_blocks_re_preemption_thrash(self):
+        # Without a cooldown the just-restored victim is evicted again
+        # by the second burst...
+        pipeline, victim, bursts = _thrash_pipeline(cooldown=0.0)
+        pipeline.run()
+        assert victim.preemptions >= 2
+        # ...with the cooldown it keeps running and the burst waits.
+        pipeline, victim, bursts = _thrash_pipeline(cooldown=60.0)
+        pipeline.run()
+        assert victim.preemptions == 1
+        assert victim.record.phase == WorkflowPhase.SUCCEEDED
+        assert all(b.record.phase == WorkflowPhase.SUCCEEDED for b in bursts)
+
+    def test_cooldown_expires(self):
+        # The second burst lands >= cooldown after the restore, so the
+        # victim is fair game again: the window protects progress, it
+        # does not grant immunity.
+        pipeline, victim, _ = _thrash_pipeline(cooldown=10.0)
+        pipeline.run()
+        assert victim.preemptions >= 2
+
+    def test_negative_cooldown_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionPipeline([_cluster()], preempt_cooldown=-1.0)
+
+
 # -------------------------------------------------------------- v1 facade
 
 

@@ -276,3 +276,90 @@ class TestBackoffJitter:
         policy = RetryPolicy(backoff_cap=100.0, jitter=0.1)
         delay = policy.backoff(10, rng=random.Random(0))
         assert delay <= 110.0
+
+
+class TestRestartRetryTimerRace:
+    """A restart racing a pending retry timer must not double-drive.
+
+    Attempt 1 fails retryably, the backoff timer is pending, and the
+    operator restarts before it fires.  The resumed incarnation
+    re-enqueues the step itself; if the stale timer also fired (the
+    pre-``_is_live`` behaviour), the step would run a third attempt and
+    the retry budget would be double-charged.
+    """
+
+    def _flaky(self) -> ExecutableWorkflow:
+        wf = ExecutableWorkflow(name="racy")
+        wf.add_step(ExecutableStep(name="bad", duration_s=30.0))
+        return wf
+
+    def _run(self, downtime: float) -> WorkflowOperator:
+        clock = SimClock()
+        cluster = Cluster.uniform("race", 1, cpu_per_node=4.0,
+                                  memory_per_node=16 * GB)
+        operator = WorkflowOperator(
+            clock,
+            cluster,
+            retry_policy=RetryPolicy(limit=2, backoff_base=5.0),
+            failure_injector=ScriptedInjector(failures=1),
+        )
+        operator.submit(self._flaky())
+        # Attempt 1 fails at t=10; its retry timer is pending for t=15.
+        clock.run(until=12.0)
+        operator.simulate_restart(downtime=downtime)
+        operator.run_to_completion()
+        return operator
+
+    @pytest.mark.parametrize("downtime", [1.0, 10.0])
+    def test_no_double_charge_across_restart(self, downtime):
+        # downtime=1: resume happens *before* the stale timer's due time.
+        # downtime=10: the stale timer's due time passes mid-downtime.
+        operator = self._run(downtime)
+        record = operator.completed[0]
+        assert record.phase == WorkflowPhase.SUCCEEDED
+        step = record.steps["bad"]
+        # Exactly two attempts: the failed one and the resumed retry —
+        # a fired stale timer would have driven a third.
+        assert step.attempts == 2
+        # The failure happened in backoff, not in flight: no infra loss.
+        assert step.infra_failures == 0
+
+
+class TestRestartForwardedResults:
+    """Forwarded results survive a mid-flight restart.
+
+    A split-part submission receives upstream results via
+    ``initial_results`` for steps that live in *another* part.  Those
+    names have no step record, so the pre-fix snapshot dropped them on
+    restart and the resumed ``when`` guard mis-evaluated to False.
+    """
+
+    def _gated(self) -> ExecutableWorkflow:
+        wf = ExecutableWorkflow(name="part-2")
+        wf.add_step(ExecutableStep(name="long", duration_s=50.0))
+        wf.add_step(
+            ExecutableStep(
+                name="gated",
+                duration_s=5.0,
+                dependencies=["long"],
+                when_expr="{{upstream.result}} == go",
+            )
+        )
+        return wf
+
+    def test_results_forwarded_across_split_boundary_survive_restart(self):
+        clock = SimClock()
+        cluster = Cluster.uniform("fwd", 1, cpu_per_node=4.0,
+                                  memory_per_node=16 * GB)
+        operator = WorkflowOperator(clock, cluster)
+        record = operator.submit(
+            self._gated(), initial_results={"upstream": "go"}
+        )
+        clock.run(until=20.0)  # "long" is mid-flight
+        operator.simulate_restart(downtime=2.0)
+        operator.run_to_completion()
+        assert record.phase == WorkflowPhase.SUCCEEDED
+        # The guard saw the forwarded result after the restart...
+        assert record.steps["gated"].status.value == "Succeeded"
+        # ...because it now lives on the record, not just the dead state.
+        assert record.results["upstream"] == "go"

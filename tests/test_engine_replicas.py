@@ -1,0 +1,193 @@
+"""Sharded multi-replica fleet: equivalence, kill/replay, wakeups."""
+
+import pytest
+
+from repro.engine.journal import Journal
+from repro.engine.operator import WorkflowOperator
+from repro.engine.replicas import ShardedOperatorFleet, shard_of
+from repro.engine.simclock import SimClock
+from repro.engine.status import StepStatus, WorkflowPhase
+from repro.k8s.cluster import Cluster
+from repro.verify.generator import generate_ir
+from repro.verify.oracles import DETERMINISTIC_CONFIG
+
+GB = 2**30
+
+
+def _cluster(cpu: float = 24.0) -> Cluster:
+    return Cluster.uniform(
+        "fleet", 1, cpu_per_node=cpu, memory_per_node=64 * GB, gpu_per_node=6
+    )
+
+
+def _workloads(seed: int, count: int = 4):
+    return [
+        generate_ir(seed * 1000 + 501 + index, DETERMINISTIC_CONFIG).to_executable()
+        for index in range(count)
+    ]
+
+
+def _outputs(records_by_name):
+    return sorted(
+        (
+            name,
+            record.phase.value,
+            tuple(
+                (step, rec.status.value)
+                for step, rec in sorted(record.steps.items())
+            ),
+            tuple(sorted(record.results.items())),
+        )
+        for name, record in records_by_name.items()
+    )
+
+
+class TestSharding:
+    def test_shard_of_is_stable_and_in_range(self):
+        for replicas in (1, 2, 3, 7):
+            for name in ("wf-a", "wf-b", "verify-1234"):
+                index = shard_of(name, replicas)
+                assert 0 <= index < replicas
+                assert shard_of(name, replicas) == index  # no salted hash
+
+    def test_fleet_routes_by_shard(self):
+        fleet = ShardedOperatorFleet(SimClock(), _cluster(), replicas=3)
+        for wf in _workloads(1):
+            fleet.submit(wf)
+            expected = fleet.replicas[shard_of(wf.name, 3)]
+            assert wf.name in expected.active_workflows()
+        fleet.run_to_completion()
+        assert fleet.active_workflows() == []
+
+    def test_at_least_one_replica_required(self):
+        with pytest.raises(ValueError):
+            ShardedOperatorFleet(SimClock(), _cluster(), replicas=0)
+
+
+class TestEquivalence:
+    def _run(self, replicas: int, seed: int = 5):
+        fleet = ShardedOperatorFleet(
+            SimClock(), _cluster(), replicas=replicas, journal=Journal(), seed=seed
+        )
+        for wf in _workloads(seed):
+            fleet.submit(wf)
+        fleet.run_to_completion()
+        return fleet
+
+    @pytest.mark.parametrize("replicas", [2, 3, 5])
+    def test_fleet_outputs_equal_single_operator(self, replicas):
+        """N stateless replicas ≡ one in-memory operator (outputs view)."""
+        single = self._run(replicas=1)
+        fleet = self._run(replicas=replicas)
+        assert _outputs(fleet.records_by_name()) == _outputs(
+            single.records_by_name()
+        )
+
+    def test_cross_replica_wakeup_prevents_starvation(self):
+        """On one contended cluster, replica B's queued work can only
+        start when replica A's completions wake B's drain pass — without
+        ``peer_wakeup`` this deadlocks with work parked forever."""
+        fleet = self._run(replicas=3)
+        for record in fleet.records_by_name().values():
+            assert record.phase.is_terminal()
+        assert fleet.active_workflows() == []
+
+
+class TestKillReplay:
+    def _stormy(self, seed: int = 7, kill_at: float = 40.0):
+        fleet = ShardedOperatorFleet(
+            SimClock(), _cluster(), replicas=3, journal=Journal(), seed=seed
+        )
+        workloads = _workloads(seed)
+        for wf in workloads:
+            fleet.submit(wf)
+        fleet.run_to_completion(until=kill_at)
+        victim = next(
+            index
+            for index, operator in enumerate(fleet.replicas)
+            if operator.active_workflows()
+        )
+        killed = fleet.kill_replica(victim)
+        resumed = fleet.resume_replica(victim)
+        fleet.run_to_completion()
+        return fleet, workloads, killed, resumed
+
+    def test_killed_replica_recovers_by_replay(self):
+        fleet, workloads, killed, resumed = self._stormy()
+        assert killed  # the kill actually hit live work
+        assert set(resumed) == set(killed)
+        records = fleet.records_by_name()
+        for wf in workloads:
+            assert records[wf.name].phase == WorkflowPhase.SUCCEEDED
+
+    def test_kill_replay_preserves_outputs(self):
+        calm = ShardedOperatorFleet(
+            SimClock(), _cluster(), replicas=3, journal=Journal(), seed=7
+        )
+        for wf in _workloads(7):
+            calm.submit(wf)
+        calm.run_to_completion()
+        stormy, _, _, _ = self._stormy(seed=7)
+        assert _outputs(stormy.records_by_name()) == _outputs(
+            calm.records_by_name()
+        )
+
+    def test_kill_replay_is_deterministic(self):
+        first, _, _, _ = self._stormy()
+        second, _, _, _ = self._stormy()
+        assert [r.to_json() for r in first.journal.records()] == [
+            r.to_json() for r in second.journal.records()
+        ]
+
+    def test_dead_replica_slot_ignores_stale_events(self):
+        """Until resumed, the dead operator stays in its slot so stale
+        clock callbacks hit ``_is_live`` guards and no-op."""
+        fleet = ShardedOperatorFleet(
+            SimClock(), _cluster(), replicas=2, journal=Journal(), seed=3
+        )
+        for wf in _workloads(3):
+            fleet.submit(wf)
+        fleet.run_to_completion(until=30.0)
+        victim = next(
+            index
+            for index, operator in enumerate(fleet.replicas)
+            if operator.active_workflows()
+        )
+        dead = fleet.replicas[victim]
+        fleet.kill_replica(victim)
+        assert dead.active_workflows() == []
+        # Drain every already-scheduled stale event before resuming.
+        fleet.run_to_completion()
+        assert dead.active_workflows() == []
+        resumed = fleet.resume_replica(victim)
+        fleet.run_to_completion()
+        records = fleet.records_by_name()
+        for name in resumed:
+            assert records[name].phase == WorkflowPhase.SUCCEEDED
+
+    def test_mid_journal_prefix_materializes_resumable(self):
+        fleet, workloads, _, _ = self._stormy()
+        journal = fleet.journal
+        for n in (len(journal) // 3, len(journal) // 2, len(journal)):
+            prefix = journal.prefix(n)
+            for stream in prefix.streams():
+                record = prefix.materialize(stream)
+                if record is None:
+                    continue
+                assert not any(
+                    step.status == StepStatus.RUNNING
+                    for step in record.steps.values()
+                )
+
+
+class TestHardKill:
+    def test_hard_kill_releases_cluster_resources(self):
+        clock = SimClock()
+        cluster = _cluster()
+        operator = WorkflowOperator(clock, cluster, seed=0, journal=Journal())
+        operator.submit(_workloads(9, count=1)[0])
+        clock.run(until=20.0)
+        operator.hard_kill()
+        for node in cluster.nodes:
+            assert node.allocated.cpu == 0.0
+            assert node.allocated.gpu == 0

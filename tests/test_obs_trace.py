@@ -230,3 +230,41 @@ class TestOperatorIntegration:
         record = self._run_diamond(tracer)
         assert record.phase == WorkflowPhase.SUCCEEDED
         assert len(tracer) == 0
+
+
+class TestJournalToTracer:
+    def test_journal_renders_as_spans(self):
+        from repro.engine.journal import Journal
+        from repro.engine.spec import executable_to_dict, ExecutableStep, ExecutableWorkflow
+        from repro.obs.trace import journal_to_tracer
+
+        wf = ExecutableWorkflow(name="traced")
+        wf.add_step(ExecutableStep(name="a", duration_s=5.0))
+        journal = Journal()
+        journal.append("traced", "admission-admitted", 0.0, {"user": "u"})
+        journal.append("traced", "submitted", 1.0, {"spec": executable_to_dict(wf)})
+        journal.append("traced", "attempt-started", 1.0, {"step": "a", "attempt": 1})
+        journal.append("traced", "attempt-succeeded", 6.0,
+                       {"step": "a", "result": None, "fetch": 0.0,
+                        "compute": 5.0, "hits": 0, "misses": 0})
+        journal.append("traced", "workflow-finished", 6.0, {"phase": "Succeeded"})
+        tracer = journal_to_tracer(journal)
+        root = tracer.find("traced", "journal")
+        assert root.start == 1.0 and root.end == 6.0
+        attempt = tracer.find("traced/a", "journal-attempt")
+        assert attempt.start == 1.0 and attempt.end == 6.0
+        assert attempt.args["outcome"] == "succeeded"
+        assert tracer.events("journal")  # the admission decision instant
+        assert tracer.to_chrome()["traceEvents"]
+
+    def test_unfinished_streams_close_at_last_event(self):
+        from repro.engine.journal import Journal
+        from repro.obs.trace import journal_to_tracer
+
+        journal = Journal()
+        journal.append("wf", "submitted", 0.0, {})
+        journal.append("wf", "attempt-started", 2.0, {"step": "a", "attempt": 1})
+        tracer = journal_to_tracer(journal)
+        root = tracer.find("wf", "journal")
+        assert root.end == 2.0
+        assert root.args["phase"] == "unfinished"

@@ -21,6 +21,7 @@ def test_oracle_registry_is_complete():
         "backends",
         "scores",
         "fairness",
+        "journal",
     }
 
 

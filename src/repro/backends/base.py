@@ -11,9 +11,12 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Dict, Protocol, runtime_checkable
 
 from ..ir.graph import WorkflowIR
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..engine.config import EngineConfig
 
 
 @runtime_checkable
@@ -29,7 +32,17 @@ class Submitter(Protocol):
     facade, the event-driven admission pipeline, or the Airflow/Tekton
     generators — interchangeably.  Use :func:`submission_record` to
     normalize the result back to a record.
+
+    ``config`` is the validated
+    :class:`~repro.engine.config.EngineConfig` the frontend was built
+    with — the v1 introspection point (``submitter.config.describe()``)
+    that replaced the scattered per-feature attributes.  The protocol
+    is ``runtime_checkable``, so conformance (including the ``config``
+    data member) is what ``couler.run()`` checks before submitting.
     """
+
+    #: The knob bundle this frontend honours.
+    config: "EngineConfig"
 
     def submit(self, ir: WorkflowIR):  # pragma: no cover - protocol stub
         """Run (or hand off) the workflow; return a record-shaped result."""

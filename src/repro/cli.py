@@ -228,6 +228,25 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 1
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Profile the engine hot path on a deterministic synthetic fleet."""
+    from .engine.config import EngineConfig
+    from .profiling import profile_run
+
+    config = EngineConfig(
+        engine=args.engine, fairness="weighted-fair", aging_rate=0.01
+    )
+    report = profile_run(
+        args.workflows,
+        seed=args.seed,
+        config=config,
+        top=args.top,
+        profile=not args.no_cprofile,
+    )
+    print(report.describe())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -312,8 +331,8 @@ def build_parser() -> argparse.ArgumentParser:
     verify_parser.add_argument(
         "--oracles",
         default=None,
-        help="comma-separated subset "
-        "(backends,cache,journal,replay,split,submitters); default all",
+        help="comma-separated subset (backends,cache,engine_fast,fairness,"
+        "journal,replay,scores,split,submitters); default all",
     )
     verify_parser.add_argument(
         "--no-shrink",
@@ -321,6 +340,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip shrinking the first failing workflow",
     )
     verify_parser.set_defaults(func=cmd_verify)
+
+    profile_parser = sub.add_parser(
+        "profile",
+        help="measure per-workflow engine cost on a synthetic fleet "
+        "(compare --engine fast vs naive)",
+    )
+    profile_parser.add_argument(
+        "--workflows", type=int, default=1000, help="fleet size to run"
+    )
+    profile_parser.add_argument(
+        "--seed", type=int, default=0, help="fleet generation seed"
+    )
+    profile_parser.add_argument(
+        "--engine",
+        choices=("fast", "naive"),
+        default="fast",
+        help="hot-path implementation to profile",
+    )
+    profile_parser.add_argument(
+        "--top", type=int, default=15, help="cProfile hotspot rows to print"
+    )
+    profile_parser.add_argument(
+        "--no-cprofile",
+        action="store_true",
+        help="skip cProfile (pure timing; ~2x lower overhead)",
+    )
+    profile_parser.set_defaults(func=cmd_profile)
     return parser
 
 

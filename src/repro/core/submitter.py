@@ -12,17 +12,27 @@ through the event-driven multi-cluster admission pipeline; and
 engine-native definitions (optionally preview-executing the IR on the
 local engine, since no real Airflow/Tekton deployment exists in this
 environment).
+
+Engine knobs ride in one place: every submitter accepts a keyword-only
+``config=``\\ :class:`~repro.engine.config.EngineConfig` bundle,
+validated at construction.  The per-feature legacy kwargs
+(``journaled=``, ``fairness=``, ``slo_class=``) keep working through a
+once-per-process deprecation bridge and resolve to the equivalent
+config — both spellings are proven bit-identical by
+``tests/test_engine_config.py``.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Set
 
 from ..backends.airflow import AirflowBackend
 from ..backends.argo import ArgoBackend
 from ..backends.tekton import TektonBackend
 from ..engine.admission import AdmissionError, AdmissionPipeline
+from ..engine.config import DEFAULT_CONFIG, EngineConfig
 from ..engine.journal import Journal
 from ..engine.operator import WorkflowOperator
 from ..engine.simclock import SimClock
@@ -30,6 +40,46 @@ from ..engine.status import WorkflowRecord
 from ..ir.graph import WorkflowIR
 from ..k8s.apiserver import APIServer
 from ..k8s.cluster import Cluster
+
+#: ``Owner.kwarg`` pairs that already warned — the bridge warns once
+#: per process per spelling, not once per construction.
+_legacy_warned: Set[str] = set()
+
+
+def _warn_legacy(owner: str, kwarg: str, replacement: str) -> None:
+    key = f"{owner}.{kwarg}"
+    if key in _legacy_warned:
+        return
+    _legacy_warned.add(key)
+    warnings.warn(
+        f"{owner}({kwarg}=...) is deprecated and will be removed in v2; "
+        f"pass config=EngineConfig({replacement}) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _bridge_legacy(
+    owner: str, config: Optional[EngineConfig], **legacy: object
+) -> EngineConfig:
+    """Resolve legacy kwargs and ``config=`` into one EngineConfig.
+
+    Legacy kwargs use ``None`` as the *unset* sentinel; any explicitly
+    passed one warns (once per process) and folds into the config.
+    Mixing an explicit ``config=`` with legacy kwargs is rejected —
+    silently merging them would hide which spelling won.
+    """
+    passed = {kwarg: value for kwarg, value in legacy.items() if value is not None}
+    for kwarg, value in passed.items():
+        _warn_legacy(owner, kwarg, f"{kwarg}={value!r}")
+    if passed:
+        if config is not None:
+            raise ValueError(
+                f"{owner}: pass config= or the legacy kwargs "
+                f"({', '.join(sorted(passed))}), not both"
+            )
+        return EngineConfig(**passed)  # type: ignore[arg-type]
+    return config if config is not None else DEFAULT_CONFIG
 
 
 def default_environment(
@@ -40,6 +90,7 @@ def default_environment(
     cache_manager=None,
     seed: int = 0,
     journal: Optional[Journal] = None,
+    fast: bool = True,
 ) -> WorkflowOperator:
     """A fresh single-tenant simulated environment for one submission."""
     clock = SimClock()
@@ -57,6 +108,7 @@ def default_environment(
         api_server=APIServer(),
         seed=seed,
         journal=journal,
+        fast=fast,
     )
 
 
@@ -81,11 +133,17 @@ class ArgoSubmitter:
         operator: Optional[WorkflowOperator] = None,
         run_to_completion: bool = True,
         *,
-        journaled: bool = False,
+        config: Optional[EngineConfig] = None,
+        journaled: Optional[bool] = None,
     ) -> None:
+        config = _bridge_legacy("ArgoSubmitter", config, journaled=journaled)
+        #: The validated knob bundle this submitter was built with.
+        self.config = config
         if operator is None:
-            operator = default_environment(journal=Journal() if journaled else None)
-        elif journaled and operator.journal is None:
+            operator = default_environment(
+                journal=Journal() if config.journaled else None, fast=config.fast
+            )
+        elif config.journaled and operator.journal is None:
             raise ValueError(
                 "journaled=True but the operator passed in has no journal; "
                 "build it with WorkflowOperator(..., journal=Journal())"
@@ -110,11 +168,21 @@ class LocalSubmitter(ArgoSubmitter):
     """Single-tenant convenience submitter (used by ``couler.run()``
     when no submitter is given)."""
 
-    def __init__(self, seed: int = 0, *, journaled: bool = False) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        config: Optional[EngineConfig] = None,
+        journaled: Optional[bool] = None,
+    ) -> None:
+        config = _bridge_legacy("LocalSubmitter", config, journaled=journaled)
         super().__init__(
             operator=default_environment(
-                seed=seed, journal=Journal() if journaled else None
-            )
+                seed=seed,
+                journal=Journal() if config.journaled else None,
+                fast=config.fast,
+            ),
+            config=config,
         )
 
 
@@ -125,8 +193,15 @@ def default_multicluster(
     tenant_weights: Optional[dict] = None,
     preemption: bool = False,
     journal: Optional[Journal] = None,
+    config: Optional[EngineConfig] = None,
 ) -> AdmissionPipeline:
-    """A small heterogeneous fleet for admission-pipeline submissions."""
+    """A small heterogeneous fleet for admission-pipeline submissions.
+
+    ``config=`` supersedes the individual kwargs (except ``journal``,
+    which carries state, not configuration — callers who want a
+    journaled pipeline from a config pass ``Journal()`` themselves or
+    go through :class:`AdmissionSubmitter`).
+    """
     gb = 2**30
     clusters = [
         Cluster.uniform(
@@ -135,6 +210,10 @@ def default_multicluster(
         Cluster.uniform("cpu-a", 4, cpu_per_node=16.0, memory_per_node=64 * gb),
         Cluster.uniform("cpu-b", 4, cpu_per_node=16.0, memory_per_node=64 * gb),
     ]
+    if config is not None:
+        return AdmissionPipeline(
+            clusters, seed=seed, journal=journal, **config.pipeline_kwargs()
+        )
     return AdmissionPipeline(
         clusters,
         seed=seed,
@@ -164,24 +243,34 @@ class AdmissionSubmitter:
         run_to_completion: bool = True,
         seed: int = 0,
         *,
+        config: Optional[EngineConfig] = None,
         fairness: Optional[str] = None,
         slo_class: Optional[str] = None,
-        journaled: bool = False,
+        journaled: Optional[bool] = None,
     ) -> None:
-        if pipeline is not None and fairness is not None:
+        config = _bridge_legacy(
+            "AdmissionSubmitter",
+            config,
+            fairness=fairness,
+            slo_class=slo_class,
+            journaled=journaled,
+        )
+        #: The validated knob bundle this submitter was built with.
+        self.config = config
+        if pipeline is not None and config.fairness is not None:
             raise ValueError(
                 "pass fairness= when the submitter builds its own pipeline, "
                 "or configure it on the pipeline you pass in — not both"
             )
-        if pipeline is not None and journaled and pipeline.journal is None:
+        if pipeline is not None and config.journaled and pipeline.journal is None:
             raise ValueError(
                 "journaled=True but the pipeline passed in has no journal; "
                 "build it with AdmissionPipeline(..., journal=Journal())"
             )
         self.pipeline = pipeline or default_multicluster(
             seed=seed,
-            fairness=fairness or "strict-priority",
-            journal=Journal() if journaled else None,
+            journal=Journal() if config.journaled else None,
+            config=config,
         )
         #: Unified decision-log + step-event journal (None when off).
         self.journal = self.pipeline.journal
@@ -189,7 +278,7 @@ class AdmissionSubmitter:
         self.priority = priority
         #: SLO lane for every submission through this submitter
         #: (None = the pipeline's back-compat default lane).
-        self.slo_class = slo_class
+        self.slo_class = config.slo_class
         self.run_to_completion = run_to_completion
         self.last_admission = None
 
@@ -226,12 +315,13 @@ class AirflowSubmitter:
 
     simulate: bool = False
     backend: AirflowBackend = field(default_factory=AirflowBackend)
+    config: EngineConfig = field(default_factory=EngineConfig)
 
     def submit(self, ir: WorkflowIR) -> SubmissionResult:
         source = self.backend.compile(ir)
         record = None
         if self.simulate:
-            operator = default_environment()
+            operator = default_environment(fast=self.config.fast)
             record = operator.submit(ir.to_executable())
             operator.run_to_completion()
         return SubmissionResult(engine="airflow", payload=source, record=record)
@@ -243,12 +333,13 @@ class TektonSubmitter:
 
     simulate: bool = False
     backend: TektonBackend = field(default_factory=TektonBackend)
+    config: EngineConfig = field(default_factory=EngineConfig)
 
     def submit(self, ir: WorkflowIR) -> SubmissionResult:
         manifests = self.backend.compile(ir)
         record = None
         if self.simulate:
-            operator = default_environment()
+            operator = default_environment(fast=self.config.fast)
             record = operator.submit(ir.to_executable())
             operator.run_to_completion()
         return SubmissionResult(engine="tekton", payload=manifests, record=record)

@@ -40,6 +40,19 @@ replica recovers by pure replay (``resume_from_journal``) —
 :class:`ShardedOperatorFleet` is the multi-replica driver.  With
 ``journaled`` left off, nothing is journaled and execution is
 bit-identical to previous releases.
+
+The unified engine configuration is part of v1 as of this release:
+every submitter accepts a keyword-only
+``config=``\\ :class:`EngineConfig` bundle that consolidates the
+per-feature kwargs (``journaled=``, ``fairness=``, ``slo_class=``, the
+backpressure and preemption knobs) into one construction-time-validated
+object, introspectable as ``submitter.config``.  The legacy kwargs
+keep working through a once-per-process ``DeprecationWarning`` bridge
+and are scheduled for removal in v2.  ``EngineConfig(engine="naive")``
+selects the straight-line reference hot paths the ``engine_fast``
+verify oracle diffs against; :func:`profile_run` (also
+``python -m repro profile``) measures per-workflow engine cost under
+either mode on a deterministic synthetic fleet.
 """
 
 from .backends.base import Submitter, submission_record
@@ -91,6 +104,7 @@ from .core.submitter import (
     default_environment,
     default_multicluster,
 )
+from .engine.config import DEFAULT_CONFIG, EngineConfig
 from .engine.fairness import (
     SLO_BATCH,
     SLO_SERVING,
@@ -100,6 +114,7 @@ from .engine.fairness import (
 )
 from .engine.journal import Journal, JournalRecord
 from .engine.replicas import ShardedOperatorFleet
+from .profiling import ProfileReport, profile_run
 
 __all__ = [
     # submission contract
@@ -149,6 +164,11 @@ __all__ = [
     "SLO_BATCH",
     "SLO_SERVING",
     "make_fairness_policy",
+    # unified engine configuration & profiling
+    "DEFAULT_CONFIG",
+    "EngineConfig",
+    "ProfileReport",
+    "profile_run",
     # journal-backed engine (opt-in via journaled=True)
     "Journal",
     "JournalRecord",

@@ -116,6 +116,11 @@ class _Pending:
     seq: int
     queued: QueuedWorkflow
     admission: AdmissionRecord
+    #: Placement-pass epoch at which this candidate was parked (fast
+    #: mode).  Passes that ran while parked are credited as deferrals
+    #: in bulk when the candidate wakes, so the journaled deferral
+    #: count matches the naive try-everything-every-pass path exactly.
+    parked_at_epoch: int = 0
 
 
 class AdmissionPipeline:
@@ -139,6 +144,7 @@ class AdmissionPipeline:
         max_preemptions: int = 2,
         preempt_cooldown: float = 60.0,
         protect_gpu: bool = False,
+        fast: bool = True,
         journal: Optional[Journal] = None,
     ) -> None:
         if not clusters:
@@ -162,6 +168,12 @@ class AdmissionPipeline:
         )
         self.tracer = tracer if tracer is not None else NullTracer()
         self.metrics = metrics or MetricsRegistry()
+        #: Fast mode parks placement-blocked candidates on wait lists
+        #: keyed by what could unblock them instead of re-trying every
+        #: pending workflow on every pass; ``fast=False`` is the naive
+        #: reference path the ``engine_fast`` verify oracle diffs
+        #: against.  The flag threads through to each cluster operator.
+        self.fast = fast
         self.operators: Dict[str, WorkflowOperator] = {
             cluster.name: WorkflowOperator(
                 self.clock,
@@ -170,6 +182,7 @@ class AdmissionPipeline:
                 tracer=self.tracer,
                 metrics=self.metrics,
                 journal=self.journal,
+                fast=fast,
             )
             for cluster in clusters
         }
@@ -206,7 +219,26 @@ class AdmissionPipeline:
 
         #: Admitted, not yet placed — ordered at each pass by the
         #: fairness policy (strict-priority = aged priority, the seed sort).
+        #: In fast mode this holds only the *active* candidates; blocked
+        #: ones park on the wait lists below until a release could
+        #: plausibly unblock them.
         self._pending: List[_Pending] = []
+        #: Candidates blocked on their own tenant's quota, woken when a
+        #: workflow of that tenant releases its charge.
+        self._parked_user: Dict[str, List[_Pending]] = {}
+        #: Candidates blocked on cluster headroom, woken by any release.
+        self._parked_headroom: List[_Pending] = []
+        #: Pending wake requests, drained at the next pass (so a burst
+        #: of same-instant releases costs one unpark-merge, not one per
+        #: release).
+        self._wake_headroom = False
+        self._wake_users: set = set()
+        #: Placement passes run so far — the deferral-crediting epoch.
+        self._epoch = 0
+        #: Incremental depth bookkeeping (active + parked), replacing
+        #: O(pending) scans in arrival checks and gauge updates.
+        self._pending_total = 0
+        self._lane_counts: Dict[str, int] = {name: 0 for name in self.lanes}
         self._seq = itertools.count()
         self._pass_scheduled = False
         #: Placed-and-running submissions by workflow name (preemption pool).
@@ -378,7 +410,7 @@ class AdmissionPipeline:
         if reason is not None:
             self._reject(admission, reason, label="infeasible")
             return
-        if self.max_pending is not None and len(self._pending) >= self.max_pending:
+        if self.max_pending is not None and self._pending_total >= self.max_pending:
             self._reject(
                 admission,
                 f"admission queue full ({self.max_pending} pending)",
@@ -386,17 +418,16 @@ class AdmissionPipeline:
             )
             return
         lane = self.lanes[admission.slo_class]
-        if lane.max_pending is not None:
-            lane_depth = sum(
-                1 for p in self._pending if p.admission.slo_class == lane.name
+        if (
+            lane.max_pending is not None
+            and self._lane_counts[lane.name] >= lane.max_pending
+        ):
+            self._reject(
+                admission,
+                f"{lane.name} lane full ({lane.max_pending} pending)",
+                label="lane-full",
             )
-            if lane_depth >= lane.max_pending:
-                self._reject(
-                    admission,
-                    f"{lane.name} lane full ({lane.max_pending} pending)",
-                    label="lane-full",
-                )
-                return
+            return
         admission.admitted = True
         admission.admit_time = self.clock.now
         self._m_events.inc(event="admit")
@@ -404,6 +435,7 @@ class AdmissionPipeline:
         self._pending.append(
             _Pending(seq=next(self._seq), queued=queued, admission=admission)
         )
+        self._track_pending(admission, 1)
         self._set_depth_gauges()
         self._schedule_pass()
 
@@ -422,22 +454,116 @@ class AdmissionPipeline:
         self._pass_scheduled = True
         self.clock.schedule(0.0, self._placement_pass)
 
+    def _track_pending(self, admission: AdmissionRecord, delta: int) -> None:
+        self._pending_total += delta
+        self._lane_counts[admission.slo_class] += delta
+
     def _set_depth_gauges(self) -> None:
-        self._m_depth.set(len(self._pending))
+        self._m_depth.set(self._pending_total)
         for lane in self._lane_order:
-            self._m_lane_depth.set(
-                sum(1 for p in self._pending if p.admission.slo_class == lane.name),
-                lane=lane.name,
-            )
+            self._m_lane_depth.set(self._lane_counts[lane.name], lane=lane.name)
+
+    def _parked_count(self) -> int:
+        return len(self._parked_headroom) + sum(
+            len(parked) for parked in self._parked_user.values()
+        )
+
+    def _all_pending(self) -> List[_Pending]:
+        """Active + parked candidates merged back into seq order."""
+        if not self._parked_headroom and not self._parked_user:
+            return self._pending
+        merged = list(self._pending)
+        merged.extend(self._parked_headroom)
+        for parked in self._parked_user.values():
+            merged.extend(parked)
+        merged.sort(key=lambda p: p.seq)
+        return merged
+
+    def _credit_parked(self, pending: _Pending) -> None:
+        """Credit the deferrals a parked candidate skipped observing.
+
+        The naive path tries every pending candidate on every pass and
+        bumps ``deferrals`` each time it stays queued; a parked
+        candidate missed ``epoch - parked_at_epoch`` such passes.  The
+        per-pass deferral *metric* is bulk-incremented at pass time, so
+        only the admission record needs back-filling here.
+        """
+        missed = self._epoch - pending.parked_at_epoch
+        if missed > 0:
+            pending.admission.deferrals += missed
+
+    def _wake_parked(self, user: str) -> None:
+        """Request a wake-up for candidates a release may have unblocked.
+
+        A quota release frees headroom on some cluster too (the charge
+        and the reservation travel together), so every headroom-parked
+        candidate is due; quota-parked candidates wake only when
+        *their* tenant released.  The actual unpark-merge is deferred
+        to the start of the next placement pass — passes are already
+        coalesced per virtual instant, so a burst of same-instant
+        completions costs one merge instead of one sort per release.
+        """
+        self._wake_headroom = True
+        self._wake_users.add(user)
+
+    def _maybe_placeable(self, pending: _Pending) -> bool:
+        """Necessary condition for a headroom-parked candidate to place.
+
+        Mirrors (a superset of) :meth:`MultiClusterQueue.try_place`'s
+        headroom gate: some GPU-feasible cluster must fit the peak
+        demand.  Headroom only shrinks *within* a pass (placements
+        consume, releases are separate clock events), so fitting at
+        pass start is implied by fitting at the candidate's mid-pass
+        turn — a candidate this filter keeps parked could never have
+        placed in the naive pass either.
+        """
+        demand = pending.queued.peak_demand()
+        needs_gpu = demand.gpu > 0
+        for cluster in self.queue.clusters:
+            if needs_gpu and cluster.capacity.gpu == 0:
+                continue
+            if demand.fits_within(self.queue.headroom(cluster)):
+                return True
+        return False
+
+    def _drain_wakes(self) -> None:
+        """Unpark every candidate with a pending wake (pass start)."""
+        woken: List[_Pending] = []
+        if self._wake_headroom:
+            still_parked: List[_Pending] = []
+            for pending in self._parked_headroom:
+                if self._maybe_placeable(pending):
+                    woken.append(pending)
+                else:
+                    still_parked.append(pending)
+            self._parked_headroom = still_parked
+        for user in self._wake_users:
+            woken.extend(self._parked_user.pop(user, ()))
+        self._wake_headroom = False
+        self._wake_users.clear()
+        if not woken:
+            return
+        for pending in woken:
+            self._credit_parked(pending)
+        self._pending.extend(woken)
+        self._pending.sort(key=lambda p: p.seq)
 
     def _lane_aging_rate(self, lane: LaneConfig) -> float:
         return lane.aging_rate if lane.aging_rate is not None else self.aging_rate
 
     def _placement_pass(self) -> None:
         self._pass_scheduled = False
-        if not self._pending:
+        if self._pending_total == 0:
             return
+        self._drain_wakes()
         self._m_events.inc(event="pass")
+        self._epoch += 1
+        parked = self._parked_count()
+        if parked:
+            # The naive path re-tries every parked candidate this pass
+            # and defers it again; account those trials in bulk so the
+            # deferral counter matches without the O(pending) scan.
+            self._m_events.inc(parked, event="deferral")
         now = self.clock.now
         still_pending: List[_Pending] = []
         #: can_preempt-lane work blocked on headroom (not quota) this pass.
@@ -454,6 +580,9 @@ class AdmissionPipeline:
                     shares=self.shares,
                 ),
             )
+            # Preemption needs the highest-ranked blocked can_preempt
+            # candidate *every* pass, so those lanes never park.
+            may_park = self.fast and not (lane.can_preempt and self.preemption)
             for pending in candidates:
                 try:
                     placed = self.queue.try_place(
@@ -465,15 +594,29 @@ class AdmissionPipeline:
                     # shed the workflow rather than wait on a wakeup that
                     # cannot come.
                     self._reject(pending.admission, str(exc), label="infeasible")
+                    self._track_pending(pending.admission, -1)
                     continue
                 if isinstance(placed, DeferredDequeue):
                     pending.admission.deferrals += 1
                     self._m_events.inc(event="deferral")
-                    still_pending.append(pending)
+                    if may_park:
+                        # Placeability is monotone until a release: more
+                        # placements only consume capacity.  Park until
+                        # the release that could unblock this candidate.
+                        pending.parked_at_epoch = self._epoch
+                        if placed.kind == "quota":
+                            self._parked_user.setdefault(
+                                pending.queued.user, []
+                            ).append(pending)
+                        else:
+                            self._parked_headroom.append(pending)
+                    else:
+                        still_pending.append(pending)
                     if lane.can_preempt and placed.kind == "headroom":
                         preempt_candidates.append(pending)
                     continue
                 _, cluster = placed
+                self._track_pending(pending.admission, -1)
                 self._start(pending, cluster)
         still_pending.sort(key=lambda p: p.seq)
         self._pending = still_pending
@@ -576,6 +719,7 @@ class AdmissionPipeline:
         if record is None:
             return False
         self.queue.release(victim.queued)
+        self._wake_parked(victim.queued.user)
         self._running.pop(admission.workflow_name, None)
         if admission in self.placed:
             self.placed.remove(admission)
@@ -603,6 +747,7 @@ class AdmissionPipeline:
         self._pending.append(
             _Pending(seq=next(self._seq), queued=victim.queued, admission=admission)
         )
+        self._track_pending(admission, 1)
         self._set_depth_gauges()
         return True
 
@@ -654,6 +799,7 @@ class AdmissionPipeline:
         and immediately wakes the placement pass.
         """
         self.queue.release(pending.queued)
+        self._wake_parked(pending.queued.user)
         self._running.pop(pending.admission.workflow_name, None)
         pending.admission.finish_time = self.clock.now
         self._m_events.inc(event="completion")
@@ -680,8 +826,19 @@ class AdmissionPipeline:
         exhausted by nothing currently running), so the batch wrapper
         surfaces it instead of leaving it parked.
         """
-        stuck = [pending.queued for pending in self._pending]
+        for pending in self._parked_headroom:
+            self._credit_parked(pending)
+        for parked in self._parked_user.values():
+            for pending in parked:
+                self._credit_parked(pending)
+        stuck = [pending.queued for pending in self._all_pending()]
         self._pending = []
+        self._parked_user.clear()
+        self._parked_headroom = []
+        self._wake_headroom = False
+        self._wake_users.clear()
+        self._pending_total = 0
+        self._lane_counts = {name: 0 for name in self.lanes}
         self._set_depth_gauges()
         return stuck
 
@@ -689,7 +846,7 @@ class AdmissionPipeline:
 
     def pending_workflows(self) -> List[str]:
         """Names of admitted workflows still awaiting placement."""
-        return [pending.queued.workflow.name for pending in self._pending]
+        return [pending.queued.workflow.name for pending in self._all_pending()]
 
     def rejected(self) -> List[AdmissionRecord]:
         return [record for record in self.records if record.admitted is False]
@@ -726,7 +883,7 @@ class AdmissionPipeline:
         ]
         waits.extend(
             (p.admission.user, max(0.0, now - p.admission.arrival_time))
-            for p in self._pending
+            for p in self._all_pending()
         )
         return waits
 

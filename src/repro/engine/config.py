@@ -1,0 +1,176 @@
+"""Unified engine configuration for the v1 facade (``EngineConfig``).
+
+The v1 submitters accreted per-feature keyword arguments as each
+subsystem landed — ``journaled=`` (PR 7), ``fairness=`` / ``slo_class=``
+(PR 6), the backpressure and aging knobs on the pipeline, ``scorer=``
+on the cache manager.  :class:`EngineConfig` consolidates that surface
+into one keyword-only dataclass accepted by every submitter
+constructor (``config=EngineConfig(...)``), validated at construction
+time with :class:`~repro.engine.spec.SpecError` naming the offending
+field.  The legacy kwargs keep working through a once-warning
+deprecation bridge on each submitter; both spellings are proven
+equivalent by ``tests/test_engine_config.py``.
+
+``engine`` selects the hot-path implementation: ``"fast"`` (the
+default — incremental indexes, coalesced drains, parked placement
+candidates) or ``"naive"`` (the straight-line reference paths the
+``engine_fast`` verify oracle diffs against).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, Optional
+
+from .spec import SpecError
+
+#: Valid values for :attr:`EngineConfig.engine`.
+ENGINE_MODES = ("fast", "naive")
+#: Valid values for :attr:`EngineConfig.scorer` (cache score engine).
+SCORER_MODES = ("incremental", "naive")
+#: Fairness policies the config accepts (mirrors the registry in
+#: :mod:`repro.engine.fairness`; ``None`` = pipeline default).
+FAIRNESS_POLICIES = ("strict-priority", "weighted-fair", "drf")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """One validated bundle of engine/submitter knobs.
+
+    Every field has the subsystem's historical default, so
+    ``EngineConfig()`` is exactly the legacy no-kwargs behaviour.
+    """
+
+    #: Hot-path implementation: ``"fast"`` or ``"naive"``.
+    engine: str = "fast"
+    #: Append every step/admission event to a durable journal.
+    journaled: bool = False
+    #: Cross-tenant ordering policy (``None`` = strict-priority).
+    fairness: Optional[str] = None
+    #: SLO lane for submissions (``None`` = the pipeline default lane).
+    slo_class: Optional[str] = None
+    #: Fairness weights per tenant (entitlement multipliers).
+    tenant_weights: Optional[Dict[str, float]] = None
+    #: Checkpoint-evict over-share batch work for blocked serving work.
+    preemption: bool = False
+    #: Per-workflow eviction budget when ``preemption`` is on.
+    max_preemptions: int = 2
+    #: Post-restore re-eviction cooldown (virtual seconds).
+    preempt_cooldown: float = 60.0
+    #: Keep CPU-only filler off GPU clusters (needs a fairness policy).
+    protect_gpu: bool = False
+    #: Bounded admission queue depth (``None`` = unbounded).
+    max_pending: Optional[int] = None
+    #: Effective-priority points per second of queue wait.
+    aging_rate: float = 0.0
+    #: Gate placement on admission headroom (capacity minus reservations).
+    require_capacity: bool = True
+    #: Cache score engine: ``"incremental"`` or ``"naive"``.
+    scorer: str = "incremental"
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINE_MODES:
+            raise SpecError(
+                f"EngineConfig.engine must be one of {ENGINE_MODES}: {self.engine!r}"
+            )
+        if self.scorer not in SCORER_MODES:
+            raise SpecError(
+                f"EngineConfig.scorer must be one of {SCORER_MODES}: {self.scorer!r}"
+            )
+        if not isinstance(self.journaled, bool):
+            raise SpecError(
+                f"EngineConfig.journaled must be a bool: {self.journaled!r}"
+            )
+        if self.fairness is not None and self.fairness not in FAIRNESS_POLICIES:
+            raise SpecError(
+                f"EngineConfig.fairness must be one of {FAIRNESS_POLICIES} "
+                f"or None: {self.fairness!r}"
+            )
+        if self.slo_class is not None and (
+            not isinstance(self.slo_class, str) or not self.slo_class
+        ):
+            raise SpecError(
+                f"EngineConfig.slo_class must be a non-empty lane name or "
+                f"None: {self.slo_class!r}"
+            )
+        if self.protect_gpu and self.fairness is None:
+            raise SpecError(
+                "EngineConfig.protect_gpu requires a fairness policy "
+                "(set fairness='weighted-fair' or 'drf' — GPU protection "
+                "redirects placement across tenants)"
+            )
+        if self.tenant_weights is not None:
+            for user, weight in self.tenant_weights.items():
+                if weight <= 0:
+                    raise SpecError(
+                        f"EngineConfig.tenant_weights[{user!r}] must be "
+                        f"> 0: {weight}"
+                    )
+        if self.max_pending is not None and self.max_pending < 1:
+            raise SpecError(
+                f"EngineConfig.max_pending must be >= 1 or None: {self.max_pending}"
+            )
+        if self.aging_rate < 0:
+            raise SpecError(
+                f"EngineConfig.aging_rate must be >= 0: {self.aging_rate}"
+            )
+        if self.max_preemptions < 0:
+            raise SpecError(
+                f"EngineConfig.max_preemptions must be >= 0: {self.max_preemptions}"
+            )
+        if self.preempt_cooldown < 0:
+            raise SpecError(
+                f"EngineConfig.preempt_cooldown must be >= 0: "
+                f"{self.preempt_cooldown}"
+            )
+        if not self.preemption and (
+            self.max_preemptions != 2 or self.preempt_cooldown != 60.0
+        ):
+            raise SpecError(
+                "EngineConfig.preemption is off but max_preemptions / "
+                "preempt_cooldown were customised — set preemption=True"
+            )
+
+    # ------------------------------------------------------------- helpers
+
+    @property
+    def fast(self) -> bool:
+        """True when the fast hot paths are selected."""
+        return self.engine == "fast"
+
+    def pipeline_kwargs(self) -> Dict[str, object]:
+        """Keyword arguments for :class:`AdmissionPipeline`.
+
+        ``fairness=None`` resolves to the pipeline's back-compat
+        ``strict-priority`` default, matching the legacy kwarg surface.
+        """
+        return {
+            "fairness": self.fairness or "strict-priority",
+            "tenant_weights": (
+                dict(self.tenant_weights) if self.tenant_weights else None
+            ),
+            "preemption": self.preemption,
+            "max_preemptions": self.max_preemptions,
+            "preempt_cooldown": self.preempt_cooldown,
+            "protect_gpu": self.protect_gpu,
+            "max_pending": self.max_pending,
+            "aging_rate": self.aging_rate,
+            "require_capacity": self.require_capacity,
+            "fast": self.fast,
+        }
+
+    def describe(self) -> str:
+        """Compact one-line summary (non-default fields only)."""
+        default = EngineConfig()
+        parts = [
+            f"{f.name}={getattr(self, f.name)!r}"
+            for f in fields(self)
+            if getattr(self, f.name) != getattr(default, f.name)
+        ]
+        return f"EngineConfig({', '.join(parts)})" if parts else "EngineConfig()"
+
+
+#: The all-defaults config — exactly the legacy no-kwargs behaviour.
+DEFAULT_CONFIG: EngineConfig = EngineConfig()
+
+__all__ = ["EngineConfig", "DEFAULT_CONFIG", "ENGINE_MODES", "SCORER_MODES"]

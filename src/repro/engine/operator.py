@@ -164,6 +164,7 @@ class WorkflowOperator:
         tracer: Optional[object] = None,
         metrics: Optional[MetricsRegistry] = None,
         journal: Optional[Journal] = None,
+        fast: bool = True,
     ) -> None:
         self.clock = clock
         self.cluster = cluster
@@ -209,6 +210,29 @@ class WorkflowOperator:
             "engine_infra_retries_total",
             "Attempts requeued after infrastructure faults (budget-free)",
         )
+        self._m_scans = self.metrics.counter(
+            "engine_waitq_scans_total", "Wait-queue drain scans by kind"
+        )
+        self._m_scan_steps = self.metrics.counter(
+            "engine_waitq_scan_steps_total", "Wait-queue entries examined"
+        )
+        #: Fast hot paths: coalesce same-instant drain events and skip
+        #: rescanning wait-queue entries that nothing could have
+        #: unblocked.  Placement decisions are proven identical to the
+        #: naive full-rescan path by the ``engine_fast`` verify oracle.
+        self.fast = fast
+        #: One pending scheduled drain at a time (fast mode): every
+        #: same-instant request after the first is covered by the drain
+        #: already in the heap, which fires after its requester.
+        self._drain_scheduled = False
+        #: Dirty counter, bumped whenever capacity frees or a waiting
+        #: workflow's state changes (failure, finish, checkpoint,
+        #: restart).  While it is unchanged, already-vetted wait-queue
+        #: entries cannot have become placeable — placeability is
+        #: monotone in free capacity — so a drain only scans the tail.
+        self._waitq_version = 0
+        self._scanned_version = -1
+        self._scanned_len = 0
         self._states: Dict[str, _RunState] = {}
         self._resource_waitq: List[Tuple[str, str]] = []
         self._rng = random.Random(seed ^ 0x5EED)
@@ -485,7 +509,7 @@ class WorkflowOperator:
         state.queue_since[step.name] = self.clock.now
         self._resource_waitq.append((state.workflow.name, step.name))
         self._m_waitq.set(len(self._resource_waitq))
-        self.clock.schedule(0.0, self._drain_waitq)
+        self._schedule_drain()
 
     def _after_skip(self, state: _RunState, step: ExecutableStep) -> None:
         if not self._is_live(state):
@@ -493,10 +517,43 @@ class WorkflowOperator:
         self._advance_children(state, step)
         self._maybe_finish(state)
 
+    def _schedule_drain(self) -> None:
+        """Request a wait-queue drain at the current virtual instant.
+
+        Fast mode coalesces: a drain already scheduled (and not yet
+        fired) covers every later same-instant request, because it sits
+        behind the requester in the event order and scans are
+        idempotent under unchanged capacity.
+        """
+        if self.fast and self._drain_scheduled:
+            return
+        self._drain_scheduled = True
+        self.clock.schedule(0.0, self._drain_waitq)
+
+    def _waitq_dirty(self) -> None:
+        """Capacity freed or a waiting workflow's state changed: the next
+        drain must rescan from the head."""
+        self._waitq_version += 1
+
     def _drain_waitq(self) -> None:
         """Try to start every waiting step that now fits on the cluster."""
-        still_waiting: List[Tuple[str, str]] = []
-        for wf_name, step_name in self._resource_waitq:
+        self._drain_scheduled = False
+        version = self._waitq_version
+        start = 0
+        if self.fast and self._scanned_version == version:
+            # Nothing dirtied the queue since the last scan: the head
+            # entries are still blocked, only unvetted tail entries
+            # (enqueued since) can possibly place.
+            start = self._scanned_len
+            if start >= len(self._resource_waitq):
+                self._m_scans.inc(kind="skipped")
+                return
+            self._m_scans.inc(kind="tail")
+        else:
+            self._m_scans.inc(kind="full")
+        still_waiting: List[Tuple[str, str]] = self._resource_waitq[:start]
+        self._m_scan_steps.inc(len(self._resource_waitq) - start)
+        for wf_name, step_name in self._resource_waitq[start:]:
             state = self._states.get(wf_name)
             if state is None:
                 continue
@@ -541,6 +598,8 @@ class WorkflowOperator:
                     )
                 self._run_attempt(state, step, pod)
         self._resource_waitq = still_waiting
+        self._scanned_version = version
+        self._scanned_len = len(still_waiting)
         self._m_waitq.set(len(self._resource_waitq))
 
     def _run_attempt(self, state: _RunState, step: ExecutableStep, pod: Pod) -> None:
@@ -683,6 +742,7 @@ class WorkflowOperator:
         if self.track_pods:
             self.api_server.update_status(pod)
         self.scheduler.release(pod)
+        self._waitq_dirty()
         state.in_flight -= 1
         record = state.record.step(step.name)
         record.status = StepStatus.SUCCEEDED
@@ -736,6 +796,7 @@ class WorkflowOperator:
         if self.track_pods:
             self.api_server.update_status(pod)
         self.scheduler.release(pod)
+        self._waitq_dirty()
         state.in_flight -= 1
         charges = (0.0, 0.0, 0, 0)
         if attempt is not None:
@@ -841,6 +902,9 @@ class WorkflowOperator:
             self._end_step_span(state, step.name, StepStatus.FAILED.value)
             self._m_steps.inc(status=StepStatus.FAILED.value)
             state.failed = True
+            # Queued siblings must be aborted on the next scan even if
+            # they sit in the already-vetted head of the wait queue.
+            self._waitq_dirty()
             self._maybe_finish(state)
 
     def _advance_children(self, state: _RunState, step: ExecutableStep) -> None:
@@ -891,6 +955,9 @@ class WorkflowOperator:
         self.tracer.end(state.wf_span, self.clock.now, phase=record.phase.value)
         self._m_workflows.inc(phase=record.phase.value)
         self._states.pop(state.workflow.name, None)
+        # Any wait-queue entries this workflow left behind (failed path)
+        # must be dropped by the next scan, vetted head included.
+        self._waitq_dirty()
         self.completed.append(record)
         for callback in state.on_complete:
             callback(record)
@@ -962,6 +1029,7 @@ class WorkflowOperator:
             self.scheduler.release(pod)
         if self.track_pods:
             self.api_server.update_status(pod)
+        self._waitq_dirty()
         state.in_flight -= 1
         self._route_failure(
             state, state.workflow.steps[step_name], pattern, infra=True, charges=kept
@@ -987,7 +1055,8 @@ class WorkflowOperator:
             self._interrupt_attempt(
                 state, step_name, "NodeLostErr", release_pod=False
             )
-        self.clock.schedule(0.0, self._drain_waitq)
+        self._waitq_dirty()
+        self._schedule_drain()
         self._notify_peers()
         return displaced
 
@@ -997,7 +1066,8 @@ class WorkflowOperator:
         if node is None or node.ready:
             return
         node.recover()
-        self.clock.schedule(0.0, self._drain_waitq)
+        self._waitq_dirty()
+        self._schedule_drain()
         self._notify_peers()
 
     def evict_pod(self, pod: Pod) -> bool:
@@ -1021,7 +1091,7 @@ class WorkflowOperator:
         interrupted = self._interrupt_attempt(
             state, step_name, "PodEvictedErr", release_pod=node is None
         )
-        self.clock.schedule(0.0, self._drain_waitq)
+        self._schedule_drain()
         self._notify_peers()
         return interrupted
 
@@ -1085,6 +1155,9 @@ class WorkflowOperator:
             for wf_name, step_name in self._resource_waitq
             if wf_name != name
         ]
+        # The queue was rebuilt and capacity freed: invalidate the
+        # vetted-prefix bookkeeping of the fast drain path.
+        self._waitq_dirty()
         self._m_waitq.set(len(self._resource_waitq))
         self._journal_event(name, "checkpointed", {"reason": reason})
         if self.journal is not None:
@@ -1100,7 +1173,7 @@ class WorkflowOperator:
             self._end_step_span(state, step_name, "preempted")
         self.tracer.end(state.wf_span, self.clock.now, phase="preempted")
         # Freed resources can unblock other workflows' queued steps.
-        self.clock.schedule(0.0, self._drain_waitq)
+        self._schedule_drain()
         self._notify_peers()
         return state.record
 
@@ -1184,6 +1257,7 @@ class WorkflowOperator:
             )
         self._states.clear()
         self._resource_waitq = []
+        self._waitq_dirty()
         self._m_waitq.set(0)
         # A restart during a previous restart's downtime supersedes it:
         # those still-unresumed workflows fold into this restart's resume
@@ -1246,6 +1320,7 @@ class WorkflowOperator:
         self._pending_resume = []
         self._states.clear()
         self._resource_waitq = []
+        self._waitq_dirty()
         self._m_waitq.set(0)
         self._notify_peers()
         return killed

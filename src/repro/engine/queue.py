@@ -98,13 +98,20 @@ class QueuedWorkflow:
     workflow: ExecutableWorkflow
     user: str
     priority: int = 0
+    #: Memoized :meth:`peak_demand` — placement passes call it once per
+    #: candidate per pass, and steps are immutable after enqueue.
+    _peak: Optional[ResourceQuantity] = field(
+        default=None, repr=False, compare=False
+    )
 
     def peak_demand(self) -> ResourceQuantity:
         """Upper bound of simultaneous demand: the sum of all steps."""
-        total = ResourceQuantity()
-        for step in self.workflow.steps.values():
-            total = total + step.requests
-        return total
+        if self._peak is None:
+            total = ResourceQuantity()
+            for step in self.workflow.steps.values():
+                total = total + step.requests
+            self._peak = total
+        return self._peak
 
 
 @dataclass
@@ -136,6 +143,12 @@ class MultiClusterQueue:
     #: so a burst of placements spreads instead of piling onto whichever
     #: cluster looked freest at the first pop.
     _reserved: Dict[str, ResourceQuantity] = field(default_factory=dict)
+    #: Memoized admission headroom per cluster, invalidated whenever
+    #: that cluster's reservation changes.  Entries carry the node
+    #: count they were computed at so a grown cluster recomputes.
+    _headroom_cache: Dict[str, Tuple[int, ResourceQuantity]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
     #: Which cluster each placed workflow reserved (for release()).
     _placements: Dict[str, str] = field(default_factory=dict)
     #: Times a release would have driven a reservation negative (a
@@ -227,9 +240,18 @@ class MultiClusterQueue:
         step allocations, which rise and fall with every step.  Workflow
         completions are the only events that free this headroom, so an
         admission controller gating on it never misses a wakeup.
+
+        Memoized per cluster between reservation changes: placement
+        passes and parked-candidate wake filters read it once per
+        candidate, and the reservation only moves on place/release.
         """
+        cached = self._headroom_cache.get(cluster.name)
+        if cached is not None and cached[0] == len(cluster.nodes):
+            return cached[1]
         reserved = self._reserved.get(cluster.name, ResourceQuantity())
-        return cluster.capacity - reserved
+        headroom = cluster.capacity - reserved
+        self._headroom_cache[cluster.name] = (len(cluster.nodes), headroom)
+        return headroom
 
     def try_place(
         self, item: QueuedWorkflow, require_capacity: bool = False
@@ -282,6 +304,7 @@ class MultiClusterQueue:
         quota.charge(demand)
         current = self._reserved.get(best_cluster.name, ResourceQuantity())
         self._reserved[best_cluster.name] = current + demand
+        self._headroom_cache.pop(best_cluster.name, None)
         self._placements[item.workflow.name] = best_cluster.name
         return item, best_cluster
 
@@ -340,6 +363,7 @@ class MultiClusterQueue:
             # Accounting drift: more released than was ever reserved.
             self.reservation_underflows += 1
         self._reserved[cluster_name] = current - demand  # subtraction clamps at 0
+        self._headroom_cache.pop(cluster_name, None)
 
     def tenant_usage(self, user: str) -> Tuple[float, int, int]:
         """Currently charged ``(cpu, memory, gpu)`` for one tenant.

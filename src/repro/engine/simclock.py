@@ -10,59 +10,99 @@ Events come in two flavours: regular events drive the simulation, while
 *daemon* events (periodic samplers, observability ticks) piggyback on
 it — when only daemon events remain and no ``until`` horizon was given,
 :meth:`SimClock.run` stops instead of letting a self-re-arming sampler
-spin the loop forever.
+spin the loop forever.  Daemon events already *due* at the drain
+boundary still fire before :meth:`SimClock.run` returns, so a sampler
+whose interval lands exactly on the makespan is not silently dropped,
+and a daemon registered against an already-drained clock fires on the
+next ``run()`` instead of never.
+
+Hot-path layout: at 100k-workflow fleets the clock processes tens of
+millions of events, so event records are ``__slots__`` objects pooled
+on a free list (generation counters let outstanding
+:class:`EventHandle` objects survive recycling), heap entries are bare
+``(time, seq, record)`` tuples (no dataclass ``__lt__`` per
+comparison), and :meth:`pending` is O(1) bookkeeping instead of a heap
+scan.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 
 class SimulationError(RuntimeError):
     """Raised on clock misuse (e.g. scheduling in the past)."""
 
 
-@dataclass(order=True)
 class _Event:
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    daemon: bool = field(default=False, compare=False)
-    fired: bool = field(default=False, compare=False)
+    """Pooled event record.
+
+    ``gen`` increments every time the record is recycled onto the free
+    list; handles capture the generation they were issued for, so a
+    handle whose record was reused can still answer ``fired`` /
+    ``cancelled`` correctly (a recycled record means its event fired —
+    cancelled records are never pooled while a handle could observe
+    them).
+    """
+
+    __slots__ = ("time", "seq", "callback", "daemon", "cancelled", "fired", "gen")
+
+    def __init__(self) -> None:
+        self.time = 0.0
+        self.seq = 0
+        self.callback: Optional[Callable[[], None]] = None
+        self.daemon = False
+        self.cancelled = False
+        self.fired = False
+        self.gen = 0
 
 
 class EventHandle:
     """Handle returned by :meth:`SimClock.schedule`; allows cancellation."""
 
+    __slots__ = ("_event", "_gen", "_time", "_clock")
+
     def __init__(self, event: _Event, clock: "SimClock") -> None:
         self._event = event
+        self._gen = event.gen
+        self._time = event.time
         self._clock = clock
 
     def cancel(self) -> None:
         # Cancelling an event that already ran (or was already cancelled)
         # must be a no-op — a second live-count decrement here would make
-        # the run loop believe work drained while events still pend.
-        if self._event.cancelled or self._event.fired:
+        # the run loop believe work drained while events still pend.  A
+        # recycled record (generation mismatch) means the event fired.
+        event = self._event
+        if event.gen != self._gen or event.cancelled or event.fired:
             return
-        self._event.cancelled = True
-        if not self._event.daemon:
-            self._clock._live -= 1
+        event.cancelled = True
+        clock = self._clock
+        clock._cancelled_in_heap += 1
+        if not event.daemon:
+            clock._live -= 1
 
     @property
     def cancelled(self) -> bool:
-        return self._event.cancelled
+        event = self._event
+        return event.gen == self._gen and event.cancelled
 
     @property
     def fired(self) -> bool:
-        return self._event.fired
+        event = self._event
+        if event.gen != self._gen:
+            return True
+        return event.fired
 
     @property
     def time(self) -> float:
-        return self._event.time
+        return self._time
+
+
+#: Free-list bound — enough to absorb the engine's steady-state event
+#: churn without hoarding memory after a burst.
+_POOL_LIMIT = 4096
 
 
 class SimClock:
@@ -70,11 +110,14 @@ class SimClock:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: List[_Event] = []
-        self._seq = itertools.count()
+        self._heap: List[Tuple[float, int, _Event]] = []
+        self._seq = 0
         #: Count of pending non-daemon, non-cancelled events; the run
         #: loop keeps going only while work (not just sampling) remains.
         self._live = 0
+        #: Cancelled entries still sitting in the heap (lazily purged).
+        self._cancelled_in_heap = 0
+        self._pool: List[_Event] = []
 
     @property
     def now(self) -> float:
@@ -90,13 +133,16 @@ class SimClock:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        event = _Event(
-            time=self._now + delay,
-            seq=next(self._seq),
-            callback=callback,
-            daemon=daemon,
-        )
-        heapq.heappush(self._heap, event)
+        pool = self._pool
+        event = pool.pop() if pool else _Event()
+        event.time = self._now + delay
+        event.seq = self._seq
+        self._seq += 1
+        event.callback = callback
+        event.daemon = daemon
+        event.cancelled = False
+        event.fired = False
+        heapq.heappush(self._heap, (event.time, event.seq, event))
         if not daemon:
             self._live += 1
         return EventHandle(event, self)
@@ -109,15 +155,27 @@ class SimClock:
 
     def step(self) -> bool:
         """Fire the next pending event; returns False when none remain."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            time_, _seq, event = heapq.heappop(heap)
             if event.cancelled:
+                # Cancelled records are left for the GC rather than
+                # pooled: a live handle may still inspect their flags.
+                self._cancelled_in_heap -= 1
                 continue
             if not event.daemon:
                 self._live -= 1
             event.fired = True
-            self._now = event.time
-            event.callback()
+            self._now = time_
+            callback = event.callback
+            if len(self._pool) < _POOL_LIMIT:
+                # Recycle before invoking: the callback may schedule new
+                # events and reuse this record immediately.  Handles see
+                # the generation bump and report fired=True.
+                event.gen += 1
+                event.callback = None
+                self._pool.append(event)
+            callback()
             return True
         return False
 
@@ -126,8 +184,11 @@ class SimClock:
 
         Without ``until``, the loop stops once only daemon events (if
         any) remain — a periodic sampler cannot spin the simulation
-        forever.  With ``until``, daemon events fire up to the horizon,
-        which is what utilization sampling over a fixed window wants.
+        forever.  Daemon events *due at the drain boundary* (their time
+        is not after the final work event's) still fire before the loop
+        stops; if one of them schedules fresh work, the loop resumes.
+        With ``until``, daemon events fire up to the horizon, which is
+        what utilization sampling over a fixed window wants.
 
         ``max_events`` is a runaway-loop backstop; exceeding it raises
         :class:`SimulationError` rather than hanging the caller.
@@ -135,11 +196,19 @@ class SimClock:
         fired = 0
         while self._heap:
             if until is None and self._live <= 0:
-                break
-            if until is not None and self._peek_time() > until:
+                # Work has drained.  Fire daemon events already due at
+                # the boundary (head time <= now) — a sampler tick that
+                # lands exactly on the makespan must not depend on heap
+                # insertion order, and a daemon registered after a
+                # previous drain must fire on this run, not never.
+                if self._peek_time() > self._now:
+                    break
+                if not self.step():
+                    break
+            elif until is not None and self._peek_time() > until:
                 self._now = until
                 break
-            if not self.step():
+            elif not self.step():
                 break
             fired += 1
             if fired > max_events:
@@ -149,12 +218,14 @@ class SimClock:
         return self._now
 
     def _peek_time(self) -> float:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else float("inf")
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+            self._cancelled_in_heap -= 1
+        return heap[0][0] if heap else float("inf")
 
     def pending(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return len(self._heap) - self._cancelled_in_heap
 
     def pending_work(self) -> int:
         """Pending non-daemon events (what keeps :meth:`run` alive)."""

@@ -88,11 +88,20 @@ class ExecutableWorkflow:
 
     name: str
     steps: Dict[str, ExecutableStep] = field(default_factory=dict)
+    #: Memoized :func:`executable_to_dict` form.  Submitting the same
+    #: workflow object repeatedly (journal replay, checkpoint
+    #: migration, verify sweeps) re-journals the spec each time, and
+    #: rebuilding the nested step/artifact dicts dominated those
+    #: appends.  Steps are treated as immutable once added — the same
+    #: contract :meth:`QueuedWorkflow.peak_demand` relies on — so
+    #: :meth:`add_step` is the only invalidation point.
+    _spec_dict: Optional[dict] = field(default=None, repr=False, compare=False)
 
     def add_step(self, step: ExecutableStep) -> ExecutableStep:
         if step.name in self.steps:
             raise SpecError(f"duplicate step name: {step.name}")
         self.steps[step.name] = step
+        self._spec_dict = None
         return step
 
     def validate(self) -> None:
@@ -168,8 +177,14 @@ def executable_to_dict(workflow: ExecutableWorkflow) -> dict:
     submission can resume it from the journal alone.  Resource numbers
     stay raw floats/ints — never rounded quantity strings — so a
     round-trip is exact.
+
+    The result is memoized on the workflow (consumers — the journal,
+    replay, persistence — treat it as read-only) and invalidated by
+    :meth:`ExecutableWorkflow.add_step`.
     """
-    return {
+    if workflow._spec_dict is not None:
+        return workflow._spec_dict
+    workflow._spec_dict = {
         "name": workflow.name,
         "steps": [
             {
@@ -193,6 +208,7 @@ def executable_to_dict(workflow: ExecutableWorkflow) -> dict:
             for step in workflow.steps.values()
         ],
     }
+    return workflow._spec_dict
 
 
 def executable_from_dict(data: dict) -> ExecutableWorkflow:

@@ -12,7 +12,7 @@ heuristic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from .objects import Pod, PodPhase
 from .resources import ResourceQuantity
@@ -108,6 +108,10 @@ class Cluster:
     _by_name: Optional[Dict[str, Node]] = field(
         default=None, repr=False, compare=False
     )
+    #: Memoized total capacity, guarded by node count (see ``capacity``).
+    _capacity_cache: Optional[Tuple[int, ResourceQuantity]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def node(self, name: str) -> Optional[Node]:
         """O(1) node lookup by name."""
@@ -142,9 +146,17 @@ class Cluster:
 
     @property
     def capacity(self) -> ResourceQuantity:
+        # Memoized while the node list is unchanged (guarded by length,
+        # like the ``_by_name`` index): admission placement reads this
+        # millions of times per fleet run, and node *capacity* is fixed
+        # even when nodes crash (``ready`` flips, the hardware remains).
+        cache = self._capacity_cache
+        if cache is not None and cache[0] == len(self.nodes):
+            return cache[1]
         total = ResourceQuantity()
         for node in self.nodes:
             total = total + node.capacity
+        self._capacity_cache = (len(self.nodes), total)
         return total
 
     @property

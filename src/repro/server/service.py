@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..engine.config import EngineConfig
 from ..engine.operator import WorkflowOperator
 from ..engine.status import StepStatus, WorkflowPhase, WorkflowRecord
 from ..ir.graph import WorkflowIR
@@ -60,6 +61,10 @@ class CoulerService:
     monitor: WorkflowMonitor = field(default_factory=WorkflowMonitor)
     budget: BudgetModel = field(default_factory=BudgetModel)
     passes: PassManager = field(default_factory=PassManager.default)
+    #: Knob bundle (Submitter protocol conformance; the service
+    #: executes on the operator it was handed, so only introspection
+    #: reads this today).
+    config: EngineConfig = field(default_factory=EngineConfig)
     _irs: Dict[str, WorkflowIR] = field(default_factory=dict)
     _records: Dict[str, WorkflowRecord] = field(default_factory=dict)
 

@@ -32,12 +32,24 @@ def _canonical_json(data: dict) -> str:
 
 @dataclass(frozen=True)
 class Fingerprint:
-    """Immutable canonical summary of one workflow execution."""
+    """Immutable canonical summary of one workflow execution.
+
+    ``digest()`` / ``outputs_digest()`` are memoized: fleet-scale
+    verify sweeps hash every workflow's fingerprint several times
+    (per-pair comparison, aggregate digest, report lines), and the
+    canonical-JSON encode dominated those passes.  The dataclass is
+    frozen, so the cache can never go stale; ``object.__setattr__``
+    sidesteps the frozen guard for the private slots.
+    """
 
     data: dict
 
     def digest(self) -> str:
-        return hashlib.sha256(_canonical_json(self.data).encode()).hexdigest()
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            cached = hashlib.sha256(_canonical_json(self.data).encode()).hexdigest()
+            object.__setattr__(self, "_digest", cached)
+        return cached
 
     def outputs_view(self) -> dict:
         """Scheduling-independent projection (statuses/results/lineage)."""
@@ -60,9 +72,13 @@ class Fingerprint:
         }
 
     def outputs_digest(self) -> str:
-        return hashlib.sha256(
-            _canonical_json(self.outputs_view()).encode()
-        ).hexdigest()
+        cached = self.__dict__.get("_outputs_digest")
+        if cached is None:
+            cached = hashlib.sha256(
+                _canonical_json(self.outputs_view()).encode()
+            ).hexdigest()
+            object.__setattr__(self, "_outputs_digest", cached)
+        return cached
 
 
 def _lineage(ir: WorkflowIR, record: WorkflowRecord) -> List[str]:

@@ -21,6 +21,13 @@ Per seed, the suite asserts:
   weighted-fair / drf, and drf with checkpoint preemption) produces
   identical per-workflow outputs-view fingerprints on a contended
   multi-tenant fleet: fairness reorders scheduling, never results.
+* **engine_fast** — the fast engine hot paths (parked-candidate
+  admission indexes, waitq drain coalescing + dirty-version skip-scan,
+  memoized capacity/headroom/fingerprints) are pure optimizations: a
+  contended multi-tenant fleet run under ``fast=True`` and the
+  straight-line naive mode produce identical admission logs, identical
+  journal streams record-for-record, and identical full per-workflow
+  fingerprints, with and without preemption.
 * **journal** — the journal-backed engine is transparent: attaching a
   journal leaves the full fingerprint bit-identical, replaying the
   journal stream materializes the live record exactly, a sharded
@@ -448,6 +455,146 @@ def check_fairness(ir: WorkflowIR, seed: int) -> OracleOutcome:
     return OracleOutcome("fairness", seed, True, digests=digests)
 
 
+def _engine_fleet(ir: WorkflowIR, seed: int) -> List[WorkflowIR]:
+    """The candidate plus seven co-tenants for the fast-vs-naive diff.
+
+    Seed offsets sit far outside the sweep range and away from the
+    fairness (101+) and journal (501+) blocks so names never collide.
+    """
+    return [ir] + [
+        generate_ir(seed * 1000 + 301 + index, DETERMINISTIC_CONFIG)
+        for index in range(7)
+    ]
+
+
+def _engine_mode_run(
+    fleet: List[WorkflowIR], seed: int, fast: bool, preemption: bool
+) -> Tuple[List[tuple], List[tuple], List[Tuple[str, str]], float]:
+    """One contended fleet run in the given engine mode.
+
+    Returns everything the fast paths could plausibly perturb: the
+    structured admission log (every :class:`AdmissionRecord` field,
+    including deferral counts — the parked-candidate index backfills
+    these in bulk, so they must still match the naive per-pass
+    increments exactly), the journal stream as raw record tuples, the
+    per-workflow full fingerprints, and the virtual-clock makespan.
+    """
+    cluster = Cluster.uniform(
+        "engine-verify",
+        num_nodes=1,
+        cpu_per_node=24.0,
+        memory_per_node=16 * _GB,
+        gpu_per_node=6,
+    )
+    journal = Journal()
+    pipeline = AdmissionPipeline(
+        [cluster],
+        seed=seed,
+        aging_rate=0.01,
+        fairness="drf" if preemption else "weighted-fair",
+        tenant_weights={"t0": 2.0, "t1": 1.0, "t2": 1.0, "t3": 0.5},
+        preemption=preemption,
+        fast=fast,
+        journal=journal,
+    )
+    admissions = []
+    for index, member in enumerate(fleet):
+        admissions.append(
+            (
+                member,
+                pipeline.submit_at(
+                    index * 2.0,
+                    member.to_executable(),
+                    user=f"t{index % 4}",
+                    priority=(index * 3) % 7,
+                    slo_class="serving" if index % 2 else "batch",
+                ),
+            )
+        )
+    pipeline.run()
+    admission_log = [
+        (
+            admission.workflow_name,
+            admission.user,
+            admission.priority,
+            admission.arrival_time,
+            admission.admitted,
+            admission.reject_reason,
+            admission.admit_time,
+            admission.place_time,
+            admission.finish_time,
+            admission.cluster_name,
+            admission.deferrals,
+            admission.slo_class,
+            admission.preemptions,
+            admission.restored_at,
+        )
+        for _, admission in admissions
+    ]
+    journal_log = [
+        (record.seq, record.stream, record.kind, record.at,
+         repr(record.payload), record.event_id)
+        for record in journal.records()
+    ]
+    outcomes: List[Tuple[str, str]] = []
+    for member, admission in admissions:
+        if admission.record is not None:
+            outcomes.append(
+                (member.name, fingerprint_record(member, admission.record).digest())
+            )
+        else:
+            outcomes.append((member.name, f"rejected:{admission.reject_reason}"))
+    return admission_log, journal_log, outcomes, pipeline.clock.now
+
+
+def check_engine_fast(ir: WorkflowIR, seed: int) -> OracleOutcome:
+    """Fast engine hot paths ≡ the straight-line naive reference.
+
+    ``fast=True`` (parked-candidate admission indexes, coalesced waitq
+    drains with dirty-version skip-scans) and ``fast=False`` must be
+    observationally identical on a contended multi-tenant fleet:
+    admission logs field-for-field (deferral crediting included),
+    journal streams record-for-record, full per-workflow fingerprints,
+    and makespans — with and without checkpoint preemption.  A
+    single-operator run is diffed the same way.
+    """
+    fleet = _engine_fleet(ir, seed)
+    digests: List[str] = []
+    parts = ("admission log", "journal stream", "fingerprints", "makespan")
+    for preemption in (False, True):
+        fast_run = _engine_mode_run(fleet, seed, fast=True, preemption=preemption)
+        naive_run = _engine_mode_run(fleet, seed, fast=False, preemption=preemption)
+        digests.append(hashlib.sha256(repr(fast_run).encode()).hexdigest())
+        digests.append(hashlib.sha256(repr(naive_run).encode()).hexdigest())
+        for part, fast_side, naive_side in zip(parts, fast_run, naive_run):
+            if fast_side != naive_side:
+                first = fast_side
+                if isinstance(fast_side, list):
+                    first = next(
+                        (pair for pair in zip(naive_side, fast_side)
+                         if pair[0] != pair[1]),
+                        (naive_side, fast_side),
+                    )
+                return OracleOutcome(
+                    "engine_fast",
+                    seed,
+                    False,
+                    f"fast engine diverged from naive on {part} "
+                    f"(preemption={preemption}): {first!r}"[:2000],
+                    tuple(digests),
+                )
+    naive_fp = _execute(ir, seed, fast=False)
+    fast_fp = _execute(ir, seed)
+    digests += [naive_fp.digest(), fast_fp.digest()]
+    if fast_fp.data != naive_fp.data:
+        diff = describe_difference(naive_fp, fast_fp, view="full")
+        return OracleOutcome(
+            "engine_fast", seed, False,
+            f"single-operator fast run diverged: {diff}", tuple(digests),
+        )
+    return OracleOutcome("engine_fast", seed, True, digests=tuple(digests))
+
+
 def _journal_fleet(ir: WorkflowIR, seed: int) -> List[WorkflowIR]:
     """The candidate plus three generated co-tenants for the shard test.
 
@@ -584,6 +731,7 @@ ORACLES: Dict[str, Oracle] = {
     "scores": Oracle("scores", DETERMINISTIC_CONFIG, check_scores),
     "fairness": Oracle("fairness", DETERMINISTIC_CONFIG, check_fairness),
     "journal": Oracle("journal", DETERMINISTIC_CONFIG, check_journal),
+    "engine_fast": Oracle("engine_fast", DETERMINISTIC_CONFIG, check_engine_fast),
 }
 
 #: check functions safe to re-run on shrunk (non-generated) IRs.
@@ -596,6 +744,7 @@ SHRINKABLE_CHECKS: Dict[str, Callable[[WorkflowIR, int], OracleOutcome]] = {
     "scores": check_scores,
     "fairness": check_fairness,
     "journal": check_journal,
+    "engine_fast": check_engine_fast,
 }
 
 

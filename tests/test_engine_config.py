@@ -1,0 +1,242 @@
+"""EngineConfig v1 contract: one validated bundle, two equivalent spellings.
+
+Covers the unified-configuration surface:
+
+* construction-time validation raises ``SpecError`` naming the field,
+* the legacy kwargs (``journaled=``, ``fairness=``, ``slo_class=``) and
+  the ``config=`` spelling are **bit-identical** — same admission logs,
+  same journal streams, same full fingerprints — across fuzzer seeds,
+* mixing ``config=`` with legacy kwargs is rejected,
+* the deprecation bridge warns exactly once per process per kwarg,
+* every shipped submitter conforms to the widened ``Submitter``
+  protocol (``config`` member included) and is introspectable.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro import couler
+from repro.backends.base import Submitter
+from repro.core import submitter as submitter_module
+from repro.core.submitter import (
+    AdmissionSubmitter,
+    AirflowSubmitter,
+    ArgoSubmitter,
+    LocalSubmitter,
+    TektonSubmitter,
+)
+from repro.engine.config import DEFAULT_CONFIG, EngineConfig
+from repro.engine.spec import SpecError
+from repro.verify.fingerprint import fingerprint_record
+from repro.verify.generator import GeneratorConfig, generate_ir
+
+SEEDS = list(range(10))
+DETERMINISTIC = GeneratorConfig(deterministic=True)
+
+
+def _clear_warned():
+    submitter_module._legacy_warned.clear()
+
+
+# ------------------------------------------------------------- validation
+
+
+class TestValidation:
+    def test_defaults_are_legacy_behaviour(self):
+        config = EngineConfig()
+        assert config == DEFAULT_CONFIG
+        assert config.fast is True
+        assert config.journaled is False
+        assert config.fairness is None
+
+    @pytest.mark.parametrize(
+        ("kwargs", "field_name"),
+        [
+            ({"engine": "turbo"}, "engine"),
+            ({"scorer": "cached"}, "scorer"),
+            ({"journaled": "yes"}, "journaled"),
+            ({"fairness": "round-robin"}, "fairness"),
+            ({"slo_class": ""}, "slo_class"),
+            ({"protect_gpu": True}, "protect_gpu"),
+            ({"tenant_weights": {"t0": 0.0}}, "tenant_weights"),
+            ({"max_pending": 0}, "max_pending"),
+            ({"aging_rate": -0.5}, "aging_rate"),
+            ({"preemption": True, "max_preemptions": -1}, "max_preemptions"),
+            ({"preemption": True, "preempt_cooldown": -1.0}, "preempt_cooldown"),
+            ({"max_preemptions": 9}, "preemption"),
+        ],
+    )
+    def test_invalid_combo_raises_spec_error_naming_field(
+        self, kwargs, field_name
+    ):
+        with pytest.raises(SpecError) as excinfo:
+            EngineConfig(**kwargs)
+        assert field_name in str(excinfo.value)
+
+    def test_protect_gpu_valid_with_fairness(self):
+        config = EngineConfig(protect_gpu=True, fairness="weighted-fair")
+        assert config.pipeline_kwargs()["protect_gpu"] is True
+
+    def test_pipeline_kwargs_resolve_fairness_default(self):
+        assert EngineConfig().pipeline_kwargs()["fairness"] == "strict-priority"
+        assert EngineConfig(engine="naive").pipeline_kwargs()["fast"] is False
+
+    def test_describe_lists_only_non_defaults(self):
+        assert EngineConfig().describe() == "EngineConfig()"
+        text = EngineConfig(engine="naive", aging_rate=0.5).describe()
+        assert "engine='naive'" in text and "aging_rate=0.5" in text
+        assert "journaled" not in text
+
+
+# ----------------------------------------------------- spelling equivalence
+
+
+def _journal_tuples(journal):
+    if journal is None:
+        return None
+    return [
+        (r.seq, r.stream, r.kind, r.at, repr(r.payload), r.event_id)
+        for r in journal.records()
+    ]
+
+
+def _admission_tuple(admission):
+    return (
+        admission.workflow_name,
+        admission.user,
+        admission.priority,
+        admission.arrival_time,
+        admission.admitted,
+        admission.admit_time,
+        admission.place_time,
+        admission.finish_time,
+        admission.cluster_name,
+        admission.deferrals,
+        admission.slo_class,
+    )
+
+
+def _run_argo(ir, seed, **kwargs):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        sub = ArgoSubmitter(**kwargs)
+    record = sub.submit(ir)
+    return fingerprint_record(ir, record).data, _journal_tuples(sub.journal)
+
+
+def _run_admission(ir, seed, **kwargs):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        sub = AdmissionSubmitter(seed=seed, **kwargs)
+    record = sub.submit(ir)
+    return (
+        fingerprint_record(ir, record).data,
+        _journal_tuples(sub.journal),
+        _admission_tuple(sub.last_admission),
+    )
+
+
+class TestSpellingEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_argo_journaled_spellings_identical(self, seed):
+        ir = generate_ir(seed, DETERMINISTIC)
+        legacy = _run_argo(ir, seed, journaled=True)
+        unified = _run_argo(ir, seed, config=EngineConfig(journaled=True))
+        assert legacy == unified
+        assert legacy[1], "journaled run produced no journal records"
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_admission_spellings_identical(self, seed):
+        ir = generate_ir(seed, DETERMINISTIC)
+        legacy = _run_admission(
+            ir,
+            seed,
+            fairness="weighted-fair",
+            slo_class="serving",
+            journaled=True,
+        )
+        unified = _run_admission(
+            ir,
+            seed,
+            config=EngineConfig(
+                fairness="weighted-fair", slo_class="serving", journaled=True
+            ),
+        )
+        assert legacy == unified
+        assert legacy[1], "journaled run produced no journal records"
+
+    @pytest.mark.parametrize("seed", SEEDS[:3])
+    def test_naive_engine_matches_fast_engine(self, seed):
+        ir = generate_ir(seed, DETERMINISTIC)
+        fast = _run_admission(ir, seed, config=EngineConfig(journaled=True))
+        naive = _run_admission(
+            ir, seed, config=EngineConfig(engine="naive", journaled=True)
+        )
+        assert fast == naive
+
+    def test_config_reaches_pipeline(self):
+        sub = AdmissionSubmitter(config=EngineConfig(engine="naive"))
+        assert sub.pipeline.fast is False
+        assert AdmissionSubmitter().pipeline.fast is True
+
+
+# ------------------------------------------------------- deprecation bridge
+
+
+class TestDeprecationBridge:
+    def test_legacy_kwarg_warns_once_per_process(self):
+        _clear_warned()
+        with pytest.warns(DeprecationWarning, match="journaled"):
+            ArgoSubmitter(journaled=True)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            ArgoSubmitter(journaled=True)  # second use: silent
+
+    def test_each_kwarg_warns_independently(self):
+        _clear_warned()
+        with pytest.warns(DeprecationWarning, match="fairness"):
+            AdmissionSubmitter(fairness="drf")
+        with pytest.warns(DeprecationWarning, match="slo_class"):
+            AdmissionSubmitter(slo_class="serving")
+
+    def test_warning_names_replacement(self):
+        _clear_warned()
+        with pytest.warns(DeprecationWarning, match=r"config=EngineConfig"):
+            LocalSubmitter(journaled=True)
+
+    def test_mixing_config_and_legacy_rejected(self):
+        with pytest.raises(ValueError, match="not both"):
+            ArgoSubmitter(config=EngineConfig(), journaled=True)
+        with pytest.raises(ValueError, match="not both"):
+            AdmissionSubmitter(
+                config=EngineConfig(), fairness="drf"
+            )
+
+
+# -------------------------------------------------- protocol conformance
+
+
+class TestProtocolConformance:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            ArgoSubmitter,
+            LocalSubmitter,
+            AdmissionSubmitter,
+            AirflowSubmitter,
+            TektonSubmitter,
+        ],
+    )
+    def test_shipped_submitters_carry_config(self, factory):
+        submitter = factory()
+        assert isinstance(submitter, Submitter)
+        assert isinstance(submitter.config, EngineConfig)
+        assert submitter.config.describe().startswith("EngineConfig")
+
+    def test_facade_exports_config_surface(self):
+        assert couler.EngineConfig is EngineConfig
+        assert couler.DEFAULT_CONFIG is DEFAULT_CONFIG
+        assert callable(couler.profile_run)

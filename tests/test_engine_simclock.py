@@ -70,6 +70,102 @@ class TestRun:
             clock.run(max_events=100)
 
 
+class TestDaemonDrainBoundary:
+    """Regression: daemon events due at the drain boundary must fire.
+
+    The old loop checked ``_live <= 0`` before popping anything, so a
+    daemon event registered after a previous ``run()`` had drained the
+    queue was silently never fired in a fresh drain cycle, and a sampler
+    tick landing exactly on the makespan fired only if it happened to be
+    scheduled with a lower sequence number than the final work event.
+    """
+
+    def test_daemon_registered_after_drain_fires_on_next_run(self):
+        clock = SimClock()
+        clock.schedule(1.0, lambda: None)
+        clock.run()
+        assert clock.now == 1.0
+        fired = []
+        clock.schedule(0.0, lambda: fired.append(clock.now), daemon=True)
+        clock.run()
+        assert fired == [1.0]
+
+    def test_boundary_sample_fires_regardless_of_schedule_order(self):
+        # A sampler re-arming every 1.0s alongside work that finishes at
+        # exactly 3.0: the 3.0 tick must be recorded even though the
+        # sampler's re-arm was scheduled after the final work event.
+        clock = SimClock()
+        samples = []
+
+        def sample():
+            samples.append(clock.now)
+            clock.schedule(1.0, sample, daemon=True)
+
+        clock.schedule(0.0, sample, daemon=True)
+        clock.schedule(3.0, lambda: None)
+        clock.run()
+        assert samples == [0.0, 1.0, 2.0, 3.0]
+
+    def test_daemon_past_the_boundary_still_does_not_fire(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule(2.0, lambda: None)
+        clock.schedule(5.0, lambda: fired.append("late"), daemon=True)
+        clock.run()
+        assert fired == []
+        assert clock.now == 2.0
+
+    def test_boundary_daemon_scheduling_work_resumes_the_loop(self):
+        clock = SimClock()
+        fired = []
+
+        def daemon():
+            fired.append("daemon")
+            clock.schedule(1.0, lambda: fired.append("work"))
+
+        clock.schedule(1.0, lambda: fired.append("first"))
+        clock.schedule(1.0, daemon, daemon=True)
+        clock.run()
+        assert fired == ["first", "daemon", "work"]
+        assert clock.now == 2.0
+
+
+class TestHandleRecycling:
+    """Event records are pooled; handles must survive recycling."""
+
+    def test_fired_handle_reports_fired_after_reuse(self):
+        clock = SimClock()
+        handle = clock.schedule(1.0, lambda: None)
+        clock.run()
+        # Churn the pool so the record is reused for new events.
+        for _ in range(10):
+            clock.schedule(1.0, lambda: None)
+        clock.run()
+        assert handle.fired is True
+        assert handle.cancelled is False
+        assert handle.time == 1.0
+
+    def test_cancel_after_reuse_is_a_no_op(self):
+        clock = SimClock()
+        handle = clock.schedule(1.0, lambda: None)
+        clock.run()
+        live = clock.schedule(1.0, lambda: None)
+        handle.cancel()  # must not cancel the new occupant
+        assert live.cancelled is False
+        assert clock.pending_work() == 1
+        clock.run()
+
+    def test_cancelled_handle_keeps_reporting_cancelled(self):
+        clock = SimClock()
+        handle = clock.schedule(1.0, lambda: None)
+        handle.cancel()
+        for _ in range(10):
+            clock.schedule(0.5, lambda: None)
+        clock.run()
+        assert handle.cancelled is True
+        assert handle.fired is False
+
+
 class TestCancellation:
     def test_cancelled_event_does_not_fire(self):
         clock = SimClock()

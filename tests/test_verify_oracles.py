@@ -22,6 +22,7 @@ def test_oracle_registry_is_complete():
         "scores",
         "fairness",
         "journal",
+        "engine_fast",
     }
 
 

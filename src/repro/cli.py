@@ -44,6 +44,10 @@ EXPERIMENTS: Dict[str, tuple] = {
         "repro.experiments.robustness_runner",
         "fault-injected fleet: recovery, determinism, invariants",
     ),
+    "sql-nl": (
+        "repro.experiments.sql_nl_pipeline",
+        "SQL+NL scenario corpus e2e: frontends -> caching/splitting -> admission",
+    ),
 }
 
 
@@ -181,21 +185,22 @@ def cmd_verify(args: argparse.Namespace) -> int:
     """
     from .ir.serialize import ir_to_json
     from .verify import run_suite
-    from .verify.oracles import ORACLES
+    from .verify.oracles import CORPUS_ORACLES, ORACLES
     from .verify.shrink import shrink_failure
 
+    valid = ORACLES if args.source == "synthetic" else dict.fromkeys(CORPUS_ORACLES)
     oracle_names = args.oracles.split(",") if args.oracles else None
     if oracle_names:
-        unknown = [name for name in oracle_names if name not in ORACLES]
+        unknown = [name for name in oracle_names if name not in valid]
         if unknown:
             print(
-                f"unknown oracle(s): {', '.join(unknown)}; "
-                f"choose from {', '.join(sorted(ORACLES))}",
+                f"unknown oracle(s) for source={args.source}: "
+                f"{', '.join(unknown)}; choose from {', '.join(sorted(valid))}",
                 file=sys.stderr,
             )
             return 2
     seeds = range(args.seed_base, args.seed_base + args.seeds)
-    report = run_suite(seeds, oracle_names)
+    report = run_suite(seeds, oracle_names, source=args.source)
     for oracle, (passed, total) in sorted(report.counts().items()):
         print(f"{oracle:12s} {passed}/{total}")
     print(f"aggregate fingerprint digest: {report.aggregate_digest()}")
@@ -211,7 +216,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
         print(f"... and {len(report.failures) - 5} more", file=sys.stderr)
     if not args.no_shrink:
         first = report.failures[0]
-        shrunk = shrink_failure(first)
+        shrunk = shrink_failure(first, source=args.source)
         if shrunk is None:
             print(
                 f"shrink: failure of {first.oracle} seed={first.seed} "
@@ -226,6 +231,40 @@ def cmd_verify(args: argparse.Namespace) -> int:
             )
             print(ir_to_json(minimal))
     return 1
+
+
+def cmd_corpus(args: argparse.Namespace) -> int:
+    """Generate / describe / run the seeded SQL+NL scenario corpus.
+
+    ``generate`` prints the corpus digest (and optionally every source
+    script) — CI generates twice and diffs the digest line.
+    ``describe`` prints the per-persona composition.  ``run`` executes
+    the corpus end to end through caching, splitting and admission.
+    """
+    import json
+
+    from .workloads.corpus import CorpusSpec, build_corpus
+
+    spec = CorpusSpec(seed=args.seed, size=args.size)
+    corpus = build_corpus(spec)
+    if args.action == "generate":
+        if args.show_sources:
+            for entry in corpus.entries:
+                print(f"-- >>> {entry.name} [{entry.kind}, {entry.persona}]")
+                print(entry.source)
+        print(f"corpus digest: {corpus.digest()}")
+        return 0
+    if args.action == "describe":
+        print(json.dumps(corpus.describe(), indent=2, sort_keys=True))
+        return 0
+    # action == "run": the e2e experiment over this exact corpus.
+    from .experiments import sql_nl_pipeline
+
+    result = sql_nl_pipeline.run(
+        engine=args.engine, cache_gb=args.cache_gb, corpus=corpus
+    )
+    print(sql_nl_pipeline.report(result))
+    return 0
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
@@ -335,11 +374,52 @@ def build_parser() -> argparse.ArgumentParser:
         "journal,replay,scores,split,submitters); default all",
     )
     verify_parser.add_argument(
+        "--source",
+        choices=("synthetic", "corpus"),
+        default="synthetic",
+        help="workflow source: the seeded fuzzer (synthetic) or "
+        "frontend-compiled scenario-corpus workflows (corpus)",
+    )
+    verify_parser.add_argument(
         "--no-shrink",
         action="store_true",
         help="skip shrinking the first failing workflow",
     )
     verify_parser.set_defaults(func=cmd_verify)
+
+    corpus_parser = sub.add_parser(
+        "corpus",
+        help="generate, describe or run the seeded SQL+NL scenario corpus",
+    )
+    corpus_parser.add_argument(
+        "action",
+        choices=("generate", "describe", "run"),
+        help="generate: print the deterministic digest; describe: "
+        "per-persona composition; run: execute end-to-end through "
+        "caching + splitting + admission",
+    )
+    corpus_parser.add_argument("--seed", type=int, default=0, help="corpus seed")
+    corpus_parser.add_argument(
+        "--size", type=int, default=24, help="number of corpus entries"
+    )
+    corpus_parser.add_argument(
+        "--engine",
+        choices=("fast", "naive"),
+        default="fast",
+        help="engine hot-path mode for `run`",
+    )
+    corpus_parser.add_argument(
+        "--cache-gb",
+        type=float,
+        default=2.0,
+        help="shared artifact cache capacity for `run` (GiB)",
+    )
+    corpus_parser.add_argument(
+        "--show-sources",
+        action="store_true",
+        help="with `generate`: also print every SQL script / NL description",
+    )
+    corpus_parser.set_defaults(func=cmd_corpus)
 
     profile_parser = sub.add_parser(
         "profile",

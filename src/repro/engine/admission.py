@@ -39,8 +39,8 @@ chaos invariant checker's conservation sweep applies unchanged.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from ..k8s.cluster import Cluster
 from ..obs.metrics import SHARE_BUCKETS, MetricsRegistry
@@ -97,6 +97,13 @@ class AdmissionRecord:
     #: the checkpoint/migration cost cannot be evicted again before it
     #: makes any progress (eviction thrash).
     restored_at: Optional[float] = None
+    #: Caller hook fired when the workflow completes (after the
+    #: pipeline's own release/wake bookkeeping).  Submitting from the
+    #: hook is legal — this is how multi-statement scripts chain
+    #: statement N+1 onto statement N's completion.
+    on_complete: Optional[Callable[[WorkflowRecord], None]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def queue_latency(self) -> Optional[float]:
@@ -146,6 +153,8 @@ class AdmissionPipeline:
         protect_gpu: bool = False,
         fast: bool = True,
         journal: Optional[Journal] = None,
+        cache_manager: Optional[object] = None,
+        skip_cached_steps: bool = False,
     ) -> None:
         if not clusters:
             raise ValueError("admission pipeline needs at least one cluster")
@@ -174,11 +183,17 @@ class AdmissionPipeline:
         #: reference path the ``engine_fast`` verify oracle diffs
         #: against.  The flag threads through to each cluster operator.
         self.fast = fast
+        #: Optional artifact cache shared by every cluster operator —
+        #: cross-workflow reuse (paper Sec. V.B) then applies to
+        #: admission-placed work, not just direct operator submissions.
+        self.cache_manager = cache_manager
         self.operators: Dict[str, WorkflowOperator] = {
             cluster.name: WorkflowOperator(
                 self.clock,
                 cluster,
+                cache_manager=cache_manager,
                 seed=seed,
+                skip_cached_steps=skip_cached_steps,
                 tracer=self.tracer,
                 metrics=self.metrics,
                 journal=self.journal,
@@ -308,11 +323,15 @@ class AdmissionPipeline:
         user: str = "default",
         priority: int = 0,
         slo_class: Optional[str] = None,
+        on_complete: Optional[Callable[[WorkflowRecord], None]] = None,
     ) -> AdmissionRecord:
         """Schedule ``workflow`` to arrive at virtual time ``at``.
 
         Returns the live :class:`AdmissionRecord`; arrival, admission
         and placement happen as clock events when the simulation runs.
+        ``on_complete`` fires when the workflow finishes (never for
+        rejected submissions) — submitting follow-up work from it is
+        supported.
         """
         if at < self.clock.now:
             raise AdmissionError(
@@ -325,6 +344,7 @@ class AdmissionPipeline:
             priority=priority,
             arrival_time=at,
             slo_class=self._resolve_lane(slo_class, workflow.name),
+            on_complete=on_complete,
         )
         queued = QueuedWorkflow(workflow=workflow, user=user, priority=priority)
         self.records.append(admission)
@@ -810,6 +830,10 @@ class AdmissionPipeline:
             self.shares.dominant_share(pending.admission.user),
             tenant=pending.admission.user,
         )
+        if pending.admission.on_complete is not None:
+            # After release/wake bookkeeping, so follow-up submissions
+            # made from the hook see the freed quota and headroom.
+            pending.admission.on_complete(record)
         self._schedule_pass()
 
     # ------------------------------------------------------------------ drive

@@ -16,6 +16,7 @@ from . import (
     fig11_13_policies,
     fig14_16_cache_sizes,
     fig17_datacache,
+    sql_nl_pipeline,
     table2_passk,
     table3_cost,
     table4_learning,
@@ -35,6 +36,7 @@ __all__ = [
     "fig14_16_cache_sizes",
     "fig17_datacache",
     "run_scenario",
+    "sql_nl_pipeline",
     "table2_passk",
     "table3_cost",
     "table4_learning",

@@ -280,6 +280,48 @@ def canonical_code(task_type: str, params: Optional[dict] = None) -> str:
     )
 
 
+#: Task types whose canonical snippet is dataset-specific enough that a
+#: per-dataset Code Lake entry sharpens retrieval (the corpus generator
+#: expands the lake with these for every catalog dataset).
+_DATASET_SPECIALIZED_TYPES = ("data_loading", "data_preprocessing", "data_augmentation")
+
+
+def dataset_entries(dataset: str) -> List[CodeSnippet]:
+    """Dataset-specialised Code Lake entries for one named dataset.
+
+    The rendered code is the canonical template with the dataset baked
+    in, and the searchable document carries the dataset name — so a
+    subtask that mentions ``ads-logs`` retrieves the ``ads-logs`` loader
+    ahead of the generic one.
+    """
+    entries = []
+    for task_type in _DATASET_SPECIALIZED_TYPES:
+        title, description, _code = _TEMPLATES[task_type]
+        entries.append(
+            CodeSnippet(
+                task_type=task_type,
+                title=f"{title} ({dataset})",
+                description=f"{description} {dataset}",
+                code=canonical_code(task_type, {"dataset": dataset}),
+            )
+        )
+    return entries
+
+
+def expand_code_lake(datasets: Sequence[str]) -> "CodeLake":
+    """A Code Lake grown with per-dataset specialised entries.
+
+    This is the "expanded Code Lake" the scenario corpus draws its
+    NL-planned workflows from: the canonical entries and distractors
+    stay, and every dataset in the catalog contributes specialised
+    loading/preprocessing/augmentation snippets.
+    """
+    entries = default_entries()
+    for dataset in sorted(set(datasets)):
+        entries.extend(dataset_entries(dataset))
+    return CodeLake(entries)
+
+
 def default_entries() -> List[CodeSnippet]:
     entries = [
         CodeSnippet(

@@ -1,6 +1,6 @@
 """NL -> unified programming interface (paper Sec. III, Algorithm 1)."""
 
-from .corpus import NLTask, build_corpus
+from .corpus import NLTask, build_corpus, build_task
 from .decompose import classify_sentence, decompose_description, extract_dataset, extract_models
 from .executor import CodeExecutionError, execute_couler_code
 from .passk import (
@@ -26,6 +26,7 @@ __all__ = [
     "PassKResult",
     "ValidationReport",
     "build_corpus",
+    "build_task",
     "classify_sentence",
     "decompose_description",
     "extract_dataset",

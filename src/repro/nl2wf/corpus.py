@@ -114,6 +114,37 @@ def _task(
     return NLTask(name=name, description=description, modules=modules)
 
 
+def build_task(
+    name: str,
+    intro: str,
+    dataset: str,
+    models: Sequence[str],
+    sequence: Sequence[str],
+    style: str = "default",
+) -> NLTask:
+    """Assemble one NL task from a module-type sequence.
+
+    The public entry point the scenario corpus
+    (:mod:`repro.workloads.corpus`) uses to mint seeded NL-planned
+    workflows beyond the fixed Table II set.  ``sequence`` must respect
+    the variable-threading rules the canonical snippets assume:
+    ``model_training`` needs a prior data stage, ``model_selection``
+    needs ``model_evaluation`` (or ``model_comparison``) before it.
+    """
+    known = set(_MODULE_TEXT)
+    unknown = [task_type for task_type in sequence if task_type not in known]
+    if unknown:
+        raise ValueError(f"unknown module type(s) {unknown}; choose from {sorted(known)}")
+    return _task(
+        name=name,
+        intro=intro,
+        dataset=dataset,
+        models=models,
+        sequence=sequence,
+        style=style,
+    )
+
+
 #: Module sequences seen in production workflows (all start with
 #: data_loading; variable threading is handled by _task).
 _SEQUENCES: Dict[str, List[str]] = {

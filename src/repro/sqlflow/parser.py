@@ -27,6 +27,7 @@ class SQLFlowSyntaxError(ValueError):
 _TOKEN_RE = re.compile(
     r"""
     (?P<ws>\s+)
+  | (?P<comment>--[^\n]*)
   | (?P<number>\d+\.\d+|\d+)
   | (?P<string>'[^']*'|"[^"]*")
   | (?P<ident>[A-Za-z_][A-Za-z0-9_.]*)
@@ -46,7 +47,9 @@ def tokenize(text: str) -> List[Tuple[str, str]]:
             raise SQLFlowSyntaxError(f"unexpected character {text[pos]!r} at {pos}")
         pos = match.end()
         kind = match.lastgroup or "ws"
-        if kind == "ws":
+        if kind in ("ws", "comment"):
+            # SQL line comments (``-- ...``) are whitespace to the
+            # grammar; real scripts are full of them.
             continue
         tokens.append((kind, match.group()))
     return tokens
@@ -207,13 +210,26 @@ def parse(text: str) -> Statement:
     return statement
 
 
+def _skip_blank_statements(cursor: _Cursor) -> None:
+    """Consume empty statements (stray ``;`` runs between real ones)."""
+    while cursor.peek() == ("punct", ";"):
+        cursor.next()
+
+
 def parse_many(text: str) -> List[Statement]:
-    """Parse a ``;``-separated script of SQLFlow statements."""
+    """Parse a ``;``-separated script of SQLFlow statements.
+
+    Blank statements — consecutive ``;`` separators, or separators with
+    only whitespace/comments between them — are skipped, matching how
+    SQL script runners treat them.
+    """
     cursor = _Cursor(tokenize(text))
     statements: List[Statement] = []
+    _skip_blank_statements(cursor)
     while cursor.peek() is not None:
         statements.append(_parse_statement(cursor))
         _finish_statement(cursor)
+        _skip_blank_statements(cursor)
     return statements
 
 

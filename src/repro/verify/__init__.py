@@ -14,15 +14,17 @@ and is the CI gate next to the chaos gate.
 from .backends_conformance import conformance_problems
 from .fingerprint import Fingerprint, fingerprint_record, fingerprint_staged
 from .generator import GeneratorConfig, generate_ir
-from .oracles import ORACLES, OracleOutcome, run_seed, run_suite
+from .oracles import CORPUS_ORACLES, ORACLES, OracleOutcome, corpus_ir, run_seed, run_suite
 from .shrink import shrink_ir
 
 __all__ = [
+    "CORPUS_ORACLES",
     "Fingerprint",
     "GeneratorConfig",
     "ORACLES",
     "OracleOutcome",
     "conformance_problems",
+    "corpus_ir",
     "fingerprint_record",
     "fingerprint_staged",
     "generate_ir",

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..caching.manager import CacheManager
@@ -748,6 +749,42 @@ SHRINKABLE_CHECKS: Dict[str, Callable[[WorkflowIR, int], OracleOutcome]] = {
 }
 
 
+# ------------------------------------------------------------ corpus source
+
+#: Default oracle subset for corpus-drawn workflows.  Every check here
+#: runs directly on the supplied IR; ``replay`` is excluded because it
+#: regenerates the workflow from the seed — against a corpus IR it
+#: would silently verify a different (synthetic) workflow.
+CORPUS_ORACLES: Tuple[str, ...] = (
+    "backends",
+    "cache",
+    "engine_fast",
+    "journal",
+    "split",
+    "submitters",
+)
+
+
+@lru_cache(maxsize=8)
+def _corpus_pool(corpus_seed: int) -> Tuple[WorkflowIR, ...]:
+    from ..workloads.corpus import CorpusSpec, build_corpus
+
+    corpus = build_corpus(CorpusSpec(seed=corpus_seed, size=6))
+    return tuple(ir for _entry, ir in corpus.workflows())
+
+
+def corpus_ir(seed: int) -> WorkflowIR:
+    """The corpus-drawn workflow a verify seed maps to.
+
+    Seeds index into small scenario corpora (16 seeds share one corpus
+    build, which the cache keeps warm), so a ``--source corpus`` sweep
+    exercises frontend-compiled SQLFlow and NL workflows instead of the
+    synthetic generator's.
+    """
+    pool = _corpus_pool(seed // 16)
+    return pool[seed % len(pool)]
+
+
 # -------------------------------------------------------------------- suite
 
 
@@ -790,15 +827,34 @@ class VerifyReport:
 
 
 def run_seed(
-    seed: int, oracle_names: Optional[Sequence[str]] = None
+    seed: int,
+    oracle_names: Optional[Sequence[str]] = None,
+    source: str = "synthetic",
 ) -> List[OracleOutcome]:
-    """Run the selected oracles (default: all) against one seed."""
-    names = list(oracle_names) if oracle_names else sorted(ORACLES)
+    """Run the selected oracles (default: all) against one seed.
+
+    ``source="synthetic"`` generates the seed's workflow with the
+    fuzzer; ``source="corpus"`` draws a frontend-compiled workflow from
+    the scenario corpus (default oracle set: :data:`CORPUS_ORACLES`).
+    """
+    if source not in ("synthetic", "corpus"):
+        raise ValueError(f"unknown source {source!r}; use 'synthetic' or 'corpus'")
+    default = sorted(ORACLES) if source == "synthetic" else list(CORPUS_ORACLES)
+    names = list(oracle_names) if oracle_names else default
     unknown = [name for name in names if name not in ORACLES]
     if unknown:
         raise ValueError(
             f"unknown oracle(s) {unknown}; choose from {sorted(ORACLES)}"
         )
+    if source == "corpus":
+        invalid = [name for name in names if name not in CORPUS_ORACLES]
+        if invalid:
+            raise ValueError(
+                f"oracle(s) {invalid} cannot run on corpus workflows; "
+                f"choose from {sorted(CORPUS_ORACLES)}"
+            )
+        ir = corpus_ir(seed)
+        return [ORACLES[name].check(ir, seed) for name in names]
     return [ORACLES[name].run(seed) for name in names]
 
 
@@ -806,11 +862,12 @@ def run_suite(
     seeds: Sequence[int],
     oracle_names: Optional[Sequence[str]] = None,
     fail_fast: bool = False,
+    source: str = "synthetic",
 ) -> VerifyReport:
     """Sweep ``seeds`` through the oracles; returns the full report."""
     report = VerifyReport()
     for seed in seeds:
-        outcomes = run_seed(seed, oracle_names)
+        outcomes = run_seed(seed, oracle_names, source=source)
         report.outcomes.extend(outcomes)
         if fail_fast and any(not outcome.ok for outcome in outcomes):
             break

@@ -14,8 +14,8 @@ from __future__ import annotations
 from typing import Callable, Optional, Tuple
 
 from ..ir.graph import WorkflowIR
-from .oracles import SHRINKABLE_CHECKS, ORACLES, OracleOutcome
 from .generator import generate_ir
+from .oracles import ORACLES, SHRINKABLE_CHECKS, OracleOutcome, corpus_ir
 
 
 def delete_node(ir: WorkflowIR, name: str) -> WorkflowIR:
@@ -70,16 +70,21 @@ def shrink_ir(
 
 def shrink_failure(
     outcome: OracleOutcome,
+    source: str = "synthetic",
 ) -> Optional[Tuple[WorkflowIR, OracleOutcome]]:
     """Shrink the workflow behind a failing oracle outcome.
 
-    Regenerates the seed's workflow, minimizes it against the same
-    oracle check, and returns ``(minimal_ir, outcome_on_minimal)`` —
-    or None when the failure no longer reproduces (flaky environment,
-    which the determinism oracles exist to rule out).
+    Re-derives the seed's workflow (fuzzer-generated, or corpus-drawn
+    when ``source="corpus"``), minimizes it against the same oracle
+    check, and returns ``(minimal_ir, outcome_on_minimal)`` — or None
+    when the failure no longer reproduces (flaky environment, which
+    the determinism oracles exist to rule out).
     """
     check = SHRINKABLE_CHECKS[outcome.oracle]
-    ir = generate_ir(outcome.seed, ORACLES[outcome.oracle].config)
+    if source == "corpus":
+        ir = corpus_ir(outcome.seed)
+    else:
+        ir = generate_ir(outcome.seed, ORACLES[outcome.oracle].config)
     if check(ir, outcome.seed).ok:
         return None
 

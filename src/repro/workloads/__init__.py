@@ -7,6 +7,18 @@ from .arrivals import (
     PoissonArrivalProcess,
     TraceArrivalProcess,
 )
+from .corpus import (
+    CORPUS_TENANTS,
+    CorpusEntry,
+    CorpusSpec,
+    PERSONAS,
+    PersonaProfile,
+    ScenarioCorpus,
+    SchemaCatalog,
+    build_corpus,
+    submit_corpus,
+)
+from .fleetgen import FleetSpec, build_fleet, build_pipeline, submit_fleet
 from .datagen import ads_tables, all_datasets, big_files_dataset, small_files_dataset
 from .scenarios import (
     SCENARIOS,
@@ -28,10 +40,23 @@ from .traces import (
 
 __all__ = [
     "ArrivalError",
+    "CORPUS_TENANTS",
+    "CorpusEntry",
+    "CorpusSpec",
     "DailyActivity",
+    "FleetSpec",
+    "PERSONAS",
     "PRODUCTION_RATE_PER_S",
+    "PersonaProfile",
     "PoissonArrivalProcess",
+    "ScenarioCorpus",
+    "SchemaCatalog",
     "TraceArrivalProcess",
+    "build_corpus",
+    "build_fleet",
+    "build_pipeline",
+    "submit_corpus",
+    "submit_fleet",
     "MEAN_CPU_CORES",
     "MEAN_DAILY_WORKFLOWS",
     "MEAN_LIFESPAN_HOURS",

@@ -102,12 +102,26 @@ def build_pipeline(
     spec: FleetSpec,
     config: EngineConfig,
     journal: Journal | None = None,
+    cache_manager: object | None = None,
+    skip_cached_steps: bool = False,
 ) -> AdmissionPipeline:
-    """An :class:`AdmissionPipeline` over the fleet, knobs from ``config``."""
+    """An :class:`AdmissionPipeline` over the fleet, knobs from ``config``.
+
+    ``cache_manager`` (with ``skip_cached_steps``) threads a shared
+    artifact cache through every cluster operator — the scenario-corpus
+    runs use it to measure cross-workflow reuse under admission.
+    """
     kwargs = config.pipeline_kwargs()
     if kwargs.get("tenant_weights") is None:
         kwargs["tenant_weights"] = dict(spec.tenant_weights)
-    return AdmissionPipeline(spec.clusters, seed=spec.seed, journal=journal, **kwargs)
+    return AdmissionPipeline(
+        spec.clusters,
+        seed=spec.seed,
+        journal=journal,
+        cache_manager=cache_manager,
+        skip_cached_steps=skip_cached_steps,
+        **kwargs,
+    )
 
 
 def submit_fleet(

@@ -117,6 +117,72 @@ class TestMultiStatement:
         assert all(ir.nodes for ir in irs)
 
 
+class TestCommentsAndBlankStatements:
+    """Parser gaps the scenario-corpus generator hits: SQL line comments
+    and blank statements between ``;`` separators."""
+
+    def test_line_comment_before_statement(self):
+        statement = parse("-- train the iris model\n" + TRAIN_SQL)
+        assert isinstance(statement, TrainStatement)
+        assert statement.estimator == "DNNClassifier"
+
+    def test_line_comment_between_clauses(self):
+        statement = parse(
+            "SELECT * FROM iris.train  -- full table scan\n"
+            "TO TRAIN DNNClassifier -- the paper's estimator\n"
+            "LABEL class INTO m;"
+        )
+        assert statement.label == "class"
+        assert statement.into == "m"
+
+    def test_trailing_comment_after_semicolon(self):
+        statement = parse(TRAIN_SQL + "\n-- done")
+        assert isinstance(statement, TrainStatement)
+
+    def test_comment_does_not_swallow_next_line(self):
+        statements = parse_many(
+            "-- first statement\n" + TRAIN_SQL + "\n-- second\n" + PREDICT_SQL
+        )
+        assert len(statements) == 2
+
+    def test_comment_only_script_is_empty(self):
+        assert parse_many("-- nothing here\n-- at all\n") == []
+
+    def test_dashes_inside_strings_are_not_comments(self):
+        statement = parse("SELECT * FROM t TO TRAIN M INTO '--not-a-comment';")
+        assert statement.into == "--not-a-comment"
+
+    def test_blank_statement_between_semicolons(self):
+        statements = parse_many(TRAIN_SQL + "\n;\n" + PREDICT_SQL)
+        assert len(statements) == 2
+        assert isinstance(statements[0], TrainStatement)
+        assert isinstance(statements[1], PredictStatement)
+
+    def test_consecutive_semicolon_runs(self):
+        statements = parse_many(";;\n" + TRAIN_SQL + ";;;" + PREDICT_SQL + ";;")
+        assert len(statements) == 2
+
+    def test_blank_statement_with_comment_inside(self):
+        statements = parse_many(
+            TRAIN_SQL + "\n; -- intentionally left blank\n;" + PREDICT_SQL
+        )
+        assert len(statements) == 2
+
+    def test_semicolons_only_script_is_empty(self):
+        assert parse_many(";;;") == []
+
+    def test_script_with_comments_lowers_like_plain_script(self):
+        plain = sql_script_to_irs(TRAIN_SQL + "\n" + PREDICT_SQL)
+        noisy = sql_script_to_irs(
+            "-- feature pipeline\n" + TRAIN_SQL + "\n;\n-- scoring\n" + PREDICT_SQL
+        )
+        assert [ir.name for ir in plain] == [ir.name for ir in noisy]
+
+    def test_parse_still_rejects_second_statement_after_blank(self):
+        with pytest.raises(SQLFlowSyntaxError, match="parse_many"):
+            parse(TRAIN_SQL + " SELECT")
+
+
 class TestTranslateEdges:
     def test_train_without_into_skips_save_step(self):
         ir = sql_to_ir("SELECT * FROM t TO TRAIN M LABEL y")

@@ -1,8 +1,13 @@
 """The seeded workflow fuzzer: determinism and DSL surface coverage."""
 
+import pytest
+
 from repro.ir.nodes import ArtifactStorage, OpKind
 from repro.ir.serialize import ir_to_dict
+from repro.verify import CORPUS_ORACLES, corpus_ir, run_seed, run_suite
 from repro.verify.generator import GeneratorConfig, generate_ir
+from repro.verify.oracles import OracleOutcome
+from repro.verify.shrink import shrink_failure, shrink_ir
 
 SWEEP = range(40)
 
@@ -128,3 +133,69 @@ def test_config_is_honored():
             for node in ir.nodes.values()
             for artifact in node.outputs
         )
+
+
+class TestCorpusBackedFuzzing:
+    """``--source corpus``: oracles over frontend-compiled workflows."""
+
+    def test_corpus_ir_is_seed_deterministic(self):
+        for seed in (0, 3, 7):
+            assert ir_to_dict(corpus_ir(seed)) == ir_to_dict(corpus_ir(seed))
+
+    def test_seeds_in_a_pool_draw_distinct_workflows(self):
+        dumps = {repr(ir_to_dict(corpus_ir(seed))) for seed in range(6)}
+        assert len(dumps) > 1
+
+    def test_corpus_mode_defaults_to_corpus_oracle_set(self):
+        outcomes = run_seed(2, source="corpus")
+        assert [o.oracle for o in outcomes] == list(CORPUS_ORACLES)
+        assert all(o.ok for o in outcomes), [o.detail for o in outcomes if not o.ok]
+
+    def test_corpus_mode_rejects_replay_oracle(self):
+        with pytest.raises(ValueError, match="cannot run on corpus workflows"):
+            run_seed(0, ["replay"], source="corpus")
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(ValueError, match="unknown source"):
+            run_seed(0, source="weather-balloon")
+
+    def test_corpus_suite_sweep_passes(self):
+        report = run_suite(range(4), ["cache", "split"], source="corpus")
+        assert not report.failures
+        assert report.counts() == {"cache": (4, 4), "split": (4, 4)}
+
+    @pytest.mark.slow
+    def test_corpus_suite_full_oracle_sweep(self):
+        # The ISSUE acceptance bar: every corpus oracle over >= 25 seeds.
+        report = run_suite(range(25), source="corpus")
+        assert not report.failures
+        assert all(
+            passed == total == 25 for passed, total in report.counts().values()
+        )
+
+
+class TestShrinkerOnCorpusWorkflows:
+    def test_shrinker_is_one_minimal_on_injected_mutation(self):
+        # Inject a failure that needs two specific nodes to co-exist;
+        # the 1-minimal repro is exactly that pair.
+        ir = corpus_ir(3)
+        names = sorted(ir.nodes)
+        assert len(names) >= 3, "corpus workflow too small to shrink"
+        culprits = {names[0], names[-1]}
+
+        def still_fails(candidate):
+            return culprits <= set(candidate.nodes)
+
+        minimal = shrink_ir(ir, still_fails)
+        assert set(minimal.nodes) == culprits
+        # 1-minimality: removing either remaining node clears the failure.
+        from repro.verify.shrink import delete_node
+
+        for name in culprits:
+            assert not still_fails(delete_node(minimal, name))
+
+    def test_shrink_failure_corpus_source_detects_non_repro(self):
+        # A fabricated failure on a healthy corpus seed must come back
+        # None (the corpus IR passes the real check).
+        fake = OracleOutcome(oracle="cache", seed=2, ok=False, detail="injected")
+        assert shrink_failure(fake, source="corpus") is None

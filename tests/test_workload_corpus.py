@@ -1,0 +1,287 @@
+"""The scenario corpus: determinism, persona mixes, frontend round-trips.
+
+The corpus is the substrate for determinism gates, the corpus-backed
+verify fuzzer and the e2e benchmark — so the tests here pin exactly the
+properties those consumers rely on: same seed => byte-identical corpus
+(scripts, IR dicts, arrival schedules), persona mix ratios, frontend
+round-trips, rerun artifact sharing, and chained admission submission.
+"""
+
+import pytest
+
+from repro.caching.manager import CacheManager
+from repro.engine.config import EngineConfig
+from repro.ir.serialize import ir_from_dict, ir_to_dict
+from repro.llm.codelake import dataset_entries, expand_code_lake
+from repro.nl2wf import build_task
+from repro.sqlflow import TrainStatement, parse_many
+from repro.workloads.corpus import (
+    PERSONAS,
+    CorpusSpec,
+    SchemaCatalog,
+    build_corpus,
+    clone_ir,
+    submit_corpus,
+)
+from repro.workloads.fleetgen import build_pipeline
+
+SPEC = CorpusSpec(seed=11, size=24)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_corpus(SPEC)
+
+
+@pytest.fixture(scope="module")
+def corpus_again():
+    return build_corpus(CorpusSpec(seed=11, size=24))
+
+
+class TestDeterminism:
+    def test_same_seed_same_digest(self, corpus, corpus_again):
+        assert corpus.digest() == corpus_again.digest()
+
+    def test_sources_byte_identical(self, corpus, corpus_again):
+        assert [e.source for e in corpus.entries] == [
+            e.source for e in corpus_again.entries
+        ]
+
+    def test_ir_dicts_byte_identical(self, corpus, corpus_again):
+        first = [ir_to_dict(ir) for _, ir in corpus.workflows()]
+        second = [ir_to_dict(ir) for _, ir in corpus_again.workflows()]
+        assert first == second
+
+    def test_arrival_schedules_identical(self, corpus, corpus_again):
+        first = [(e.arrival, e.name, e.user, e.priority) for e in corpus.entries]
+        second = [
+            (e.arrival, e.name, e.user, e.priority) for e in corpus_again.entries
+        ]
+        assert first == second
+
+    def test_different_seed_different_corpus(self, corpus):
+        other = build_corpus(CorpusSpec(seed=12, size=24))
+        assert other.digest() != corpus.digest()
+
+    def test_arrivals_sorted_and_nonnegative(self, corpus):
+        arrivals = [e.arrival for e in corpus.entries]
+        assert arrivals == sorted(arrivals)
+        assert all(at >= 0 for at in arrivals)
+
+
+class TestPersonaMix:
+    def test_all_personas_present(self, corpus):
+        assert {e.persona for e in corpus.entries} == set(SPEC.personas)
+
+    def test_entry_counts_match_shares(self, corpus):
+        total_share = sum(PERSONAS[p].share for p in SPEC.personas)
+        for persona, entries in corpus.by_persona().items():
+            expected = SPEC.size * PERSONAS[persona].share / total_share
+            assert abs(len(entries) - expected) <= 1.0
+
+    def test_sql_nl_mix_tracks_profile(self):
+        # A bigger corpus so per-persona kind fractions stabilize.
+        big = build_corpus(CorpusSpec(seed=5, size=80))
+        for persona, entries in big.by_persona().items():
+            fresh = [e for e in entries if not e.rerun_of]
+            if len(fresh) < 8:
+                continue
+            sql_fraction = sum(1 for e in fresh if e.kind == "sql") / len(fresh)
+            assert abs(sql_fraction - PERSONAS[persona].sql_fraction) < 0.35
+
+    def test_slo_and_user_follow_persona(self, corpus):
+        for entry in corpus.entries:
+            profile = PERSONAS[entry.persona]
+            assert entry.user == entry.persona
+            assert entry.slo_class == profile.slo_class
+            low, high = profile.priorities
+            assert low <= entry.priority <= high
+
+    def test_reruns_reference_earlier_same_persona_entries(self, corpus):
+        by_name = {e.name: e for e in corpus.entries}
+        reruns = [e for e in corpus.entries if e.rerun_of]
+        assert reruns, "corpus of 24 should contain reruns"
+        for entry in reruns:
+            base = by_name[entry.rerun_of]
+            assert base.persona == entry.persona
+            assert base.arrival <= entry.arrival
+
+
+class TestFrontendRoundTrips:
+    def test_sql_sources_parse_to_statement_count(self, corpus):
+        for entry in corpus.entries:
+            if entry.kind != "sql" or entry.rerun_of:
+                continue
+            statements = parse_many(entry.source)
+            assert len(statements) == len(entry.irs)
+
+    def test_sql_pipeline_statements_chain(self, corpus):
+        # Each non-scoring script ends with predicts USING the train INTO.
+        for entry in corpus.entries:
+            if entry.kind != "sql" or entry.rerun_of:
+                continue
+            statements = parse_many(entry.source)
+            trains = [s for s in statements if isinstance(s, TrainStatement)]
+            if not trains:  # scoring-style script (serving persona)
+                assert entry.persona == "serving"
+                continue
+            predicts = [s for s in statements if not isinstance(s, TrainStatement)]
+            for predict in predicts:
+                assert predict.model == trains[-1].into
+            # Feature stages feed forward: statement N+1 reads N's INTO.
+            for first, second in zip(trains, trains[1:]):
+                assert second.table == first.into
+
+    def test_every_ir_roundtrips_serialization(self, corpus):
+        for _entry, ir in corpus.workflows():
+            data = ir_to_dict(ir)
+            assert ir_to_dict(ir_from_dict(data)) == data
+
+    def test_irs_validate_and_lower(self, corpus):
+        for _entry, ir in corpus.workflows():
+            ir.validate()
+            executable = ir.to_executable()
+            assert len(executable.steps) == len(ir.nodes)
+
+    def test_nl_entries_used_code_lake_retrieval(self, corpus):
+        nl_entries = [e for e in corpus.entries if e.kind == "nl" and not e.rerun_of]
+        assert nl_entries, "corpus of 24 should contain NL entries"
+        for entry in nl_entries:
+            assert entry.meta["retrieval_hits"] >= 1
+
+    def test_workflow_names_unique_across_corpus(self, corpus):
+        names = [ir.name for _, ir in corpus.workflows()]
+        assert len(names) == len(set(names))
+
+
+class TestRerunArtifactSharing:
+    def test_rerun_irs_share_artifact_uids(self, corpus):
+        by_name = {e.name: e for e in corpus.entries}
+        reruns = [e for e in corpus.entries if e.rerun_of]
+        for entry in reruns:
+            base = by_name[entry.rerun_of]
+            for base_ir, rerun_ir in zip(base.irs, entry.irs):
+                base_uids = {
+                    a.uid
+                    for node in base_ir.nodes.values()
+                    for a in node.outputs
+                }
+                rerun_uids = {
+                    a.uid
+                    for node in rerun_ir.nodes.values()
+                    for a in node.outputs
+                }
+                assert rerun_uids == base_uids
+                assert all(uid for uid in rerun_uids)
+
+    def test_clone_preserves_uids_under_new_name(self, corpus):
+        entry, ir = next(
+            (e, ir) for e in corpus.entries for ir in e.irs if len(ir) > 1
+        )
+        clone = clone_ir(ir, "some-rerun")
+        assert clone.name == "some-rerun"
+        clone_exec = clone.to_executable()
+        base_exec = ir.to_executable()
+        assert {
+            name: [a.uid for a in step.outputs]
+            for name, step in clone_exec.steps.items()
+        } == {
+            name: [a.uid for a in step.outputs]
+            for name, step in base_exec.steps.items()
+        }
+
+
+class TestCodeLakeExpansion:
+    def test_dataset_entries_are_specialised(self):
+        entries = dataset_entries("ads-logs")
+        assert {e.task_type for e in entries} == {
+            "data_loading",
+            "data_preprocessing",
+            "data_augmentation",
+        }
+        assert all("ads-logs" in e.code for e in entries)
+
+    def test_expanded_lake_retrieves_dataset_specific_loader(self):
+        catalog = SchemaCatalog.default()
+        lake = expand_code_lake(catalog.datasets())
+        best = lake.best_reference("Load the transactions dataset from remote storage.")
+        assert best is not None
+        assert best.task_type == "data_loading"
+        assert "transactions" in best.code
+
+    def test_build_task_rejects_unknown_module(self):
+        with pytest.raises(ValueError, match="unknown module type"):
+            build_task(
+                name="bad",
+                intro="x",
+                dataset="d",
+                models=["m"],
+                sequence=["data_loading", "quantum_annealing"],
+            )
+
+
+class TestChainedSubmission:
+    def test_chained_corpus_completes_through_admission(self):
+        corpus = build_corpus(CorpusSpec(seed=3, size=8))
+        pipeline = build_pipeline(
+            corpus.to_fleet_spec(),
+            EngineConfig(),
+            cache_manager=CacheManager(policy="couler", capacity_bytes=8 * 2**30),
+            skip_cached_steps=True,
+        )
+        records = submit_corpus(pipeline, corpus, chain=True)
+        pipeline.run()
+        expected = sum(len(e.irs) for e in corpus.entries)
+        assert len(records) == expected
+        assert all(r.finish_time is not None for r in records)
+
+    def test_chain_orders_statements_by_completion(self):
+        corpus = build_corpus(CorpusSpec(seed=3, size=8))
+        pipeline = build_pipeline(corpus.to_fleet_spec(), EngineConfig())
+        records = submit_corpus(pipeline, corpus, chain=True)
+        pipeline.run()
+        by_name = {r.workflow_name: r for r in records}
+        for entry in corpus.entries:
+            if len(entry.irs) < 2:
+                continue
+            for first, second in zip(entry.irs, entry.irs[1:]):
+                upstream = by_name[first.name]
+                downstream = by_name[second.name]
+                assert downstream.arrival_time >= upstream.finish_time
+
+    def test_unchained_submission_all_arrive_at_entry_time(self):
+        corpus = build_corpus(CorpusSpec(seed=3, size=8))
+        pipeline = build_pipeline(corpus.to_fleet_spec(), EngineConfig())
+        records = submit_corpus(pipeline, corpus, chain=False)
+        by_name = {r.workflow_name: r for r in records}
+        for entry in corpus.entries:
+            for ir in entry.irs:
+                assert by_name[ir.name].arrival_time == entry.arrival
+
+
+@pytest.mark.slow
+class TestEndToEndEngineEquivalence:
+    """The corpus through caching + splitting + admission, fast vs naive."""
+
+    def test_fast_and_naive_engines_agree(self):
+        from repro.experiments import sql_nl_pipeline
+
+        corpus_a = build_corpus(CorpusSpec(seed=2, size=16))
+        corpus_b = build_corpus(CorpusSpec(seed=2, size=16))
+        fast = sql_nl_pipeline.run(engine="fast", corpus=corpus_a)
+        naive = sql_nl_pipeline.run(engine="naive", corpus=corpus_b)
+        assert fast.corpus_digest == naive.corpus_digest
+        assert fast.fingerprint == naive.fingerprint
+        assert fast.workflows_submitted == naive.workflows_submitted
+        # Everything admitted and finished on both engines.
+        assert all(row[3] for row in fast.fingerprint)
+        assert all(row[5] is not None for row in fast.fingerprint)
+
+    def test_split_parts_chain_and_personas_report(self):
+        from repro.experiments import sql_nl_pipeline
+
+        result = sql_nl_pipeline.run(seed=4, size=16)
+        assert result.split_parts > 0
+        assert {p.persona for p in result.personas} == set(SPEC.personas)
+        total_hits = sum(p.cache_hits for p in result.personas)
+        assert total_hits > 0

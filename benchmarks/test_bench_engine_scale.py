@@ -44,6 +44,7 @@ import json
 import os
 import time
 
+from repro.control.policy import PolicyConfig
 from repro.engine.config import EngineConfig
 from repro.engine.status import WorkflowPhase
 from repro.workloads.fleetgen import build_fleet, build_pipeline, submit_fleet
@@ -62,9 +63,11 @@ FLATNESS_BUDGET = 1.5
 #: Ratchet tolerance against the committed per-size baselines.
 RATCHET_TOLERANCE = 2.5
 
-FAST_CONFIG = EngineConfig(fairness="weighted-fair", aging_rate=0.01)
+FAST_CONFIG = EngineConfig(
+    fairness="weighted-fair", policy=PolicyConfig(aging_rate=0.01)
+)
 NAIVE_CONFIG = EngineConfig(
-    engine="naive", fairness="weighted-fair", aging_rate=0.01
+    engine="naive", fairness="weighted-fair", policy=PolicyConfig(aging_rate=0.01)
 )
 
 

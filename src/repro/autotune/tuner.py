@@ -14,11 +14,82 @@ Two baselines from the Fig. 8 experiment are included:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 from .cards import DataCard, HyperparameterSet, ModelCard
 from .loggen import parse_training_log, render_training_log
 from .surrogate import NoisyLogPredictor, TrainingSurrogate
+
+C = TypeVar("C", bound=Hashable)
+
+
+def successive_halving(
+    candidates: Sequence[C],
+    evaluate: Callable[[C], float],
+    *,
+    rounds: int = 2,
+    refine: Optional[Callable[[C], Iterable[C]]] = None,
+    minimum: int = 1,
+) -> Tuple[List[Tuple[C, float]], List[dict]]:
+    """Generic successive-halving search (the Algorithm 4 idiom).
+
+    Evaluates the pool, keeps the best half (ties break toward earlier
+    candidates, mirroring :meth:`AutoTuner.tune`), optionally expands
+    survivors with ``refine`` neighbourhoods (the
+    :meth:`AutoTuner.tune_iterative` half/double pattern), and repeats
+    for ``rounds``.  Scores are memoized per candidate, so a survivor
+    is never re-evaluated.  Fully deterministic given a deterministic
+    ``evaluate``/``refine``.
+
+    Returns ``(ranked, history)``: the final pool best-first with
+    scores, and one history record per round (``round``, ``evaluated``
+    candidate/score pairs in evaluation order, ``survivors``) — the
+    adaptive controller serializes this into its AdaptationLog.
+    """
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    if minimum < 1:
+        raise ValueError("minimum must be >= 1")
+    pool: List[C] = list(dict.fromkeys(candidates))
+    if not pool:
+        raise ValueError("candidate set is empty")
+    scores: Dict[C, float] = {}
+    history: List[dict] = []
+    for round_index in range(rounds):
+        fresh = [cand for cand in pool if cand not in scores]
+        for cand in fresh:
+            scores[cand] = evaluate(cand)
+        ranked = sorted(
+            range(len(pool)), key=lambda i: (-scores[pool[i]], i)
+        )
+        keep = max(minimum, len(pool) // 2)
+        survivors = [pool[i] for i in ranked[:keep]]
+        history.append(
+            {
+                "round": round_index,
+                "evaluated": [(cand, scores[cand]) for cand in fresh],
+                "survivors": list(survivors),
+            }
+        )
+        pool = list(survivors)
+        if refine is not None and round_index < rounds - 1:
+            extra: List[C] = []
+            for cand in survivors:
+                extra.extend(refine(cand))
+            pool = list(dict.fromkeys(pool + extra))
+    order = {cand: i for i, cand in enumerate(pool)}
+    final = sorted(pool, key=lambda cand: (-scores[cand], order[cand]))
+    return [(cand, scores[cand]) for cand in final], history
 
 #: Signature of the "LLM" the tuner consults: (data, model, hp) -> log text.
 LogPredictor = Callable[[DataCard, ModelCard, HyperparameterSet], str]

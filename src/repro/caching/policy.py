@@ -34,6 +34,8 @@ O(|store|) rescore.
 from __future__ import annotations
 
 import heapq
+import os
+import sys
 import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
@@ -72,6 +74,33 @@ class CacheDecision:
         self.evicted.append(uid)
 
 
+def _caller_stacklevel() -> int:
+    """Stacklevel of the first frame outside the caching package.
+
+    The legacy-``admit`` DeprecationWarning fires inside
+    :meth:`CachePolicy.decide`, but the useful location is the *user's*
+    line — which may sit several frames up when the policy is driven
+    through :class:`~repro.caching.manager.CacheManager` internals
+    (``fetch`` → ``_decide`` → ``on_external_read`` → ``decide``).
+    Walk outward past every frame that lives in this package and return
+    the matching ``stacklevel`` for a ``warnings.warn`` issued in
+    ``decide`` (counting ``decide`` itself as level 1).
+    """
+    package_dir = os.path.dirname(os.path.abspath(__file__))
+    level = 2  # decide()'s caller
+    try:
+        frame = sys._getframe(2)
+    except ValueError:  # pragma: no cover - decide() called at top level
+        return 2
+    while frame is not None:
+        frame_dir = os.path.dirname(os.path.abspath(frame.f_code.co_filename))
+        if frame_dir != package_dir:
+            return level
+        frame = frame.f_back
+        level += 1
+    return level  # pragma: no cover - whole stack inside the package
+
+
 class CachePolicy:
     """Strategy object consulted on every artifact production.
 
@@ -96,7 +125,7 @@ class CachePolicy:
                     "admit(artifact, store, scorer, now) API; implement "
                     "decide(CacheDecision) instead",
                     DeprecationWarning,
-                    stacklevel=2,
+                    stacklevel=_caller_stacklevel(),
                 )
             admitted = self.admit(
                 decision.artifact, decision.store, decision.scorer, decision.now

@@ -62,6 +62,11 @@ class ScoreWeights:
 
     alpha: float = 1.5
     beta: float = 1.0
+    #: Eviction pressure: multiplier on the ``exp(-V)`` cache-cost
+    #: penalty.  1.0 is the paper's Eq. 6 exactly; the adaptive
+    #: controller (:mod:`repro.control`) tunes it — >1 evicts large
+    #: artifacts more aggressively, <1 retains them.
+    cache_cost_weight: float = 1.0
     #: Byte scale for V(u); V is expressed in units of this many bytes.
     cache_cost_scale: float = float(2**30)
     #: Subgraph horizon n: how many layers of predecessors/successors
@@ -433,7 +438,7 @@ class ArtifactScorer:
     def importance(
         self, uid: str, is_cached: Optional[Callable[[str], bool]] = None
     ) -> float:
-        """I(u) = alpha*log(1+L) + beta*F^2 - exp(-V)."""
+        """I(u) = alpha*log(1+L) + beta*F^2 - w*exp(-V)."""
         w = self.weights
         score = 0.0
         if w.use_reconstruction:
@@ -441,7 +446,7 @@ class ArtifactScorer:
         if w.use_reuse:
             score += w.beta * self.reuse_value(uid) ** 2
         if w.use_cache_cost:
-            score -= math.exp(-self.cache_cost(uid))
+            score -= w.cache_cost_weight * math.exp(-self.cache_cost(uid))
         return score
 
     def breakdown(

@@ -48,6 +48,10 @@ EXPERIMENTS: Dict[str, tuple] = {
         "repro.experiments.sql_nl_pipeline",
         "SQL+NL scenario corpus e2e: frontends -> caching/splitting -> admission",
     ),
+    "adaptive-ablation": (
+        "repro.experiments.adaptive_ablation",
+        "adaptive PolicyConfig controller vs static paper defaults",
+    ),
 }
 
 
@@ -269,11 +273,14 @@ def cmd_corpus(args: argparse.Namespace) -> int:
 
 def cmd_profile(args: argparse.Namespace) -> int:
     """Profile the engine hot path on a deterministic synthetic fleet."""
+    from .control.policy import PolicyConfig
     from .engine.config import EngineConfig
     from .profiling import profile_run
 
     config = EngineConfig(
-        engine=args.engine, fairness="weighted-fair", aging_rate=0.01
+        engine=args.engine,
+        fairness="weighted-fair",
+        policy=PolicyConfig(aging_rate=0.01),
     )
     report = profile_run(
         args.workflows,

@@ -1,0 +1,37 @@
+"""Adaptive policy control: unified knob surface + metrics-driven tuner.
+
+:class:`~repro.control.policy.PolicyConfig` gathers the policy
+constants scattered across caching, splitting, admission and retry into
+one frozen keyword-only bundle;
+:class:`~repro.control.controller.Controller` tunes those knobs from
+the :mod:`repro.obs` metrics registry over the seeded scenario corpus
+and records every decision in a replayable
+:class:`~repro.control.controller.AdaptationLog`.
+
+The controller (and its experiment dependencies) import lazily so that
+``engine.config`` — which accepts ``policy=PolicyConfig(...)`` — can
+depend on this package without a cycle.
+"""
+
+from __future__ import annotations
+
+from .policy import DEFAULT_POLICY, PolicyConfig
+
+__all__ = [
+    "AdaptationLog",
+    "AdaptationResult",
+    "Controller",
+    "DEFAULT_POLICY",
+    "PolicyConfig",
+    "evaluate_policy",
+]
+
+_LAZY = ("AdaptationLog", "AdaptationResult", "Controller", "evaluate_policy")
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from . import controller
+
+        return getattr(controller, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

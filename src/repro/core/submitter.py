@@ -41,16 +41,16 @@ from ..ir.graph import WorkflowIR
 from ..k8s.apiserver import APIServer
 from ..k8s.cluster import Cluster
 
-#: ``Owner.kwarg`` pairs that already warned — the bridge warns once
-#: per process per spelling, not once per construction.
+#: Legacy kwargs that already warned — the bridge warns once per
+#: process per *kwarg*, shared across submitter types (migrating one
+#: spelling means migrating it everywhere, so one nudge suffices).
 _legacy_warned: Set[str] = set()
 
 
 def _warn_legacy(owner: str, kwarg: str, replacement: str) -> None:
-    key = f"{owner}.{kwarg}"
-    if key in _legacy_warned:
+    if kwarg in _legacy_warned:
         return
-    _legacy_warned.add(key)
+    _legacy_warned.add(kwarg)
     warnings.warn(
         f"{owner}({kwarg}=...) is deprecated and will be removed in v2; "
         f"pass config=EngineConfig({replacement}) instead",
@@ -70,14 +70,18 @@ def _bridge_legacy(
     silently merging them would hide which spelling won.
     """
     passed = {kwarg: value for kwarg, value in legacy.items() if value is not None}
+    if passed and config is not None:
+        # Reject *before* warning: a rejected mixed call must not
+        # consume the once-per-process warning budget, or the caller
+        # who later uses the legacy spelling correctly never hears
+        # about the deprecation.
+        raise ValueError(
+            f"{owner}: pass config= or the legacy kwargs "
+            f"({', '.join(sorted(passed))}), not both"
+        )
     for kwarg, value in passed.items():
         _warn_legacy(owner, kwarg, f"{kwarg}={value!r}")
     if passed:
-        if config is not None:
-            raise ValueError(
-                f"{owner}: pass config= or the legacy kwargs "
-                f"({', '.join(sorted(passed))}), not both"
-            )
         return EngineConfig(**passed)  # type: ignore[arg-type]
     return config if config is not None else DEFAULT_CONFIG
 

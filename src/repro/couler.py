@@ -92,6 +92,7 @@ from .core.artifacts import (
     create_parameter_artifact,
     create_s3_artifact,
 )
+from .control import AdaptationLog, AdaptationResult, Controller, PolicyConfig
 from .core.conditions import Condition, OutputRef
 from .core.context import WorkflowContext, get_context, reset_context, workflow
 from .core.submitter import (
@@ -169,6 +170,11 @@ __all__ = [
     "EngineConfig",
     "ProfileReport",
     "profile_run",
+    # adaptive policy control
+    "AdaptationLog",
+    "AdaptationResult",
+    "Controller",
+    "PolicyConfig",
     # journal-backed engine (opt-in via journaled=True)
     "Journal",
     "JournalRecord",

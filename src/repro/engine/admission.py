@@ -155,6 +155,7 @@ class AdmissionPipeline:
         journal: Optional[Journal] = None,
         cache_manager: Optional[object] = None,
         skip_cached_steps: bool = False,
+        retry_policy: Optional[object] = None,
     ) -> None:
         if not clusters:
             raise ValueError("admission pipeline needs at least one cluster")
@@ -192,6 +193,7 @@ class AdmissionPipeline:
                 self.clock,
                 cluster,
                 cache_manager=cache_manager,
+                retry_policy=retry_policy,
                 seed=seed,
                 skip_cached_steps=skip_cached_steps,
                 tracer=self.tracer,

@@ -19,10 +19,14 @@ candidates) or ``"naive"`` (the straight-line reference paths the
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, fields
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional, Set
 
 from .spec import SpecError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from ..control.policy import PolicyConfig
 
 #: Valid values for :attr:`EngineConfig.engine`.
 ENGINE_MODES = ("fast", "naive")
@@ -31,6 +35,11 @@ SCORER_MODES = ("incremental", "naive")
 #: Fairness policies the config accepts (mirrors the registry in
 #: :mod:`repro.engine.fairness`; ``None`` = pipeline default).
 FAIRNESS_POLICIES = ("strict-priority", "weighted-fair", "drf")
+
+#: ``EngineConfig.<field>`` legacy spellings that already warned — the
+#: deprecation bridge warns once per process, mirroring the submitter
+#: bridge in :mod:`repro.core.submitter`.
+_legacy_warned: Set[str] = set()
 
 
 @dataclass(frozen=True)
@@ -62,11 +71,18 @@ class EngineConfig:
     #: Bounded admission queue depth (``None`` = unbounded).
     max_pending: Optional[int] = None
     #: Effective-priority points per second of queue wait.
+    #: *Deprecated spelling* — the knob moved to
+    #: :attr:`PolicyConfig.aging_rate`; customising it here warns once
+    #: per process and will be removed in v2.
     aging_rate: float = 0.0
     #: Gate placement on admission headroom (capacity minus reservations).
     require_capacity: bool = True
     #: Cache score engine: ``"incremental"`` or ``"naive"``.
     scorer: str = "incremental"
+    #: Adaptive policy knobs (:class:`~repro.control.policy.PolicyConfig`);
+    #: ``None`` = the static paper defaults, bit-identical to
+    #: ``policy=PolicyConfig()``.
+    policy: Optional[PolicyConfig] = None
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINE_MODES:
@@ -130,6 +146,30 @@ class EngineConfig:
                 "EngineConfig.preemption is off but max_preemptions / "
                 "preempt_cooldown were customised — set preemption=True"
             )
+        if self.policy is not None:
+            from ..control.policy import PolicyConfig
+
+            if not isinstance(self.policy, PolicyConfig):
+                raise SpecError(
+                    f"EngineConfig.policy must be a PolicyConfig or None: "
+                    f"{self.policy!r}"
+                )
+            if self.aging_rate != 0.0:
+                raise SpecError(
+                    "EngineConfig: pass policy=PolicyConfig(aging_rate=...) "
+                    "or the legacy aging_rate= kwarg, not both"
+                )
+        elif self.aging_rate != 0.0:
+            key = "EngineConfig.aging_rate"
+            if key not in _legacy_warned:
+                _legacy_warned.add(key)
+                warnings.warn(
+                    "EngineConfig(aging_rate=...) is deprecated and will be "
+                    "removed in v2; pass policy=PolicyConfig(aging_rate=...) "
+                    "instead",
+                    DeprecationWarning,
+                    stacklevel=3,
+                )
 
     # ------------------------------------------------------------- helpers
 
@@ -138,12 +178,41 @@ class EngineConfig:
         """True when the fast hot paths are selected."""
         return self.engine == "fast"
 
+    @property
+    def effective_aging_rate(self) -> float:
+        """The aging rate after policy resolution (policy wins; mixing
+        was already rejected at construction)."""
+        if self.policy is not None:
+            return self.policy.aging_rate
+        return self.aging_rate
+
+    def effective_policy(self) -> PolicyConfig:
+        """The adaptive policy in force (defaults when ``policy=None``)."""
+        from ..control.policy import PolicyConfig
+
+        if self.policy is not None:
+            return self.policy
+        if self.aging_rate != 0.0:
+            return PolicyConfig(aging_rate=self.aging_rate)
+        return PolicyConfig()
+
     def pipeline_kwargs(self) -> Dict[str, object]:
         """Keyword arguments for :class:`AdmissionPipeline`.
 
         ``fairness=None`` resolves to the pipeline's back-compat
         ``strict-priority`` default, matching the legacy kwarg surface.
+        A customised retry budget on ``policy`` threads through as a
+        ``RetryPolicy`` for every cluster operator; the default budget
+        passes ``None`` so the operator builds its own (bit-identical).
         """
+        retry_policy = None
+        if self.policy is not None:
+            default = type(self.policy)()
+            if (self.policy.retry_limit, self.policy.infra_retry_limit) != (
+                default.retry_limit,
+                default.infra_retry_limit,
+            ):
+                retry_policy = self.policy.retry_policy()
         return {
             "fairness": self.fairness or "strict-priority",
             "tenant_weights": (
@@ -154,8 +223,9 @@ class EngineConfig:
             "preempt_cooldown": self.preempt_cooldown,
             "protect_gpu": self.protect_gpu,
             "max_pending": self.max_pending,
-            "aging_rate": self.aging_rate,
+            "aging_rate": self.effective_aging_rate,
             "require_capacity": self.require_capacity,
+            "retry_policy": retry_policy,
             "fast": self.fast,
         }
 

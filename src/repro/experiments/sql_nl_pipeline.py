@@ -20,7 +20,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..caching.manager import CacheManager
+from ..control.policy import PolicyConfig
 from ..engine.config import EngineConfig
+from ..obs.metrics import MetricsRegistry
 from ..parallelism.budget import BudgetModel
 from ..parallelism.splitter import WorkflowSplitter
 from ..workloads.corpus import (
@@ -79,6 +81,8 @@ class CorpusRunResult:
     #: the determinism fingerprint the integration test diffs across
     #: engine modes.
     fingerprint: List[tuple] = field(default_factory=list)
+    #: Worst arrival-to-placement wait across the run (pending-inclusive).
+    starvation_gap_s: float = 0.0
 
 
 def run(
@@ -89,11 +93,19 @@ def run(
     split_max_steps: int = 6,
     corpus: Optional[ScenarioCorpus] = None,
     clusters: Optional[list] = None,
+    policy: Optional[PolicyConfig] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> CorpusRunResult:
     """Corpus -> caching + splitting -> admission; one engine mode.
 
     ``clusters`` overrides the default (comfortable) corpus fleet —
     benchmarks pass a constrained one so queue latency is non-trivial.
+    ``policy`` threads one :class:`PolicyConfig` through every knobbed
+    subsystem (score weights, split budget, aging, retries);
+    ``policy=PolicyConfig()`` is bit-identical to ``policy=None`` (the
+    ``adaptive`` verify oracle pins this).  ``metrics`` shares a
+    registry across cache and admission so the controller reads the
+    whole run in one place.
     """
     corpus = corpus if corpus is not None else build_corpus(
         CorpusSpec(seed=seed, size=size)
@@ -102,22 +114,28 @@ def run(
     manager = CacheManager(
         policy="couler",
         capacity_bytes=None if cache_gb is None else int(cache_gb * GB),
+        policy_config=policy,
+        metrics=metrics,
     )
     pipeline = build_pipeline(
         spec,
-        EngineConfig(engine=engine),
+        EngineConfig(engine=engine, policy=policy),
         cache_manager=manager,
         skip_cached_steps=True,
+        metrics=metrics,
     )
 
-    splitter = WorkflowSplitter(BudgetModel(max_steps=split_max_steps))
+    budget_steps = (
+        policy.split_budget(split_max_steps) if policy else split_max_steps
+    )
+    splitter = WorkflowSplitter(BudgetModel(max_steps=budget_steps))
     split_parts = 0
     records = []
     owners: Dict[str, str] = {}
     for entry in corpus.entries:
         executables = []
         for ir in entry.irs:
-            if len(ir) > split_max_steps:
+            if len(ir) > budget_steps:
                 plan = splitter.split(ir)
                 split_parts += plan.num_parts
                 # Sequential chaining in topological part order is a
@@ -178,6 +196,7 @@ def run(
         makespan_s=max((r.finish_time for r in finished), default=0.0),
         personas=personas,
         fingerprint=fingerprint,
+        starvation_gap_s=pipeline.starvation_gap(),
     )
 
 

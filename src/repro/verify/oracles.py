@@ -34,6 +34,11 @@ Per seed, the suite asserts:
   multi-replica fleet over one shared journal reaches the same
   per-workflow outputs as a single in-memory operator on a contended
   cluster, and every journal prefix materializes to a resumable state.
+* **adaptive** — the policy controller is off by default and honest
+  when on: default ``PolicyConfig()`` is bit-identical to no policy at
+  all on both the cache-manager and admission-pipeline paths, and a
+  controller tune is deterministic per seed — two independent tunes
+  produce byte-identical replayable ``AdaptationLog``\\ s.
 
 Every oracle has the shape ``check(ir, seed) -> OracleOutcome`` so the
 shrinker can re-run it against reduced candidate workflows.
@@ -48,8 +53,10 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..caching.manager import CacheManager
 from ..caching.policy import POLICY_REGISTRY
+from ..control.policy import PolicyConfig
 from ..core.submitter import AdmissionSubmitter, ArgoSubmitter
 from ..engine.admission import AdmissionError, AdmissionPipeline
+from ..engine.config import EngineConfig
 from ..engine.journal import Journal
 from ..engine.operator import WorkflowOperator
 from ..engine.replicas import ShardedOperatorFleet
@@ -709,6 +716,122 @@ def check_journal(ir: WorkflowIR, seed: int) -> OracleOutcome:
     return OracleOutcome("journal", seed, True, digests=tuple(digests))
 
 
+def _policy_pipeline_outcome(
+    ir: WorkflowIR, seed: int, config: EngineConfig
+) -> Tuple[str, Optional[Fingerprint]]:
+    """Run ``ir`` through a pipeline built from ``config``.
+
+    Returns ``("ok", fingerprint)`` or ``("rejected:<reason>", None)`` —
+    a rejection is only an oracle failure if the two configs disagree.
+    """
+    pipeline = AdmissionPipeline(
+        [_cluster()], seed=seed, **config.pipeline_kwargs()
+    )
+    try:
+        record = AdmissionSubmitter(pipeline=pipeline).submit(ir)
+    except AdmissionError as exc:
+        return f"rejected:{exc}", None
+    return "ok", fingerprint_record(ir, record)
+
+
+@lru_cache(maxsize=8)
+def _adaptive_tune_digests(bucket: int) -> Tuple[str, str, bool]:
+    """Two independent tiny controller tunes for one seed bucket.
+
+    Returns (first digest, JSON-roundtripped digest, replay verdict).
+    The tune is deliberately small — size-6 corpus, population 4, one
+    halving round — because the property under test is determinism of
+    the search, not the quality of the winner; the cache amortizes it
+    across the 16 verify seeds that share a bucket.
+    """
+    from ..control.controller import AdaptationLog, Controller
+
+    kwargs = dict(
+        seed=bucket, corpus_size=6, population=4, rounds=1, cache_gb=0.25
+    )
+    first = Controller(**kwargs).tune()
+    roundtrip = AdaptationLog.from_json(first.log.to_json())
+    replayed = Controller(**kwargs).replay(roundtrip)
+    return first.log.digest(), roundtrip.digest(), replayed
+
+
+def check_adaptive(ir: WorkflowIR, seed: int) -> OracleOutcome:
+    """Controller-off ≡ static defaults; controller-on deterministic.
+
+    1. ``CacheManager(policy_config=PolicyConfig())`` is bit-identical
+       (full fingerprint: outputs, timings, cache counters) to the
+       plain manager — the default knob bundle changes nothing.
+    2. ``EngineConfig(policy=PolicyConfig())`` builds a pipeline whose
+       run is bit-identical to the policy-free ``EngineConfig()`` one.
+    3. A tiny controller tune re-run from the same seed produces a
+       byte-identical :class:`AdaptationLog` (checked through a JSON
+       round-trip), and ``Controller.replay`` re-derives it.
+    """
+    total_bytes = sum(
+        artifact.size_bytes
+        for node in ir.nodes.values()
+        for artifact in node.outputs
+    )
+    capacity = max(4096, total_bytes // 3)
+    plain = _execute(
+        ir, seed,
+        cache_manager=CacheManager(policy="couler", capacity_bytes=capacity),
+    )
+    defaulted = _execute(
+        ir, seed,
+        cache_manager=CacheManager(
+            policy="couler",
+            capacity_bytes=capacity,
+            policy_config=PolicyConfig(),
+        ),
+    )
+    digests = [plain.digest(), defaulted.digest()]
+    if plain.data != defaulted.data:
+        diff = describe_difference(plain, defaulted, view="full")
+        return OracleOutcome(
+            "adaptive", seed, False,
+            f"default PolicyConfig changed the cache manager run: {diff}",
+            tuple(digests),
+        )
+    bare_status, bare_fp = _policy_pipeline_outcome(ir, seed, EngineConfig())
+    pol_status, pol_fp = _policy_pipeline_outcome(
+        ir, seed, EngineConfig(policy=PolicyConfig())
+    )
+    if bare_status != pol_status:
+        return OracleOutcome(
+            "adaptive", seed, False,
+            f"default PolicyConfig changed the admission verdict: "
+            f"{bare_status!r} != {pol_status!r}",
+            tuple(digests),
+        )
+    if bare_fp is not None and pol_fp is not None:
+        digests += [bare_fp.digest(), pol_fp.digest()]
+        if bare_fp.data != pol_fp.data:
+            diff = describe_difference(bare_fp, pol_fp, view="full")
+            return OracleOutcome(
+                "adaptive", seed, False,
+                f"default PolicyConfig changed the pipeline run: {diff}",
+                tuple(digests),
+            )
+    first, second, replayed = _adaptive_tune_digests(seed // 16)
+    digests += [first, second]
+    if first != second:
+        return OracleOutcome(
+            "adaptive", seed, False,
+            f"controller tune is not deterministic: {first[:16]} != "
+            f"{second[:16]} (seed bucket {seed // 16})",
+            tuple(digests),
+        )
+    if not replayed:
+        return OracleOutcome(
+            "adaptive", seed, False,
+            f"AdaptationLog replay failed to re-derive the log "
+            f"(seed bucket {seed // 16})",
+            tuple(digests),
+        )
+    return OracleOutcome("adaptive", seed, True, digests=tuple(digests))
+
+
 def check_backends(ir: WorkflowIR, seed: int) -> OracleOutcome:
     """Structural conformance of all compiled backends + IR roundtrip."""
     problems = conformance_problems(ir)
@@ -733,6 +856,7 @@ ORACLES: Dict[str, Oracle] = {
     "fairness": Oracle("fairness", DETERMINISTIC_CONFIG, check_fairness),
     "journal": Oracle("journal", DETERMINISTIC_CONFIG, check_journal),
     "engine_fast": Oracle("engine_fast", DETERMINISTIC_CONFIG, check_engine_fast),
+    "adaptive": Oracle("adaptive", DETERMINISTIC_CONFIG, check_adaptive),
 }
 
 #: check functions safe to re-run on shrunk (non-generated) IRs.
@@ -746,6 +870,7 @@ SHRINKABLE_CHECKS: Dict[str, Callable[[WorkflowIR, int], OracleOutcome]] = {
     "fairness": check_fairness,
     "journal": check_journal,
     "engine_fast": check_engine_fast,
+    "adaptive": check_adaptive,
 }
 
 
@@ -756,6 +881,7 @@ SHRINKABLE_CHECKS: Dict[str, Callable[[WorkflowIR, int], OracleOutcome]] = {
 #: regenerates the workflow from the seed — against a corpus IR it
 #: would silently verify a different (synthetic) workflow.
 CORPUS_ORACLES: Tuple[str, ...] = (
+    "adaptive",
     "backends",
     "cache",
     "engine_fast",

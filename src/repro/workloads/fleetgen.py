@@ -104,12 +104,15 @@ def build_pipeline(
     journal: Journal | None = None,
     cache_manager: object | None = None,
     skip_cached_steps: bool = False,
+    metrics: object | None = None,
 ) -> AdmissionPipeline:
     """An :class:`AdmissionPipeline` over the fleet, knobs from ``config``.
 
     ``cache_manager`` (with ``skip_cached_steps``) threads a shared
     artifact cache through every cluster operator — the scenario-corpus
     runs use it to measure cross-workflow reuse under admission.
+    ``metrics`` shares one registry across admission and operators so
+    the adaptive controller reads the whole run from one place.
     """
     kwargs = config.pipeline_kwargs()
     if kwargs.get("tenant_weights") is None:
@@ -120,6 +123,7 @@ def build_pipeline(
         journal=journal,
         cache_manager=cache_manager,
         skip_cached_steps=skip_cached_steps,
+        metrics=metrics,
         **kwargs,
     )
 

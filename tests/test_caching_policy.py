@@ -1,10 +1,16 @@
 """Unit tests for cache policies, including Algorithm 2's mechanics."""
 
+import inspect
+import warnings
+
 import pytest
 
 from repro.caching.artifact_store import ArtifactStore
+from repro.caching.manager import CacheManager
 from repro.caching.policy import (
     CacheAllPolicy,
+    CacheDecision,
+    CachePolicy,
     CoulerCachePolicy,
     FIFOCachePolicy,
     LRUCachePolicy,
@@ -134,3 +140,67 @@ class TestCoulerPolicy:
         policy.admit(_artifact("a"), store, scorer, 0.0)
         assert policy.admit(_artifact("a"), store, scorer, 1.0)
         assert len(store) == 1
+
+
+class _LegacyOnlyPolicy(CachePolicy):
+    """Old-style subclass: overrides positional admit(), not decide()."""
+
+    name = "legacy-test"
+
+    def admit(self, artifact, store, scorer=None, now=0.0):
+        return False
+
+
+class TestLegacyAdmitBridge:
+    """The legacy-``admit`` DeprecationWarning must point at the caller.
+
+    The warning fires deep inside ``CachePolicy.decide``, but the frame
+    it names must be *user* code — even when the policy is driven
+    through several layers of :class:`CacheManager` internals
+    (``fetch`` → ``_decide`` → ``on_external_read`` → ``decide``).
+    These tests pin the reported filename (and line) to this file.
+    """
+
+    def test_warning_points_at_manager_caller(self):
+        CachePolicy._legacy_warned.discard(_LegacyOnlyPolicy)
+        manager = CacheManager(policy=_LegacyOnlyPolicy(), capacity_bytes=GB)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            expected_line = inspect.currentframe().f_lineno + 1
+            manager.fetch(_artifact("x"), now=0.0)
+        legacy = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(legacy) == 1
+        assert "_LegacyOnlyPolicy" in str(legacy[0].message)
+        assert legacy[0].filename == __file__, (
+            f"warning attributed to {legacy[0].filename}, not the caller"
+        )
+        assert legacy[0].lineno == expected_line
+
+    def test_warning_points_at_direct_caller(self):
+        CachePolicy._legacy_warned.discard(_LegacyOnlyPolicy)
+        store = ArtifactStore(capacity_bytes=GB)
+        decision = CacheDecision(artifact=_artifact("y"), store=store)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            expected_line = inspect.currentframe().f_lineno + 1
+            _LegacyOnlyPolicy().decide(decision)
+        legacy = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(legacy) == 1
+        assert legacy[0].filename == __file__
+        assert legacy[0].lineno == expected_line
+
+    def test_warns_once_per_policy_class(self):
+        CachePolicy._legacy_warned.discard(_LegacyOnlyPolicy)
+        manager = CacheManager(policy=_LegacyOnlyPolicy(), capacity_bytes=GB)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            manager.fetch(_artifact("x"), now=0.0)
+            manager.fetch(_artifact("z"), now=1.0)
+        legacy = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(legacy) == 1

@@ -1,0 +1,220 @@
+"""Controller determinism, the halving search, and the objective.
+
+The adaptive controller's contract (pinned CI-side by the ``adaptive``
+verify oracle): candidate generation is seeded, evaluation is
+virtual-time pure, ties break stably — so one seed produces one
+:class:`AdaptationLog`, byte for byte, and ``replay`` re-derives it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.autotune.tuner import successive_halving
+from repro.control.controller import (
+    CANDIDATE_GRID,
+    AdaptationLog,
+    Controller,
+    evaluate_policy,
+    objective,
+)
+from repro.control.policy import PolicyConfig
+from repro.workloads.corpus import CorpusSpec, build_corpus
+
+#: Smallest search that still exercises every moving part.
+TINY = dict(seed=3, corpus_size=6, population=4, rounds=1, cache_gb=0.25)
+
+
+# ------------------------------------------------------ successive halving
+
+
+class TestSuccessiveHalving:
+    def test_keeps_best_half_and_ranks_best_first(self):
+        scores = {"a": 1.0, "b": 3.0, "c": 2.0, "d": 0.0}
+        ranked, history = successive_halving(
+            list(scores), scores.__getitem__, rounds=1
+        )
+        assert ranked[0] == ("b", 3.0)
+        assert [c for c, _ in ranked][:2] == ["b", "c"]
+        assert len(history) == 1
+        assert history[0]["survivors"] == ["b", "c"]
+
+    def test_memoizes_across_rounds(self):
+        calls = []
+
+        def evaluate(candidate):
+            calls.append(candidate)
+            return {"a": 2.0, "b": 1.0}[candidate]
+
+        ranked, history = successive_halving(
+            ["a", "b"], evaluate, rounds=3, minimum=2
+        )
+        # Two candidates, three rounds, no refinement: each evaluated once.
+        assert sorted(calls) == ["a", "b"]
+        assert ranked[0][0] == "a"
+        # Later rounds evaluate nothing fresh.
+        assert history[1]["evaluated"] == []
+
+    def test_ties_break_toward_earlier_candidates(self):
+        ranked, history = successive_halving(
+            ["x", "y", "z"], lambda _c: 1.0, rounds=1, minimum=3
+        )
+        assert [c for c, _ in ranked] == ["x", "y", "z"]
+        assert history[0]["survivors"] == ["x", "y", "z"]
+
+    def test_tied_survivor_cut_keeps_earlier_candidate(self):
+        ranked, history = successive_halving(
+            ["x", "y"], lambda _c: 1.0, rounds=1
+        )
+        assert history[0]["survivors"] == ["x"]
+        assert ranked[0][0] == "x"
+
+    def test_duplicates_deduped(self):
+        calls = []
+
+        def evaluate(candidate):
+            calls.append(candidate)
+            return 0.0
+
+        successive_halving(["a", "a", "b"], evaluate, rounds=1)
+        assert sorted(calls) == ["a", "b"]
+
+    def test_refine_expands_survivors(self):
+        evaluated = []
+
+        def evaluate(candidate):
+            evaluated.append(candidate)
+            return len(candidate)
+
+        ranked, history = successive_halving(
+            ["aa", "b"],
+            evaluate,
+            rounds=2,
+            refine=lambda c: [c + "!"],
+            minimum=1,
+        )
+        assert "aa!" in evaluated
+        assert ranked[0][0] == "aa!"  # longest string wins
+        assert history[0]["survivors"] == ["aa"]
+
+
+# ------------------------------------------------------- candidate space
+
+
+class TestCandidates:
+    def test_population_defaults_first_and_unique(self):
+        controller = Controller(
+            build_corpus(CorpusSpec(seed=0, size=4)), seed=0, population=6
+        )
+        candidates = controller.seed_candidates()
+        assert candidates[0] == PolicyConfig()
+        assert len(candidates) == 6
+        assert len(set(candidates)) == 6
+
+    def test_seeded_candidates_reproducible(self):
+        corpus = build_corpus(CorpusSpec(seed=0, size=4))
+        first = Controller(corpus, seed=11, population=8).seed_candidates()
+        second = Controller(corpus, seed=11, population=8).seed_candidates()
+        assert first == second
+
+    def test_grid_values_brackets_defaults(self):
+        default = PolicyConfig()
+        assert default.score_alpha in CANDIDATE_GRID["score_alpha"]
+        assert default.aging_rate in CANDIDATE_GRID["aging_rate"]
+        assert None in CANDIDATE_GRID["split_budget_steps"]
+
+    def test_refine_introduces_aging_from_zero(self):
+        neighbours = Controller.refine(PolicyConfig(score_alpha=2.0))
+        rates = {n.aging_rate for n in neighbours if n.aging_rate > 0}
+        assert rates == {0.01, 0.05}
+        alphas = {n.score_alpha for n in neighbours}
+        assert {1.0, 4.0} <= alphas
+
+    def test_refine_halves_doubles_aging(self):
+        neighbours = Controller.refine(PolicyConfig(aging_rate=0.02))
+        rates = sorted(n.aging_rate for n in neighbours)
+        assert rates == [0.01, 0.04]
+
+    def test_refine_clamps_split_budget(self):
+        neighbours = Controller.refine(PolicyConfig(split_budget_steps=3))
+        steps = {n.split_budget_steps for n in neighbours}
+        # 3-2=1 falls below the floor of 2 and is dropped; 3+2=5 kept
+        # (aging-introduction neighbours keep the original budget of 3).
+        assert steps == {3, 5}
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="population"):
+            Controller(build_corpus(CorpusSpec(seed=0, size=4)), population=1)
+        with pytest.raises(ValueError, match="rounds"):
+            Controller(build_corpus(CorpusSpec(seed=0, size=4)), rounds=0)
+
+
+# ------------------------------------------------------------- objective
+
+
+class TestObjective:
+    BASELINE = {
+        "hit_ratio": 0.8,
+        "batch_queue_p99_s": 100.0,
+        "starvation_gap_s": 50.0,
+        "makespan_s": 1000.0,
+    }
+
+    def test_baseline_scores_exactly_zero(self):
+        assert objective(self.BASELINE, self.BASELINE) == 0.0
+
+    def test_improvements_score_positive(self):
+        better = dict(self.BASELINE, hit_ratio=0.9, batch_queue_p99_s=50.0)
+        assert objective(better, self.BASELINE) > 0.0
+
+    def test_regressions_score_negative(self):
+        worse = dict(self.BASELINE, hit_ratio=0.6)
+        assert objective(worse, self.BASELINE) < 0.0
+
+    def test_zero_baseline_terms_skipped(self):
+        flat = dict(self.BASELINE, starvation_gap_s=0.0)
+        still_flat = dict(flat, starvation_gap_s=0.0)
+        assert objective(still_flat, flat) == 0.0
+
+
+# ----------------------------------------------------- evaluation + tune
+
+
+class TestEvaluateAndTune:
+    def test_none_policy_identical_to_default_policy(self):
+        corpus = build_corpus(CorpusSpec(seed=2, size=4))
+        assert evaluate_policy(None, corpus) == evaluate_policy(
+            PolicyConfig(), corpus
+        )
+
+    def test_tune_deterministic_per_seed(self):
+        first = Controller(**TINY).tune()
+        second = Controller(**TINY).tune()
+        assert first.log.digest() == second.log.digest()
+        assert first.policy == second.policy
+
+    def test_replay_rederives_the_log(self):
+        result = Controller(**TINY).tune()
+        assert Controller(**TINY).replay(result.log)
+
+    def test_replay_rejects_foreign_corpus(self):
+        result = Controller(**TINY).tune()
+        other = Controller(**dict(TINY, corpus_size=8))
+        assert not other.replay(result.log)
+
+    def test_log_json_round_trip(self):
+        result = Controller(**TINY).tune()
+        log = AdaptationLog.from_json(result.log.to_json())
+        assert log.digest() == result.log.digest()
+        assert log.winner_policy() == result.policy
+
+    def test_log_records_the_search(self):
+        result = Controller(**TINY).tune()
+        log = result.log
+        assert log.seed == TINY["seed"]
+        assert len(log.rounds) == TINY["rounds"]
+        assert log.rounds[0]["candidates"], "round 0 evaluated nothing"
+        assert log.winner == result.policy.to_dict()
+        # The default is candidate zero, so the winner never scores
+        # below the static baseline.
+        assert log.winner_score >= 0.0

@@ -21,6 +21,7 @@ import pytest
 from repro import couler
 from repro.backends.base import Submitter
 from repro.core import submitter as submitter_module
+from repro.control.policy import PolicyConfig
 from repro.core.submitter import (
     AdmissionSubmitter,
     AirflowSubmitter,
@@ -28,6 +29,7 @@ from repro.core.submitter import (
     LocalSubmitter,
     TektonSubmitter,
 )
+from repro.engine import config as config_module
 from repro.engine.config import DEFAULT_CONFIG, EngineConfig
 from repro.engine.spec import SpecError
 from repro.verify.fingerprint import fingerprint_record
@@ -86,7 +88,9 @@ class TestValidation:
 
     def test_describe_lists_only_non_defaults(self):
         assert EngineConfig().describe() == "EngineConfig()"
-        text = EngineConfig(engine="naive", aging_rate=0.5).describe()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            text = EngineConfig(engine="naive", aging_rate=0.5).describe()
         assert "engine='naive'" in text and "aging_rate=0.5" in text
         assert "journaled" not in text
 
@@ -240,3 +244,128 @@ class TestProtocolConformance:
         assert couler.EngineConfig is EngineConfig
         assert couler.DEFAULT_CONFIG is DEFAULT_CONFIG
         assert callable(couler.profile_run)
+
+
+# --------------------------------------------- pairwise mixing rejection
+
+#: Every legacy kwarg AdmissionSubmitter still bridges, with a value.
+LEGACY_KWARGS = [
+    ("journaled", True),
+    ("fairness", "weighted-fair"),
+    ("slo_class", "serving"),
+]
+
+
+class TestPairwiseMixingRejection:
+    """``config=`` + *any* combination of legacy kwargs is rejected —
+    and a rejected call must not consume the once-per-process warning
+    budget (the caller never actually used the legacy spelling)."""
+
+    @pytest.mark.parametrize(("kwarg", "value"), LEGACY_KWARGS)
+    def test_each_single_legacy_kwarg_with_config(self, kwarg, value):
+        with pytest.raises(ValueError, match=f"not both.*|{kwarg}"):
+            AdmissionSubmitter(config=EngineConfig(), **{kwarg: value})
+
+    @pytest.mark.parametrize(
+        ("first", "second"),
+        [
+            (LEGACY_KWARGS[0], LEGACY_KWARGS[1]),
+            (LEGACY_KWARGS[0], LEGACY_KWARGS[2]),
+            (LEGACY_KWARGS[1], LEGACY_KWARGS[2]),
+        ],
+    )
+    def test_each_legacy_pair_with_config(self, first, second):
+        kwargs = {first[0]: first[1], second[0]: second[1]}
+        with pytest.raises(ValueError) as excinfo:
+            AdmissionSubmitter(config=EngineConfig(), **kwargs)
+        # The message names every offending kwarg, sorted.
+        assert first[0] in str(excinfo.value)
+        assert second[0] in str(excinfo.value)
+
+    def test_all_three_with_config(self):
+        with pytest.raises(ValueError, match="not both"):
+            AdmissionSubmitter(
+                config=EngineConfig(),
+                journaled=True,
+                fairness="drf",
+                slo_class="batch",
+            )
+
+    @pytest.mark.parametrize(("kwarg", "value"), LEGACY_KWARGS)
+    def test_rejected_mix_preserves_warning_budget(self, kwarg, value):
+        _clear_warned()
+        with warnings.catch_warnings():
+            # A rejected mixed call must stay silent ...
+            warnings.simplefilter("error", DeprecationWarning)
+            with pytest.raises(ValueError):
+                AdmissionSubmitter(config=EngineConfig(), **{kwarg: value})
+        # ... so the first real legacy use still hears the deprecation.
+        with pytest.warns(DeprecationWarning, match=kwarg):
+            AdmissionSubmitter(**{kwarg: value})
+
+    def test_warn_once_shared_across_submitter_types(self):
+        _clear_warned()
+        with pytest.warns(DeprecationWarning, match="journaled"):
+            ArgoSubmitter(journaled=True)
+        with warnings.catch_warnings():
+            # The budget is per process+kwarg, not per submitter class.
+            warnings.simplefilter("error", DeprecationWarning)
+            LocalSubmitter(journaled=True)
+            AdmissionSubmitter(journaled=True)
+
+
+# ------------------------------------------------ adaptive policy field
+
+
+class TestPolicyField:
+    def test_policy_must_be_policy_config(self):
+        with pytest.raises(SpecError, match="policy"):
+            EngineConfig(policy="defaults")
+
+    def test_policy_plus_legacy_aging_rejected(self):
+        with pytest.raises(SpecError, match="not both"):
+            EngineConfig(policy=PolicyConfig(aging_rate=0.01), aging_rate=0.01)
+
+    def test_legacy_aging_rate_warns_once_per_process(self):
+        config_module._legacy_warned.discard("EngineConfig.aging_rate")
+        with pytest.warns(DeprecationWarning, match="PolicyConfig"):
+            EngineConfig(aging_rate=0.01)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            EngineConfig(aging_rate=0.01)  # second use: silent
+
+    def test_effective_aging_rate_resolution(self):
+        assert EngineConfig().effective_aging_rate == 0.0
+        assert (
+            EngineConfig(policy=PolicyConfig(aging_rate=0.05)).effective_aging_rate
+            == 0.05
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = EngineConfig(aging_rate=0.02)
+        assert legacy.effective_aging_rate == 0.02
+        assert legacy.effective_policy() == PolicyConfig(aging_rate=0.02)
+        assert EngineConfig().effective_policy() == PolicyConfig()
+
+    def test_default_policy_pipeline_kwargs_identical(self):
+        assert (
+            EngineConfig(policy=PolicyConfig()).pipeline_kwargs()
+            == EngineConfig().pipeline_kwargs()
+        )
+        assert EngineConfig().pipeline_kwargs()["retry_policy"] is None
+
+    def test_custom_retry_budget_threads_through(self):
+        kwargs = EngineConfig(
+            policy=PolicyConfig(retry_limit=5, infra_retry_limit=7)
+        ).pipeline_kwargs()
+        retry = kwargs["retry_policy"]
+        assert retry is not None
+        assert retry.limit == 5
+        assert retry.infra_limit == 7
+
+    def test_default_retry_budget_stays_none(self):
+        kwargs = EngineConfig(
+            policy=PolicyConfig(aging_rate=0.05)
+        ).pipeline_kwargs()
+        assert kwargs["retry_policy"] is None
+        assert kwargs["aging_rate"] == 0.05

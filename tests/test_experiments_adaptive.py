@@ -1,0 +1,121 @@
+"""Adaptive-ablation experiment smoke + cross-process reproducibility.
+
+Satellite coverage for the controller's data diet: the per-persona hit
+ratios the controller reads from ``sql_nl_pipeline`` must be
+reproducible under ``PolicyConfig`` defaults across *separate OS
+processes* (different ``PYTHONHASHSEED``, fresh module state) — pinned
+by comparing a digest over every persona's counters, computed in two
+subprocesses and in-process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.control.policy import PolicyConfig
+from repro.experiments import adaptive_ablation, sql_nl_pipeline
+from repro.workloads.corpus import CorpusSpec, build_corpus
+
+SRC_DIR = str(Path(sql_nl_pipeline.__file__).resolve().parents[2])
+
+#: Computes {persona: hit_ratio} + digest under PolicyConfig defaults
+#: and prints one canonical JSON line.  Run in subprocesses.
+_PERSONA_SCRIPT = """
+import hashlib, json
+from repro.control.policy import PolicyConfig
+from repro.experiments import sql_nl_pipeline
+from repro.workloads.corpus import CorpusSpec, build_corpus
+
+corpus = build_corpus(CorpusSpec(seed=7, size=12))
+result = sql_nl_pipeline.run(
+    engine="fast", cache_gb=1.0, corpus=corpus, policy=PolicyConfig()
+)
+personas = {
+    stats.persona: {
+        "hit_ratio": round(stats.hit_ratio, 6),
+        "hits": stats.cache_hits,
+        "misses": stats.cache_misses,
+    }
+    for stats in result.personas
+}
+text = json.dumps(personas, sort_keys=True)
+digest = hashlib.sha256(text.encode()).hexdigest()
+print(json.dumps({"personas": personas, "digest": digest}, sort_keys=True))
+"""
+
+
+def _run_in_subprocess() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _PERSONA_SCRIPT],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+@pytest.mark.slow
+class TestCrossProcessPersonaHitRatios:
+    def test_persona_hit_ratios_digest_pinned_across_processes(self):
+        first = _run_in_subprocess()
+        second = _run_in_subprocess()
+        assert first["digest"] == second["digest"], (
+            f"persona hit ratios diverged across processes:\n"
+            f"{first['personas']}\n{second['personas']}"
+        )
+        assert first == second
+
+        # And the in-process run (this interpreter, warm module state)
+        # lands on the same digest — no hidden global leaks in.
+        corpus = build_corpus(CorpusSpec(seed=7, size=12))
+        result = sql_nl_pipeline.run(
+            engine="fast", cache_gb=1.0, corpus=corpus, policy=PolicyConfig()
+        )
+        personas = {
+            stats.persona: {
+                "hit_ratio": round(stats.hit_ratio, 6),
+                "hits": stats.cache_hits,
+                "misses": stats.cache_misses,
+            }
+            for stats in result.personas
+        }
+        text = json.dumps(personas, sort_keys=True)
+        assert hashlib.sha256(text.encode()).hexdigest() == first["digest"]
+        # The corpus is rerun-heavy: someone must actually hit.
+        assert any(p["hits"] > 0 for p in personas.values())
+
+
+@pytest.mark.slow
+class TestAblationSmoke:
+    def test_reduced_ablation_runs_and_is_deterministic(self):
+        kwargs = dict(
+            seed=1,
+            tune_size=6,
+            population=4,
+            rounds=1,
+            cache_sweep_gb=(0.25,),
+            held_out_size=6,
+        )
+        result = adaptive_ablation.run(**kwargs)
+        assert result.seed == 1
+        assert set(result.headline) == set(adaptive_ablation.HEADLINE_METRICS)
+        assert len(result.sweep) == 1
+        assert len(result.held_out) == 1
+        assert 0 <= result.wins <= len(result.headline)
+        assert result.tune_evaluations >= 4
+        rerun = adaptive_ablation.run(**kwargs)
+        assert rerun.digest() == result.digest()
+
+        text = adaptive_ablation.report(result)
+        assert "adaptive vs static" in text
+        assert "wins:" in text

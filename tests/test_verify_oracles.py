@@ -23,6 +23,7 @@ def test_oracle_registry_is_complete():
         "fairness",
         "journal",
         "engine_fast",
+        "adaptive",
     }
 
 
@@ -188,3 +189,54 @@ def test_suite_fail_fast_stops_early(monkeypatch):
     assert calls == [0]
     assert not report.ok
     assert report.failures[0].detail == "boom"
+
+
+@pytest.mark.slow
+def test_adaptive_oracle_sweep():
+    """Tentpole acceptance: default PolicyConfig is bit-identical to no
+    policy at all, and controller tunes are deterministic per seed —
+    over fuzzer-generated and corpus-compiled workflows."""
+    from repro.verify.oracles import check_adaptive, corpus_ir
+
+    for seed in range(8):
+        outcome = ORACLES["adaptive"].run(seed)
+        assert outcome.ok, f"adaptive seed={seed}: {outcome.detail}"
+    for seed in (0, 3, 17):
+        outcome = check_adaptive(corpus_ir(seed), seed)
+        assert outcome.ok, f"adaptive corpus seed={seed}: {outcome.detail}"
+
+
+def test_adaptive_oracle_catches_semantic_policy_drift():
+    """A non-default knob bundle must NOT pass the bit-identity leg —
+    otherwise the oracle is vacuous.  Zeroing the Eq. 6 score weights
+    reorders eviction decisions, so the fingerprint's cache counters
+    move on at least one fuzzer seed."""
+    from repro.control.policy import PolicyConfig
+    from repro.verify.oracles import _execute
+    from repro.caching.manager import CacheManager
+
+    diverged = 0
+    for seed in range(10):
+        ir = generate_ir(seed, DETERMINISTIC_CONFIG)
+        total = sum(
+            a.size_bytes for n in ir.nodes.values() for a in n.outputs
+        )
+        capacity = max(4096, total // 3)
+        plain = _execute(
+            ir, seed,
+            cache_manager=CacheManager(policy="couler", capacity_bytes=capacity),
+        )
+        skewed = _execute(
+            ir, seed,
+            cache_manager=CacheManager(
+                policy="couler",
+                capacity_bytes=capacity,
+                policy_config=PolicyConfig(score_alpha=0.0, score_beta=0.0),
+            ),
+        )
+        if plain.data != skewed.data:
+            diverged += 1
+    assert diverged > 0, (
+        "zeroed score weights changed nothing on 10 seeds — the "
+        "adaptive oracle's bit-identity leg would never catch drift"
+    )
